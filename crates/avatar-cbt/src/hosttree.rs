@@ -1,0 +1,255 @@
+//! The host-level tree induced by the guest CBT and the responsible ranges.
+//!
+//! The guests of a responsible range `[lo, hi)` have a unique minimum-level
+//! member — the *range root*. A host's **tree parent** is the (same-cluster)
+//! host responsible for the parent guest of its range root; this relation
+//! makes the cluster's hosts a tree of depth `≤ H + 1` rooted at the host
+//! covering the guest root. All cluster waves (poll, report, nominate) and
+//! edge walks run on this host tree; everything below is computed from the
+//! host's own range and its neighbors' beacons — no global state.
+
+use crate::state::{ClusterCore, NeighborView};
+use overlay::cbt::Cbt;
+use ssim::NodeId;
+
+/// True iff this host is its cluster's root host (covers the guest root).
+pub fn is_root(cbt: &Cbt, core: &ClusterCore) -> bool {
+    core.covers(cbt.root())
+}
+
+/// The guest whose parent lies outside this host's range (the range root),
+/// or `None` when the host covers the guest root.
+pub fn up_guest(cbt: &Cbt, core: &ClusterCore) -> Option<u32> {
+    if is_root(cbt, core) {
+        return None;
+    }
+    let rr = cbt.range_root(core.range.0, core.range.1);
+    Some(rr)
+}
+
+/// The host-tree parent: the same-cluster neighbor whose range covers the
+/// parent of this host's range root. `None` for the cluster root host or
+/// when the view lacks a covering neighbor (inconsistent state).
+pub fn parent(
+    cbt: &Cbt,
+    core: &ClusterCore,
+    view: &NeighborView,
+    now: u64,
+    neighbors: &[NodeId],
+) -> Option<NodeId> {
+    let rr = up_guest(cbt, core)?;
+    let pg = cbt.parent(rr)?;
+    covering_neighbor(core, view, now, neighbors, pg)
+}
+
+/// The same-cluster neighbor whose (beaconed) range covers guest `g`.
+pub fn covering_neighbor(
+    core: &ClusterCore,
+    view: &NeighborView,
+    now: u64,
+    neighbors: &[NodeId],
+    g: u32,
+) -> Option<NodeId> {
+    view.fresh(now, neighbors)
+        .find(|(_, b)| b.cid == core.cid && b.range.0 <= g && g < b.range.1)
+        .map(|(v, _)| v)
+}
+
+/// The host responsible for guest `g` as seen from this host: itself when
+/// `g` is in range, otherwise the covering same-cluster neighbor from the
+/// beacon view.
+pub fn host_for(
+    me: NodeId,
+    core: &ClusterCore,
+    view: &NeighborView,
+    now: u64,
+    neighbors: &[NodeId],
+    g: u32,
+) -> Option<NodeId> {
+    if core.covers(g) {
+        Some(me)
+    } else {
+        covering_neighbor(core, view, now, neighbors, g)
+    }
+}
+
+/// The host-tree children: same-cluster neighbors whose range root's parent
+/// falls in this host's range.
+pub fn children(
+    cbt: &Cbt,
+    core: &ClusterCore,
+    view: &NeighborView,
+    now: u64,
+    neighbors: &[NodeId],
+) -> Vec<NodeId> {
+    view.fresh(now, neighbors)
+        .filter(|(_, b)| {
+            b.cid == core.cid && b.range.0 < b.range.1 && {
+                let rr = cbt.range_root(b.range.0, b.range.1);
+                match cbt.parent(rr) {
+                    Some(pg) => core.covers(pg) && !(b.range.0 <= pg && pg < b.range.1),
+                    None => false,
+                }
+            }
+        })
+        .map(|(v, _)| v)
+        .collect()
+}
+
+/// True iff two responsible ranges are joined by at least one guest tree
+/// edge — i.e. the corresponding host edge is required by the dilation-1
+/// embedding of the tree. `O(log N)`.
+pub fn ranges_adjacent(cbt: &Cbt, a: (u32, u32), b: (u32, u32)) -> bool {
+    if a.0 >= a.1 || b.0 >= b.1 {
+        return false;
+    }
+    let covered = |r: (u32, u32), g: u32| r.0 <= g && g < r.1;
+    cbt.crossing_up(a.0, a.1).iter().any(|&(_, p)| covered(b, p))
+        || cbt.crossing_up(b.0, b.1).iter().any(|&(_, p)| covered(a, p))
+}
+
+/// True iff two responsible ranges are consecutive (successor relation).
+/// Legal `Avatar(Cbt)` additionally keeps the host successor line — the
+/// paper's wave 0 relies on host-successor edges already existing ("the edge
+/// in the host network realizing this guest edge already exists").
+pub fn ranges_consecutive(a: (u32, u32), b: (u32, u32)) -> bool {
+    a.1 == b.0 || b.1 == a.0
+}
+
+/// True iff the host edge between two responsible ranges is *required* by
+/// legal `Avatar(Cbt)`: a guest-tree crossing edge or the successor line.
+pub fn required_edge(cbt: &Cbt, a: (u32, u32), b: (u32, u32)) -> bool {
+    ranges_consecutive(a, b) || ranges_adjacent(cbt, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Beacon;
+    use overlay::Avatar;
+
+    /// Build cores + a fully-informed view for a legal embedding.
+    fn legal_cluster(n: u32, hosts: &[NodeId]) -> (Cbt, Vec<(NodeId, ClusterCore)>, NeighborView) {
+        let av = Avatar::new(n, hosts.iter().copied());
+        let cbt = Cbt::new(n);
+        let min = *hosts.iter().min().unwrap();
+        let cores: Vec<(NodeId, ClusterCore)> = hosts
+            .iter()
+            .map(|&u| {
+                let r = av.range_of(u);
+                (
+                    u,
+                    ClusterCore {
+                        cid: 7,
+                        range: (r.lo, r.hi),
+                        cluster_min: min,
+                    },
+                )
+            })
+            .collect();
+        let mut view = NeighborView::default();
+        for &(u, c) in &cores {
+            view.record(
+                u,
+                10,
+                Beacon {
+                    cid: c.cid,
+                    range: c.range,
+                    cluster_min: c.cluster_min,
+                    role: None,
+                    epoch: 0,
+                },
+            );
+        }
+        (cbt, cores, view)
+    }
+
+    #[test]
+    fn exactly_one_root_host() {
+        let (cbt, cores, _) = legal_cluster(64, &[3, 17, 30, 41, 55]);
+        let roots: Vec<NodeId> = cores
+            .iter()
+            .filter(|(_, c)| is_root(&cbt, c))
+            .map(|&(u, _)| u)
+            .collect();
+        assert_eq!(roots.len(), 1);
+        // Guest root of Cbt(64) is 32 -> host 30 covers [30, 41).
+        assert_eq!(roots[0], 30);
+    }
+
+    #[test]
+    fn parent_relation_forms_a_tree() {
+        let hosts = [3u32, 17, 30, 41, 55];
+        let (cbt, cores, view) = legal_cluster(64, &hosts);
+        let all: Vec<NodeId> = hosts.to_vec();
+        let mut parent_of = std::collections::HashMap::new();
+        for (u, c) in &cores {
+            // Every host may consult every other host's beacon here (the
+            // legal embedding's required edges make them neighbors).
+            let p = parent(&cbt, c, &view, 10, &all);
+            if is_root(&cbt, c) {
+                assert_eq!(p, None);
+            } else {
+                let p = p.expect("non-root host must find a parent");
+                parent_of.insert(*u, p);
+            }
+        }
+        // Walk each host to the root; depth bounded by H + 1.
+        for &u in &hosts {
+            let mut cur = u;
+            let mut steps = 0;
+            while let Some(&p) = parent_of.get(&cur) {
+                cur = p;
+                steps += 1;
+                assert!(steps <= cbt.height() + 1, "cycle or too deep from {u}");
+            }
+            assert_eq!(cur, 30, "all paths lead to the root host");
+        }
+    }
+
+    #[test]
+    fn children_inverts_parent() {
+        let hosts = [3u32, 17, 30, 41, 55];
+        let (cbt, cores, view) = legal_cluster(64, &hosts);
+        let all: Vec<NodeId> = hosts.to_vec();
+        for (u, c) in &cores {
+            for child in children(&cbt, c, &view, 10, &all) {
+                let cc = cores.iter().find(|(v, _)| *v == child).unwrap().1;
+                assert_eq!(parent(&cbt, &cc, &view, 10, &all), Some(*u));
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_is_its_own_root() {
+        let cbt = Cbt::new(32);
+        let core = ClusterCore::singleton(9, 32, 1);
+        assert!(is_root(&cbt, &core));
+        assert_eq!(up_guest(&cbt, &core), None);
+    }
+
+    #[test]
+    fn ranges_adjacent_matches_projection() {
+        let n = 64u32;
+        let hosts = [3u32, 17, 30, 41, 55];
+        let av = Avatar::new(n, hosts);
+        let cbt = Cbt::new(n);
+        let projected: std::collections::HashSet<(NodeId, NodeId)> =
+            av.project_edges(cbt.edges()).into_iter().collect();
+        for &a in &hosts {
+            for &b in &hosts {
+                if a >= b {
+                    continue;
+                }
+                let ra = av.range_of(a);
+                let rb = av.range_of(b);
+                let adj = ranges_adjacent(&cbt, (ra.lo, ra.hi), (rb.lo, rb.hi));
+                assert_eq!(
+                    adj,
+                    projected.contains(&(a, b)),
+                    "hosts {a},{b} ranges {ra:?} {rb:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! The network I/O abstraction the protocol core runs against.
+//!
+//! [`CbtCore`](crate::protocol::CbtCore) is written against [`NetIo`] rather
+//! than `ssim::Ctx` directly so the Chord-scaffolding layer can embed the CBT
+//! protocol inside its own message type (the paper's phase machinery runs
+//! *either* the CBT algorithm *or* the finger waves over one channel).
+
+use crate::msg::CbtMsg;
+use rand::rngs::SmallRng;
+use ssim::{Ctx, NodeId};
+
+/// What the protocol core needs from its host environment each round.
+pub trait NetIo {
+    /// This node's identifier.
+    fn id(&self) -> NodeId;
+    /// Current round.
+    fn round(&self) -> u64;
+    /// Sorted round-start neighbors.
+    fn neighbors(&self) -> &[NodeId];
+    /// True iff `v` is a round-start neighbor.
+    fn is_neighbor(&self, v: NodeId) -> bool {
+        self.neighbors().binary_search(&v).is_ok()
+    }
+    /// The node's deterministic PRNG.
+    fn rng(&mut self) -> &mut SmallRng;
+    /// Send a CBT protocol message to a neighbor.
+    fn send(&mut self, to: NodeId, msg: CbtMsg);
+    /// Introduce `a` and `b` (both in this node's closed neighborhood).
+    fn link(&mut self, a: NodeId, b: NodeId);
+    /// Delete the incident edge to `v`.
+    fn unlink(&mut self, v: NodeId);
+}
+
+/// Direct adapter over an `ssim` context whose message type *is* [`CbtMsg`].
+pub struct CtxIo<'a, 'b> {
+    ctx: &'a mut Ctx<'b, CbtMsg>,
+}
+
+impl<'a, 'b> CtxIo<'a, 'b> {
+    /// Wrap a context.
+    pub fn new(ctx: &'a mut Ctx<'b, CbtMsg>) -> Self {
+        Self { ctx }
+    }
+}
+
+impl NetIo for CtxIo<'_, '_> {
+    fn id(&self) -> NodeId {
+        self.ctx.id
+    }
+    fn round(&self) -> u64 {
+        self.ctx.round
+    }
+    fn neighbors(&self) -> &[NodeId] {
+        self.ctx.neighbors()
+    }
+    fn rng(&mut self) -> &mut SmallRng {
+        self.ctx.rng()
+    }
+    fn send(&mut self, to: NodeId, msg: CbtMsg) {
+        self.ctx.send(to, msg);
+    }
+    fn link(&mut self, a: NodeId, b: NodeId) {
+        self.ctx.link(a, b);
+    }
+    fn unlink(&mut self, v: NodeId) {
+        self.ctx.unlink(v);
+    }
+}

@@ -1,0 +1,151 @@
+//! The global legal-configuration predicate for `Avatar(Cbt(N))` and
+//! convenience constructors for experiment runtimes.
+//!
+//! Legality is a *global* predicate evaluated by the test/experiment harness
+//! (the protocol itself only ever uses local information): one cluster, the
+//! correct responsible ranges, and the host topology equal to the dilation-1
+//! projection of the guest tree.
+
+use crate::program::CbtProgram;
+use crate::protocol::CbtCore;
+use overlay::{Avatar, Cbt};
+use ssim::{init::Shape, Config, NodeId, Runtime, Topology};
+
+/// The exact edge set of a legal `Avatar(Cbt(N))` over the given host set:
+/// the dilation-1 projection of the guest tree plus the host successor line
+/// (which wave 0 of the target-building phase relies on).
+pub fn expected_edges(n: u32, ids: &[NodeId]) -> Vec<(NodeId, NodeId)> {
+    let av = Avatar::new(n, ids.iter().copied());
+    let cbt = Cbt::new(n);
+    let mut edges = av.project_edges(cbt.edges());
+    let mut sorted = ids.to_vec();
+    sorted.sort_unstable();
+    for w in sorted.windows(2) {
+        edges.push((w[0], w[1]));
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+/// True iff the host states and topology form the legal `Avatar(Cbt(N))`.
+pub fn is_legal_cbt<'a>(
+    n: u32,
+    topo: &Topology,
+    cores: impl Iterator<Item = &'a CbtCore>,
+) -> bool {
+    let cores: Vec<&CbtCore> = cores.collect();
+    if cores.is_empty() {
+        return false;
+    }
+    let ids: Vec<NodeId> = cores.iter().map(|c| c.id).collect();
+    let av = Avatar::new(n, ids.iter().copied());
+    let cid = cores[0].core.cid;
+    let min = *ids.iter().min().unwrap();
+    for c in &cores {
+        if c.core.cid != cid || c.core.cluster_min != min {
+            return false;
+        }
+        let r = av.range_of(c.id);
+        if c.core.range != (r.lo, r.hi) {
+            return false;
+        }
+    }
+    topo.edges() == expected_edges(n, &ids)
+}
+
+/// Runtime-level legality check for a standalone CBT run.
+pub fn runtime_is_legal(rt: &Runtime<CbtProgram>) -> bool {
+    is_legal_cbt(
+        rt.program(rt.ids()[0]).core.n,
+        rt.topology(),
+        rt.programs().map(|(_, p)| &p.core),
+    )
+}
+
+/// Build a CBT runtime over the given host ids and initial edges. Every host
+/// starts as a singleton cluster with a seed-derived nonce (the arbitrary
+/// initial *state* of the self-stabilization model is produced separately by
+/// corruption helpers / faults).
+pub fn runtime(
+    n: u32,
+    ids: &[NodeId],
+    edges: Vec<(NodeId, NodeId)>,
+    cfg: Config,
+) -> Runtime<CbtProgram> {
+    let nodes = ids
+        .iter()
+        .map(|&v| {
+            let nonce = cfg.seed ^ (v as u64 + 7).wrapping_mul(0x9E3779B97F4A7C15);
+            (v, CbtProgram::new(v, n, nonce))
+        });
+    Runtime::new(cfg, nodes, edges)
+}
+
+/// Build a CBT runtime from a named initial shape with `count` random hosts.
+pub fn runtime_from_shape(
+    n: u32,
+    count: usize,
+    shape: Shape,
+    cfg: Config,
+) -> Runtime<CbtProgram> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(cfg.seed ^ 0xA5A5_5A5A);
+    let ids = ssim::init::random_ids(count, n, &mut rng);
+    let edges = shape.edges(&ids, &mut rng);
+    runtime(n, &ids, edges, cfg)
+}
+
+/// Run a CBT runtime to legality. Returns rounds taken, or `None` on
+/// timeout.
+pub fn stabilize(rt: &mut Runtime<CbtProgram>, max_rounds: u64) -> Option<u64> {
+    rt.run_until(runtime_is_legal, max_rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legal_predicate_accepts_constructed_network() {
+        let n = 32u32;
+        let ids = [3u32, 9, 17, 26];
+        let av = Avatar::new(n, ids);
+        let edges = expected_edges(n, &ids);
+        let mut rt = runtime(n, &ids, edges, Config::default());
+        // Install the legal state directly.
+        for &v in &ids {
+            let r = av.range_of(v);
+            rt.corrupt_node(v, |p| {
+                p.core.core.cid = 42;
+                p.core.core.range = (r.lo, r.hi);
+                p.core.core.cluster_min = 3;
+            });
+        }
+        assert!(runtime_is_legal(&rt));
+    }
+
+    #[test]
+    fn legal_predicate_rejects_singletons() {
+        let rt = runtime(32, &[3, 9], vec![(3, 9)], Config::default());
+        assert!(!runtime_is_legal(&rt));
+    }
+
+    #[test]
+    fn legal_predicate_rejects_wrong_topology() {
+        let n = 32u32;
+        let ids = [3u32, 9];
+        let av = Avatar::new(n, ids);
+        let edges = Vec::new(); // no edges at all
+        let mut rt = runtime(n, &ids, edges, Config::default());
+        for &v in &ids {
+            let r = av.range_of(v);
+            rt.corrupt_node(v, |p| {
+                p.core.core.cid = 42;
+                p.core.core.range = (r.lo, r.hi);
+                p.core.core.cluster_min = 3;
+            });
+        }
+        assert!(!runtime_is_legal(&rt));
+    }
+}

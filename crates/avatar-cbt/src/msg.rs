@@ -1,0 +1,168 @@
+//! Protocol messages of the self-stabilizing Avatar(CBT) algorithm.
+
+use crate::state::Role;
+use ssim::NodeId;
+
+/// The per-round state beacon every host shares with its neighbors while the
+/// scaffold is under construction (the model's "nodes exchange their local
+/// state" step, realized as an explicit message).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Beacon {
+    /// Cluster identifier (random nonce; equal across cluster members).
+    pub cid: u64,
+    /// Responsible range `[lo, hi)` in guest-id space.
+    pub range: (u32, u32),
+    /// The minimum host identifier of the cluster.
+    pub cluster_min: NodeId,
+    /// This epoch's cluster role, once learned via the poll wave.
+    pub role: Option<Role>,
+    /// Epoch the role belongs to.
+    pub epoch: u64,
+}
+
+/// Which edge-walk a [`CbtMsg::WalkUp`] step belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkKind {
+    /// Leader-side pull of a follower contact edge up to the leader root.
+    ContactPull,
+    /// First follower-side walk: pulls the match edge up to the first
+    /// follower's root.
+    MatchW1,
+    /// Second follower-side walk: pulls the anchored root edge up to the
+    /// second follower's root.
+    MatchW2,
+}
+
+/// Messages of the Avatar(CBT) protocol.
+#[derive(Debug, Clone)]
+pub enum CbtMsg {
+    /// Per-round state exchange.
+    Beacon(Beacon),
+    /// Role poll, propagated root-to-leaves down the host tree.
+    Poll {
+        /// Epoch of the poll.
+        epoch: u64,
+        /// The cluster's role this epoch.
+        role: Role,
+    },
+    /// Feedback wave: aggregated subtree report, child-to-parent.
+    Report {
+        /// Epoch of the report.
+        epoch: u64,
+        /// Subtree contains a member with an external leader-cluster
+        /// neighbor (a nomination candidate).
+        candidate: bool,
+        /// Subtree members see no external edges and no inconsistencies —
+        /// the cluster-clean signal driving the CBT→target phase switch.
+        clean: bool,
+    },
+    /// Nomination token routed from the root down to the chosen contact.
+    Nominate {
+        /// Epoch of the nomination.
+        epoch: u64,
+    },
+    /// A nominated follower member asks an adjacent leader-cluster member
+    /// for a merge partner.
+    MergeReq {
+        /// Epoch of the request.
+        epoch: u64,
+        /// The follower's cluster id.
+        fcid: u64,
+        /// The follower's cluster minimum host.
+        fmin: NodeId,
+    },
+    /// One step of an edge walk: the receiver now holds an edge to
+    /// `endpoint` and should continue the walk toward its root.
+    WalkUp {
+        /// Epoch of the walk.
+        epoch: u64,
+        /// Which walk this step belongs to.
+        kind: WalkKind,
+        /// The remote endpoint being carried.
+        endpoint: NodeId,
+        /// Cluster id of the remote endpoint's cluster.
+        remote_cid: u64,
+        /// Cluster minimum of the remote endpoint's cluster.
+        remote_min: NodeId,
+    },
+    /// The leader root informs a follower contact of its merge partner.
+    MatchMade {
+        /// Epoch of the match.
+        epoch: u64,
+        /// The partner endpoint the contact now has an edge to.
+        partner: NodeId,
+        /// Partner cluster id.
+        partner_cid: u64,
+        /// True iff this contact's cluster performs the first walk (W1).
+        walk_first: bool,
+        /// True iff the partner is the leader cluster itself (odd contact
+        /// count): the partner endpoint is the leader root.
+        self_match: bool,
+    },
+    /// W1 finished: the sender (first follower's root) anchors the match
+    /// edge; the receiving contact starts W2 carrying the sender.
+    AnchorDone {
+        /// Epoch of the walk.
+        epoch: u64,
+    },
+    /// Root-to-root handshake before the zipper merge; sent by whichever
+    /// root learns the partnership first, answered symmetrically.
+    MergeHello {
+        /// Epoch of the merge.
+        epoch: u64,
+        /// Sender's cluster id.
+        cid: u64,
+        /// Sender's cluster minimum host.
+        cluster_min: NodeId,
+    },
+    /// Zipper meet at a level: counterpart hosts exchange ranges and decide
+    /// guest ownership in their range intersection.
+    ZipMeet {
+        /// Epoch of the merge.
+        epoch: u64,
+        /// Tree level being processed.
+        level: u32,
+        /// Sender's responsible range.
+        range: (u32, u32),
+        /// Sender's (pre-merge) cluster id.
+        cid: u64,
+        /// Sender's (pre-merge) cluster minimum host.
+        cluster_min: NodeId,
+        /// Agreed post-merge cluster id.
+        new_cid: u64,
+        /// Agreed post-merge cluster minimum host.
+        new_min: NodeId,
+    },
+    /// After a meet: each side names its hosts for the children guests so
+    /// the partner can complete the child introductions.
+    ZipChildInfo {
+        /// Epoch of the merge.
+        epoch: u64,
+        /// Level of the *children* (parent level + 1).
+        level: u32,
+        /// `(child_guest, host_on_my_side)` entries.
+        entries: Vec<(u32, NodeId)>,
+        /// Post-merge cluster id (propagated).
+        new_cid: u64,
+        /// Post-merge cluster minimum (propagated).
+        new_min: NodeId,
+        /// Sender's pre-merge cluster id.
+        cid: u64,
+    },
+    /// Instructs a same-cluster child host to expect a zipper meet with
+    /// `counterpart` at `level`.
+    ZipExpect {
+        /// Epoch of the merge.
+        epoch: u64,
+        /// Level of the expected meet.
+        level: u32,
+        /// The other cluster's host to meet.
+        counterpart: NodeId,
+        /// The other cluster's id.
+        partner_cid: u64,
+        /// Post-merge cluster id (propagated).
+        new_cid: u64,
+        /// Post-merge cluster minimum (propagated).
+        new_min: NodeId,
+    },
+}

@@ -1,0 +1,41 @@
+//! [`ssim::Program`] wrapper around the protocol core, for running the
+//! Avatar(CBT) algorithm standalone (the scaffolding layer embeds
+//! [`CbtCore`] directly instead).
+
+use crate::io::CtxIo;
+use crate::msg::CbtMsg;
+use crate::protocol::{CbtCore, StepEvents};
+use ssim::{Ctx, NodeId, Program};
+
+/// A host node running the self-stabilizing Avatar(CBT) algorithm.
+#[derive(Debug, Clone)]
+pub struct CbtProgram {
+    /// The protocol state.
+    pub core: CbtCore,
+    /// Events from the most recent round.
+    pub last_events: StepEvents,
+}
+
+impl CbtProgram {
+    /// A host starting as a singleton cluster.
+    pub fn new(id: NodeId, n: u32, nonce: u64) -> Self {
+        Self {
+            core: CbtCore::new(id, n, nonce),
+            last_events: StepEvents::default(),
+        }
+    }
+}
+
+impl Program for CbtProgram {
+    type Msg = CbtMsg;
+
+    fn step(&mut self, ctx: &mut Ctx<'_, CbtMsg>) {
+        let inbox: Vec<(NodeId, CbtMsg)> = ctx.inbox().to_vec();
+        let mut io = CtxIo::new(ctx);
+        self.last_events = self.core.step(&mut io, &inbox);
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.core.scratch.observed_clean
+    }
+}

@@ -1,0 +1,735 @@
+//! The self-stabilizing Avatar(CBT) node program: per-round fault detection,
+//! epoch-aligned matching, and the handoff into the zipper merge
+//! (see [`crate::merge`] for the zipper itself).
+
+use crate::detector;
+use crate::hosttree;
+use crate::io::NetIo;
+use crate::msg::{Beacon, CbtMsg, WalkKind};
+use crate::schedule::Schedule;
+use crate::scratch::{Contact, Merge, Scratch, MAX_CONTACTS};
+use crate::state::{ClusterCore, NeighborView, Role};
+use overlay::cbt::Cbt;
+use rand::Rng;
+use ssim::NodeId;
+
+/// Events surfaced by one protocol step (consumed by the scaffolding layer).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepEvents {
+    /// The detector fired and this host reset to a singleton cluster.
+    pub reset: bool,
+    /// This host is a cluster root and its feedback wave reported the whole
+    /// cluster clean (no external edges, no faults): the scaffold is built.
+    pub cluster_clean: bool,
+}
+
+/// The protocol state of one host.
+#[derive(Debug, Clone)]
+pub struct CbtCore {
+    /// Host identifier.
+    pub id: NodeId,
+    /// Guest capacity `N`.
+    pub n: u32,
+    /// The guest tree structure.
+    pub cbt: Cbt,
+    /// The epoch schedule for this `N`.
+    pub sched: Schedule,
+    /// Durable cluster membership state.
+    pub core: ClusterCore,
+    /// Latest neighbor beacons.
+    pub view: NeighborView,
+    /// Per-epoch scratch.
+    pub scratch: Scratch,
+    /// Rounds during which the unexplained-edge detector rule is suppressed
+    /// (post-reset / post-commit).
+    pub grace: u8,
+    /// Number of detector resets performed (statistic).
+    pub resets: u64,
+    /// Number of merges committed (statistic).
+    pub merges: u64,
+    /// Suppress beacon traffic (used by the scaffolding layer once the
+    /// target network is complete — the network is then *silent*).
+    pub beacons_enabled: bool,
+}
+
+impl CbtCore {
+    /// A host starting as a singleton cluster (the post-reset state).
+    pub fn new(id: NodeId, n: u32, nonce: u64) -> Self {
+        Self {
+            id,
+            n,
+            cbt: Cbt::new(n),
+            sched: Schedule::new(n),
+            core: ClusterCore::singleton(id, n, nonce),
+            view: NeighborView::default(),
+            scratch: Scratch::new(0),
+            grace: 2,
+            resets: 0,
+            merges: 0,
+            beacons_enabled: true,
+        }
+    }
+
+    /// This host's beacon for the current epoch.
+    pub fn beacon(&self) -> Beacon {
+        Beacon {
+            cid: self.core.cid,
+            range: self.core.range,
+            cluster_min: self.core.cluster_min,
+            role: self.scratch.role,
+            epoch: self.scratch.epoch,
+        }
+    }
+
+    /// True iff this host is its cluster's root host.
+    pub fn is_root(&self) -> bool {
+        hosttree::is_root(&self.cbt, &self.core)
+    }
+
+    /// Reset to a singleton cluster with a fresh random nonce.
+    pub fn reset(&mut self, io: &mut impl NetIo) {
+        let nonce = io.rng().gen::<u64>();
+        self.core = ClusterCore::singleton(self.id, self.n, nonce);
+        self.scratch = Scratch::new(self.scratch.epoch);
+        self.grace = 3;
+        self.resets += 1;
+    }
+
+    /// Execute one synchronous round.
+    pub fn step(&mut self, io: &mut impl NetIo, inbox: &[(NodeId, CbtMsg)]) -> StepEvents {
+        let mut ev = StepEvents::default();
+        let round = io.round();
+        let (epoch, offset) = self.sched.locate(round);
+
+        // ---- Epoch boundary: wipe scratch. Note that the protocol never
+        // deletes edges outside the post-commit prune: a "transient" walk
+        // copy can coincide with an original edge whose deletion would
+        // disconnect the network, so leftovers are left in place as external
+        // edges (absorbed and pruned when their clusters eventually merge).
+        if offset == 0 || self.scratch.epoch != epoch {
+            self.scratch = Scratch::new(epoch);
+        }
+
+        // ---- Ingest beacons first so every other handler sees fresh state.
+        for (from, m) in inbox {
+            if let CbtMsg::Beacon(b) = m {
+                self.view.record(*from, round, *b);
+            }
+        }
+        let neighbors: Vec<NodeId> = io.neighbors().to_vec();
+        self.view.retain_neighbors(&neighbors);
+
+        // ---- Local fault detection (every round, grace-gated extras rule).
+        let fault = detector::check(
+            self.id,
+            self.n,
+            &self.cbt,
+            &self.core,
+            &self.view,
+            round,
+            &neighbors,
+            self.grace > 0,
+        );
+        self.grace = self.grace.saturating_sub(1);
+        if fault.is_some() {
+            self.reset(io);
+            ev.reset = true;
+            self.emit_beacon(io, &neighbors);
+            return ev; // start over next round from the singleton state
+        }
+
+        // ---- Handle protocol messages.
+        for (from, m) in inbox {
+            self.handle(io, &neighbors, epoch, offset, *from, m, &mut ev);
+        }
+
+        // ---- Scheduled actions for this offset.
+        self.scheduled(io, &neighbors, epoch, offset, &mut ev);
+
+        // ---- Zipper merge rounds (see merge.rs).
+        self.merge_tick(io, &neighbors, offset);
+
+        self.emit_beacon(io, &neighbors);
+        ev
+    }
+
+    fn emit_beacon(&self, io: &mut impl NetIo, neighbors: &[NodeId]) {
+        if !self.beacons_enabled {
+            return;
+        }
+        let b = self.beacon();
+        for &v in neighbors {
+            io.send(v, CbtMsg::Beacon(b));
+        }
+    }
+
+    /// My host-tree parent, if consistent.
+    fn parent(&self, round: u64, neighbors: &[NodeId]) -> Option<NodeId> {
+        hosttree::parent(&self.cbt, &self.core, &self.view, round, neighbors)
+    }
+
+    /// My host-tree children.
+    fn children(&self, round: u64, neighbors: &[NodeId]) -> Vec<NodeId> {
+        hosttree::children(&self.cbt, &self.core, &self.view, round, neighbors)
+    }
+
+    /// External neighbors whose cluster advertises `Leader` for this epoch.
+    fn leader_neighbors(&self, round: u64, epoch: u64, neighbors: &[NodeId]) -> Vec<NodeId> {
+        self.view
+            .fresh(round, neighbors)
+            .filter(|(_, b)| {
+                b.cid != self.core.cid && b.epoch == epoch && b.role == Some(Role::Leader)
+            })
+            .map(|(v, _)| v)
+            .collect()
+    }
+
+    /// Member-level cleanliness: no external edges, no pending machinery.
+    fn locally_clean(&self, round: u64, neighbors: &[NodeId]) -> bool {
+        self.scratch.merge.is_none()
+            && neighbors.iter().all(|&v| {
+                self.view
+                    .get(round, v)
+                    .is_some_and(|b| b.cid == self.core.cid)
+            })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle(
+        &mut self,
+        io: &mut impl NetIo,
+        neighbors: &[NodeId],
+        epoch: u64,
+        offset: u64,
+        from: NodeId,
+        m: &CbtMsg,
+        _ev: &mut StepEvents,
+    ) {
+        let round = io.round();
+        match m {
+            CbtMsg::Beacon(_) => {} // ingested earlier
+            CbtMsg::Poll { epoch: e, role } => {
+                if *e == epoch && self.scratch.role.is_none() {
+                    self.scratch.role = Some(*role);
+                    for c in self.children(round, neighbors) {
+                        io.send(c, CbtMsg::Poll { epoch, role: *role });
+                    }
+                }
+            }
+            CbtMsg::Report {
+                epoch: e,
+                candidate,
+                clean,
+            } => {
+                if *e == epoch {
+                    self.scratch.reports.insert(from, (*candidate, *clean));
+                }
+            }
+            CbtMsg::Nominate { epoch: e } => {
+                if *e == epoch {
+                    self.forward_nomination(io, neighbors, epoch, offset);
+                }
+            }
+            CbtMsg::MergeReq { epoch: e, fcid, fmin } => {
+                if *e == epoch
+                    && self.scratch.role == Some(Role::Leader)
+                    && offset < self.sched.t_match_deadline()
+                {
+                    self.start_contact_pull(io, neighbors, epoch, from, *fcid, *fmin);
+                }
+            }
+            CbtMsg::WalkUp {
+                epoch: e,
+                kind,
+                endpoint,
+                remote_cid,
+                remote_min,
+            } => {
+                if *e == epoch {
+                    self.continue_walk(io, neighbors, epoch, *kind, *endpoint, *remote_cid, *remote_min);
+                }
+            }
+            CbtMsg::MatchMade {
+                epoch: e,
+                partner,
+                partner_cid,
+                walk_first,
+                self_match,
+            } => {
+                if *e == epoch && self.scratch.nominated {
+                    // Begin the follower-side walk carrying the partner
+                    // endpoint toward my cluster root. For a self-match the
+                    // partner endpoint is the leader root itself.
+                    let _ = (walk_first, self_match);
+                    self.start_match_walk(io, neighbors, epoch, *partner, *partner_cid);
+                }
+            }
+            CbtMsg::AnchorDone { epoch: e } => {
+                if *e == epoch {
+                    // I am the second contact: the first follower's root
+                    // (`from`) now holds the match edge. Carry it up my tree.
+                    self.start_anchor_walk(io, neighbors, epoch, from);
+                }
+            }
+            CbtMsg::MergeHello {
+                epoch: e,
+                cid,
+                cluster_min,
+            } => {
+                if *e == epoch && offset < self.sched.t_zip() && self.is_root() {
+                    self.on_merge_hello(io, epoch, from, *cid, *cluster_min);
+                }
+            }
+            CbtMsg::ZipMeet { .. } | CbtMsg::ZipChildInfo { .. } | CbtMsg::ZipExpect { .. } => {
+                self.handle_zip(io, neighbors, epoch, from, m);
+            }
+        }
+    }
+
+    fn scheduled(
+        &mut self,
+        io: &mut impl NetIo,
+        neighbors: &[NodeId],
+        epoch: u64,
+        offset: u64,
+        ev: &mut StepEvents,
+    ) {
+        let round = io.round();
+
+        // Epoch start: the root flips this epoch's role and starts the poll.
+        if offset == self.sched.t_poll() && self.is_root() {
+            let role = if io.rng().gen_bool(0.5) {
+                Role::Leader
+            } else {
+                Role::Follower
+            };
+            self.scratch.role = Some(role);
+            for c in self.children(round, neighbors) {
+                io.send(c, CbtMsg::Poll { epoch, role });
+            }
+        }
+
+        // Report window: snapshot children once, send upward when complete.
+        if offset == self.sched.t_report_start() {
+            self.scratch.report_children = Some(self.children(round, neighbors));
+            self.scratch.self_candidate =
+                !self.leader_neighbors(round, epoch, neighbors).is_empty()
+                    && self.scratch.role == Some(Role::Follower);
+        }
+        if offset >= self.sched.t_report_start()
+            && offset < self.sched.t_report_deadline()
+            && !self.scratch.report_sent
+        {
+            if let Some(children) = self.scratch.report_children.clone() {
+                let all_in = children.iter().all(|c| self.scratch.reports.contains_key(c));
+                if all_in && !self.is_root() {
+                    let agg_cand = self.scratch.self_candidate
+                        || children.iter().any(|c| self.scratch.reports[c].0);
+                    let agg_clean = self.locally_clean(round, neighbors)
+                        && children.iter().all(|c| self.scratch.reports[c].1);
+                    // Remember which branch supplied the candidate for the
+                    // nomination descent.
+                    self.scratch.cand_child = if self.scratch.self_candidate {
+                        None
+                    } else {
+                        children
+                            .iter()
+                            .find(|c| self.scratch.reports[c].0)
+                            .copied()
+                    };
+                    if let Some(p) = self.parent(round, neighbors) {
+                        io.send(
+                            p,
+                            CbtMsg::Report {
+                                epoch,
+                                candidate: agg_cand,
+                                clean: agg_clean,
+                            },
+                        );
+                        self.scratch.report_sent = true;
+                    }
+                }
+            }
+        }
+
+        // Root finalization: cleanliness signal and follower nomination.
+        if offset == self.sched.t_nominate() && self.is_root() {
+            let children = self.scratch.report_children.clone().unwrap_or_default();
+            let all_in = children.iter().all(|c| self.scratch.reports.contains_key(c));
+            let clean = all_in
+                && self.locally_clean(round, neighbors)
+                && children.iter().all(|c| self.scratch.reports[c].1);
+            if clean {
+                self.scratch.observed_clean = true;
+                ev.cluster_clean = true;
+            }
+            if self.scratch.role == Some(Role::Follower) {
+                self.scratch.cand_child = if self.scratch.self_candidate {
+                    None
+                } else {
+                    children
+                        .iter()
+                        .find(|c| self.scratch.reports.get(c).is_some_and(|r| r.0))
+                        .copied()
+                };
+                if self.scratch.self_candidate || self.scratch.cand_child.is_some() {
+                    self.forward_nomination(io, neighbors, epoch, offset);
+                }
+            }
+        }
+
+        // Leader root: pair the collected contacts.
+        if offset == self.sched.t_match()
+            && self.is_root()
+            && self.scratch.role == Some(Role::Leader)
+            && !self.scratch.matched
+        {
+            self.dispatch_matches(io, epoch);
+        }
+
+        // Commit and prune are driven from merge.rs via merge_tick.
+        let _ = offset;
+    }
+
+    /// Route the nomination token: either I am the contact, or pass it to
+    /// the child whose subtree reported the candidate.
+    fn forward_nomination(
+        &mut self,
+        io: &mut impl NetIo,
+        neighbors: &[NodeId],
+        epoch: u64,
+        offset: u64,
+    ) {
+        if self.scratch.nominated || offset >= self.sched.t_match_deadline() {
+            return;
+        }
+        if self.scratch.self_candidate {
+            self.scratch.nominated = true;
+            self.send_merge_req(io, neighbors, epoch);
+        } else if let Some(c) = self.scratch.cand_child {
+            if io.is_neighbor(c) {
+                io.send(c, CbtMsg::Nominate { epoch });
+            }
+        }
+    }
+
+    /// The nominated contact asks its smallest external leader neighbor.
+    fn send_merge_req(&mut self, io: &mut impl NetIo, neighbors: &[NodeId], epoch: u64) {
+        if self.scratch.merge_req_sent {
+            return;
+        }
+        let round = io.round();
+        if let Some(&l) = self.leader_neighbors(round, epoch, neighbors).first() {
+            io.send(
+                l,
+                CbtMsg::MergeReq {
+                    epoch,
+                    fcid: self.core.cid,
+                    fmin: self.core.cluster_min,
+                },
+            );
+            self.scratch.merge_req_sent = true;
+        }
+    }
+
+    /// Leader member adjacent to a requesting follower: begin pulling the
+    /// contact edge up to the leader root.
+    fn start_contact_pull(
+        &mut self,
+        io: &mut impl NetIo,
+        neighbors: &[NodeId],
+        epoch: u64,
+        follower: NodeId,
+        fcid: u64,
+        fmin: NodeId,
+    ) {
+        let round = io.round();
+        if self.is_root() {
+            self.accept_contact(follower, fcid, fmin);
+            return;
+        }
+        if let Some(p) = self.parent(round, neighbors) {
+            io.link(follower, p);
+            io.send(
+                p,
+                CbtMsg::WalkUp {
+                    epoch,
+                    kind: WalkKind::ContactPull,
+                    endpoint: follower,
+                    remote_cid: fcid,
+                    remote_min: fmin,
+                },
+            );
+            // The (me, follower) edge is the original external edge: keep it.
+        }
+    }
+
+    /// A walk step arrived: I now hold an edge to `endpoint`. Either absorb
+    /// it (walk complete at a root) or hand it to my parent and drop my copy.
+    fn continue_walk(
+        &mut self,
+        io: &mut impl NetIo,
+        neighbors: &[NodeId],
+        epoch: u64,
+        kind: WalkKind,
+        endpoint: NodeId,
+        remote_cid: u64,
+        remote_min: NodeId,
+    ) {
+        let round = io.round();
+        if !io.is_neighbor(endpoint) {
+            return; // edge never materialized (peer reset); drop the walk
+        }
+        if self.is_root() {
+            match kind {
+                WalkKind::ContactPull => {
+                    if self.scratch.role == Some(Role::Leader) {
+                        self.accept_contact(endpoint, remote_cid, remote_min);
+                    }
+                }
+                WalkKind::MatchW1 => {
+                    // The match edge is anchored at my root; tell the far
+                    // endpoint (second contact) to carry me up its tree.
+                    io.send(endpoint, CbtMsg::AnchorDone { epoch });
+                }
+                WalkKind::MatchW2 => {
+                    // endpoint is the partner cluster's root: handshake.
+                    io.send(
+                        endpoint,
+                        CbtMsg::MergeHello {
+                            epoch,
+                            cid: self.core.cid,
+                            cluster_min: self.core.cluster_min,
+                        },
+                    );
+                    self.prime_merge(endpoint, remote_cid, remote_min);
+                }
+            }
+            return;
+        }
+        if let Some(p) = self.parent(round, neighbors) {
+            io.link(endpoint, p);
+            io.send(
+                p,
+                CbtMsg::WalkUp {
+                    epoch,
+                    kind,
+                    endpoint,
+                    remote_cid,
+                    remote_min,
+                },
+            );
+        }
+        // The copy this host holds lingers as an external edge; see the
+        // epoch-boundary note (only the prune ever deletes edges).
+    }
+
+    fn accept_contact(&mut self, endpoint: NodeId, fcid: u64, fmin: NodeId) {
+        let dup = self.scratch.contacts.iter().any(|c| c.fcid == fcid);
+        if dup || self.scratch.contacts.len() >= MAX_CONTACTS || self.scratch.matched {
+            return;
+        }
+        self.scratch.contacts.push(Contact {
+            endpoint,
+            fcid,
+            fmin,
+        });
+    }
+
+    /// Leader root at match time: pair contacts; odd leftover merges with us.
+    fn dispatch_matches(&mut self, io: &mut impl NetIo, epoch: u64) {
+        self.scratch.matched = true;
+        let mut contacts = std::mem::take(&mut self.scratch.contacts);
+        contacts.sort_by_key(|c| c.fcid);
+        contacts.retain(|c| io.is_neighbor(c.endpoint));
+        let mut iter = contacts.chunks_exact(2);
+        for pair in iter.by_ref() {
+            let (a, b) = (pair[0], pair[1]);
+            io.link(a.endpoint, b.endpoint);
+            io.send(
+                a.endpoint,
+                CbtMsg::MatchMade {
+                    epoch,
+                    partner: b.endpoint,
+                    partner_cid: b.fcid,
+                    walk_first: true,
+                    self_match: false,
+                },
+            );
+            io.send(
+                b.endpoint,
+                CbtMsg::MatchMade {
+                    epoch,
+                    partner: a.endpoint,
+                    partner_cid: a.fcid,
+                    walk_first: false,
+                    self_match: false,
+                },
+            );
+        }
+        if let [last] = iter.remainder() {
+            // Odd contact: the leader cluster itself merges with it. The
+            // contact walks the (leader-root, contact) edge up its own tree.
+            io.send(
+                last.endpoint,
+                CbtMsg::MatchMade {
+                    epoch,
+                    partner: self.id,
+                    partner_cid: self.core.cid,
+                    walk_first: true,
+                    self_match: true,
+                },
+            );
+            // Keep the edge; the far side's root will Hello us.
+        }
+    }
+
+    /// First contact of a pair (or the self-match contact): walk the match
+    /// edge up to my cluster root, carrying the partner endpoint.
+    fn start_match_walk(
+        &mut self,
+        io: &mut impl NetIo,
+        neighbors: &[NodeId],
+        epoch: u64,
+        partner: NodeId,
+        partner_cid: u64,
+    ) {
+        let round = io.round();
+        if !io.is_neighbor(partner) {
+            return;
+        }
+        if self.is_root() {
+            // Degenerate: the contact *is* the root (e.g. singleton cluster).
+            io.send(partner, CbtMsg::AnchorDone { epoch });
+            return;
+        }
+        if let Some(p) = self.parent(round, neighbors) {
+            io.link(partner, p);
+            io.send(
+                p,
+                CbtMsg::WalkUp {
+                    epoch,
+                    kind: WalkKind::MatchW1,
+                    endpoint: partner,
+                    remote_cid: partner_cid,
+                    remote_min: partner, // authoritative value arrives in the Hello
+                },
+            );
+        }
+    }
+
+    /// Second contact after `AnchorDone`: carry the anchored root (`anchor`)
+    /// up my own tree to my root.
+    fn start_anchor_walk(
+        &mut self,
+        io: &mut impl NetIo,
+        neighbors: &[NodeId],
+        epoch: u64,
+        anchor: NodeId,
+    ) {
+        let round = io.round();
+        if !io.is_neighbor(anchor) {
+            return;
+        }
+        if self.is_root() {
+            // Degenerate: I am my cluster's root; handshake directly.
+            io.send(
+                anchor,
+                CbtMsg::MergeHello {
+                    epoch,
+                    cid: self.core.cid,
+                    cluster_min: self.core.cluster_min,
+                },
+            );
+            return;
+        }
+        if let Some(p) = self.parent(round, neighbors) {
+            io.link(anchor, p);
+            io.send(
+                p,
+                CbtMsg::WalkUp {
+                    epoch,
+                    kind: WalkKind::MatchW2,
+                    endpoint: anchor,
+                    remote_cid: 0,
+                    remote_min: anchor,
+                },
+            );
+        }
+    }
+
+    /// Root-to-root handshake: prime the merge and answer the Hello once.
+    fn on_merge_hello(
+        &mut self,
+        io: &mut impl NetIo,
+        epoch: u64,
+        from: NodeId,
+        cid: u64,
+        cluster_min: NodeId,
+    ) {
+        if !io.is_neighbor(from) || cid == self.core.cid {
+            return;
+        }
+        let fresh = self.scratch.merge.is_none();
+        self.prime_merge(from, cid, cluster_min);
+        if fresh {
+            io.send(
+                from,
+                CbtMsg::MergeHello {
+                    epoch,
+                    cid: self.core.cid,
+                    cluster_min: self.core.cluster_min,
+                },
+            );
+        }
+    }
+
+    /// Set up this root's merge scratch for a level-0 meet with `partner`.
+    fn prime_merge(&mut self, partner: NodeId, partner_cid: u64, partner_min: NodeId) {
+        if self.scratch.merge.is_some() {
+            return;
+        }
+        let new_cid = mix_cids(self.core.cid, partner_cid);
+        let new_min = self.core.cluster_min.min(partner_min);
+        let mut m = Merge {
+            partner_cid,
+            new_cid,
+            new_min,
+            ..Merge::default()
+        };
+        m.pending.push((0, partner));
+        self.scratch.merge = Some(m);
+    }
+}
+
+/// Symmetric combination of two cluster ids into the merged cluster's id.
+pub fn mix_cids(a: u64, b: u64) -> u64 {
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E3779B97F4A7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        x ^ (x >> 31)
+    }
+    splitmix64(a) ^ splitmix64(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_cids_is_symmetric_and_fresh() {
+        assert_eq!(mix_cids(3, 9), mix_cids(9, 3));
+        assert_ne!(mix_cids(3, 9), 3);
+        assert_ne!(mix_cids(3, 9), 9);
+        assert_ne!(mix_cids(3, 9), mix_cids(3, 10));
+    }
+
+    #[test]
+    fn new_core_is_singleton() {
+        let c = CbtCore::new(7, 64, 42);
+        assert_eq!(c.core.range, (0, 64));
+        assert_eq!(c.core.cluster_min, 7);
+        assert!(c.is_root());
+    }
+}

@@ -1,0 +1,167 @@
+//! The epoch schedule: fixed per-epoch round offsets for each stage of the
+//! matching-and-merging machinery.
+//!
+//! The synchronous model gives all nodes a common round counter, so epochs of
+//! fixed length `E = Θ(log N)` are globally aligned without coordination:
+//! `epoch = round / E`, `offset = round % E`. Cluster-internal waves (poll,
+//! report, nominate), the edge walks, and the zipper merge each get a window
+//! whose length covers the host-tree depth `≤ H + 1` plus slack. This is the
+//! clock discipline behind the paper's "a cluster has a constant probability
+//! of being matched and merged with another cluster in O(log N) rounds".
+
+/// Per-epoch round offsets. All values are `Θ(H)` where `H = height(Cbt(N))`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Schedule {
+    h: u64,
+}
+
+impl Schedule {
+    /// Schedule for a guest capacity `n ≥ 1`.
+    pub fn new(n: u32) -> Self {
+        let h = (31 - n.max(1).leading_zeros()) as u64;
+        Self { h }
+    }
+
+    /// Tree height `H` the schedule was built for.
+    pub fn height(&self) -> u64 {
+        self.h
+    }
+
+    /// Epoch start: scratch reset; roots flip roles and send the poll.
+    pub fn t_poll(&self) -> u64 {
+        0
+    }
+
+    /// Deadline by which the poll has reached every member and beacons carry
+    /// roles (poll descent `H + 1` plus beacon refresh).
+    pub fn t_roles_known(&self) -> u64 {
+        self.h + 4
+    }
+
+    /// Feedback reports may start flowing upward.
+    pub fn t_report_start(&self) -> u64 {
+        self.h + 5
+    }
+
+    /// Deadline for reports to reach the root.
+    pub fn t_report_deadline(&self) -> u64 {
+        2 * self.h + 8
+    }
+
+    /// Root dispatches the nomination token (follower clusters).
+    pub fn t_nominate(&self) -> u64 {
+        2 * self.h + 9
+    }
+
+    /// Deadline for contact pulls to deliver contacts to leader roots.
+    pub fn t_match_deadline(&self) -> u64 {
+        4 * self.h + 15
+    }
+
+    /// Leader roots pair their contacts and send `MatchMade`.
+    pub fn t_match(&self) -> u64 {
+        4 * self.h + 16
+    }
+
+    /// First round of the zipper merge: root-level `ZipMeet` exchange.
+    pub fn t_zip(&self) -> u64 {
+        6 * self.h + 26
+    }
+
+    /// The meet round for tree level `level` (3 rounds per level: meet,
+    /// child-info, expect).
+    pub fn t_zip_level(&self, level: u32) -> u64 {
+        self.t_zip() + 3 * level as u64
+    }
+
+    /// Commit round: merge participants atomically adopt their new ranges
+    /// and cluster id.
+    pub fn t_commit(&self) -> u64 {
+        self.t_zip_level(self.h as u32) + 4
+    }
+
+    /// Prune round: post-commit removal of intra-cluster edges not required
+    /// by the embedding.
+    pub fn t_prune(&self) -> u64 {
+        self.t_commit() + 3
+    }
+
+    /// Epoch length `E`.
+    pub fn epoch_len(&self) -> u64 {
+        self.t_prune() + 3
+    }
+
+    /// `(epoch, offset)` of an absolute round.
+    pub fn locate(&self, round: u64) -> (u64, u64) {
+        let e = self.epoch_len();
+        (round / e, round % e)
+    }
+
+    /// The zip level whose meet happens at this offset, if any.
+    pub fn zip_level_at(&self, offset: u64) -> Option<u32> {
+        if offset < self.t_zip() {
+            return None;
+        }
+        let d = offset - self.t_zip();
+        if d % 3 == 0 && d / 3 <= self.h {
+            Some((d / 3) as u32)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_ordered() {
+        for n in [4u32, 16, 1024, 1 << 20] {
+            let s = Schedule::new(n);
+            let seq = [
+                s.t_poll(),
+                s.t_roles_known(),
+                s.t_report_start(),
+                s.t_report_deadline(),
+                s.t_nominate(),
+                s.t_match_deadline(),
+                s.t_match(),
+                s.t_zip(),
+                s.t_commit(),
+                s.t_prune(),
+                s.epoch_len(),
+            ];
+            assert!(seq.windows(2).all(|w| w[0] < w[1]), "n={n}: {seq:?}");
+        }
+    }
+
+    #[test]
+    fn epoch_is_logarithmic() {
+        let s = Schedule::new(1024);
+        assert!(s.epoch_len() < 200, "E = {}", s.epoch_len());
+        let s = Schedule::new(1 << 20);
+        assert!(s.epoch_len() < 350);
+    }
+
+    #[test]
+    fn locate_splits_rounds() {
+        let s = Schedule::new(64);
+        let e = s.epoch_len();
+        assert_eq!(s.locate(0), (0, 0));
+        assert_eq!(s.locate(e - 1), (0, e - 1));
+        assert_eq!(s.locate(e), (1, 0));
+        assert_eq!(s.locate(3 * e + 7), (3, 7));
+    }
+
+    #[test]
+    fn zip_levels_every_three_rounds() {
+        let s = Schedule::new(64); // H = 6
+        assert_eq!(s.zip_level_at(s.t_zip()), Some(0));
+        assert_eq!(s.zip_level_at(s.t_zip() + 1), None);
+        assert_eq!(s.zip_level_at(s.t_zip() + 3), Some(1));
+        assert_eq!(s.zip_level_at(s.t_zip() + 18), Some(6));
+        assert_eq!(s.zip_level_at(s.t_zip() + 21), None, "past height");
+        assert_eq!(s.zip_level_at(0), None);
+    }
+}

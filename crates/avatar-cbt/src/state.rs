@@ -1,0 +1,147 @@
+//! Host-local cluster state.
+
+use crate::msg::Beacon;
+use ssim::NodeId;
+use std::collections::HashMap;
+
+/// The per-epoch cluster role of the matching phase (Section 3.2): leaders
+/// match their adjacent followers for merging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Finds followers among neighboring clusters and pairs them.
+    Leader,
+    /// Seeks a leader-cluster neighbor that can assign a merge partner.
+    Follower,
+}
+
+/// The durable cluster membership state of a host: everything that survives
+/// across epochs. A *cluster* is a set of hosts that together form a legal
+/// `Avatar(Cbt(N))` network over the full guest space `[0, N)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterCore {
+    /// Cluster identifier: a random nonce shared by all members. Random
+    /// (rather than derived from host ids) so that adversarially planted
+    /// duplicate identifiers are broken by the first reset — this is one
+    /// source of the "in expectation" in the paper's theorems.
+    pub cid: u64,
+    /// This host's responsible range `[lo, hi)`.
+    pub range: (u32, u32),
+    /// The minimum host identifier in the cluster.
+    pub cluster_min: NodeId,
+}
+
+impl ClusterCore {
+    /// A freshly reset singleton cluster: this host alone hosts the entire
+    /// guest space.
+    pub fn singleton(id: NodeId, n: u32, nonce: u64) -> Self {
+        Self {
+            cid: nonce,
+            range: (0, n),
+            cluster_min: id,
+        }
+    }
+
+    /// True iff the guest `g` is in this host's responsible range.
+    pub fn covers(&self, g: u32) -> bool {
+        self.range.0 <= g && g < self.range.1
+    }
+}
+
+/// The most recent beacon received from each neighbor, with receipt round.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborView {
+    beacons: HashMap<NodeId, (u64, Beacon)>,
+}
+
+/// Beacons older than this many rounds are considered stale.
+pub const BEACON_TTL: u64 = 3;
+
+impl NeighborView {
+    /// Record a beacon received from `from` at `round`.
+    pub fn record(&mut self, from: NodeId, round: u64, b: Beacon) {
+        self.beacons.insert(from, (round, b));
+    }
+
+    /// The fresh beacon of `v`, if any.
+    pub fn get(&self, now: u64, v: NodeId) -> Option<&Beacon> {
+        self.beacons
+            .get(&v)
+            .filter(|(r, _)| now.saturating_sub(*r) < BEACON_TTL)
+            .map(|(_, b)| b)
+    }
+
+    /// The most recent beacon of `v` regardless of age. Safe only when the
+    /// caller knows the sender's state is frozen (e.g. during the CHORD
+    /// phase, where cluster state cannot change without a phase reversion).
+    pub fn latest(&self, v: NodeId) -> Option<&Beacon> {
+        self.beacons.get(&v).map(|(_, b)| b)
+    }
+
+    /// Iterate fresh `(neighbor, beacon)` pairs restricted to the current
+    /// neighbor set.
+    pub fn fresh<'a>(
+        &'a self,
+        now: u64,
+        neighbors: &'a [NodeId],
+    ) -> impl Iterator<Item = (NodeId, &'a Beacon)> + 'a {
+        neighbors.iter().filter_map(move |&v| self.get(now, v).map(|b| (v, b)))
+    }
+
+    /// Drop beacons of nodes no longer adjacent (housekeeping).
+    pub fn retain_neighbors(&mut self, neighbors: &[NodeId]) {
+        self.beacons.retain(|v, _| neighbors.binary_search(v).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beacon(cid: u64) -> Beacon {
+        Beacon {
+            cid,
+            range: (0, 8),
+            cluster_min: 1,
+            role: None,
+            epoch: 0,
+        }
+    }
+
+    #[test]
+    fn singleton_covers_everything() {
+        let c = ClusterCore::singleton(5, 32, 99);
+        assert!(c.covers(0));
+        assert!(c.covers(31));
+        assert!(!c.covers(32));
+        assert_eq!(c.cluster_min, 5);
+    }
+
+    #[test]
+    fn view_staleness() {
+        let mut v = NeighborView::default();
+        v.record(3, 10, beacon(1));
+        assert!(v.get(10, 3).is_some());
+        assert!(v.get(12, 3).is_some());
+        assert!(v.get(13, 3).is_none(), "stale after TTL");
+        assert!(v.get(10, 4).is_none(), "unknown neighbor");
+    }
+
+    #[test]
+    fn fresh_filters_by_neighbor_set() {
+        let mut v = NeighborView::default();
+        v.record(3, 10, beacon(1));
+        v.record(5, 10, beacon(2));
+        let fresh: Vec<NodeId> = v.fresh(11, &[3]).map(|(v, _)| v).collect();
+        assert_eq!(fresh, vec![3]);
+    }
+
+    #[test]
+    fn retain_drops_departed() {
+        let mut v = NeighborView::default();
+        v.record(3, 10, beacon(1));
+        v.record(5, 10, beacon(2));
+        v.retain_neighbors(&[5]);
+        assert!(v.get(10, 3).is_none());
+        assert!(v.get(10, 5).is_some());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests on the scaffold protocol's pure components.
+
+use avatar_cbt::hosttree::{ranges_adjacent, ranges_consecutive, required_edge};
+use avatar_cbt::merge::won_by;
+use avatar_cbt::Schedule;
+use overlay::{Avatar, Cbt};
+use proptest::prelude::*;
+
+proptest! {
+    /// Schedule offsets stay strictly ordered and fit in one epoch for any N.
+    #[test]
+    fn schedule_offsets_ordered(n_exp in 2u32..22) {
+        let n = 1u32 << n_exp;
+        let s = Schedule::new(n);
+        let seq = [
+            s.t_poll(),
+            s.t_roles_known(),
+            s.t_report_start(),
+            s.t_report_deadline(),
+            s.t_nominate(),
+            s.t_match_deadline(),
+            s.t_match(),
+            s.t_zip(),
+            s.t_commit(),
+            s.t_prune(),
+        ];
+        prop_assert!(seq.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(*seq.last().unwrap() < s.epoch_len());
+        // Zip levels for every tree level land strictly before the commit.
+        for level in 0..=s.height() as u32 {
+            prop_assert!(s.t_zip_level(level) < s.t_commit());
+            prop_assert_eq!(s.zip_level_at(s.t_zip_level(level)), Some(level));
+        }
+        // Epoch is Θ(log N).
+        prop_assert!(s.epoch_len() <= 16 * (n_exp as u64 + 4));
+    }
+
+    /// The pairwise ownership rule is a partition: exactly one side wins
+    /// each guest of the intersection.
+    #[test]
+    fn winner_rule_is_exclusive(
+        a in 0u32..256,
+        b in 0u32..256,
+        lo in 0u32..256,
+        len in 0u32..64,
+    ) {
+        prop_assume!(a != b);
+        let inter = (lo, lo + len);
+        let wa = won_by(a, b, inter);
+        let wb = won_by(b, a, inter);
+        for g in lo..lo + len {
+            let in_a = wa.iter().any(|&(x, y)| x <= g && g < y);
+            let in_b = wb.iter().any(|&(x, y)| x <= g && g < y);
+            prop_assert!(in_a ^ in_b, "guest {} a={} b={}", g, a, b);
+        }
+    }
+
+    /// `required_edge` is symmetric and implied by either sub-relation.
+    #[test]
+    fn required_edge_symmetric(
+        (n, a0, a1, b0, b1) in (8u32..256).prop_flat_map(|n| {
+            (Just(n), 0..n, 1..=n, 0..n, 1..=n)
+        }),
+    ) {
+        prop_assume!(a0 < a1 && b0 < b1);
+        let cbt = Cbt::new(n);
+        let ra = (a0, a1);
+        let rb = (b0, b1);
+        prop_assert_eq!(required_edge(&cbt, ra, rb), required_edge(&cbt, rb, ra));
+        prop_assert_eq!(ranges_adjacent(&cbt, ra, rb), ranges_adjacent(&cbt, rb, ra));
+        if ranges_consecutive(ra, rb) || ranges_adjacent(&cbt, ra, rb) {
+            prop_assert!(required_edge(&cbt, ra, rb));
+        }
+    }
+
+    /// For a legal host set, every host's required neighbors per
+    /// `required_edge` equal the projected scaffold edges plus the successor
+    /// line — i.e. the protocol's local notion matches the global legal
+    /// topology used by the tests.
+    #[test]
+    fn required_edges_match_legal_topology(
+        n_exp in 3u32..9,
+        picks in proptest::collection::btree_set(0u32..256, 2..16),
+    ) {
+        let n = 1u32 << n_exp;
+        let hosts: Vec<u32> = picks.into_iter().filter(|&v| v < n).collect();
+        prop_assume!(hosts.len() >= 2);
+        let av = Avatar::new(n, hosts.iter().copied());
+        let cbt = Cbt::new(n);
+        let legal: std::collections::HashSet<(u32, u32)> =
+            avatar_cbt::legal::expected_edges(n, &hosts).into_iter().collect();
+        for (i, &u) in hosts.iter().enumerate() {
+            for &v in &hosts[i + 1..] {
+                let ru = av.range_of(u);
+                let rv = av.range_of(v);
+                let req = required_edge(&cbt, (ru.lo, ru.hi), (rv.lo, rv.hi));
+                prop_assert_eq!(
+                    req,
+                    legal.contains(&(u, v)),
+                    "hosts {} {} ranges {:?} {:?}",
+                    u,
+                    v,
+                    ru,
+                    rv
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! End-to-end stabilization tests for the Avatar(CBT) algorithm.
+
+use avatar_cbt::legal::{runtime, runtime_is_legal, stabilize};
+use ssim::Config;
+
+/// Generous round budget: c · E · log n epochs' worth.
+fn budget(n: u32, hosts: usize) -> u64 {
+    let e = avatar_cbt::Schedule::new(n).epoch_len();
+    let logn = (usize::BITS - hosts.leading_zeros()) as u64;
+    e * (6 * logn + 12)
+}
+
+#[test]
+fn two_singletons_merge() {
+    let n = 16u32;
+    let ids = [3u32, 9];
+    let mut rt = runtime(n, &ids, vec![(3, 9)], Config::seeded(1));
+    let rounds = stabilize(&mut rt, budget(n, 2));
+    assert!(rounds.is_some(), "two hosts failed to merge");
+    assert!(runtime_is_legal(&rt));
+}
+
+#[test]
+fn three_hosts_line() {
+    let n = 16u32;
+    let ids = [2u32, 7, 12];
+    let mut rt = runtime(n, &ids, vec![(2, 7), (7, 12)], Config::seeded(2));
+    let rounds = stabilize(&mut rt, budget(n, 3));
+    assert!(rounds.is_some(), "three hosts failed to stabilize");
+}
+
+#[test]
+fn eight_hosts_ring() {
+    let n = 64u32;
+    let ids: Vec<u32> = vec![1, 9, 17, 25, 33, 41, 49, 57];
+    let edges = ssim::init::ring(&ids);
+    let mut rt = runtime(n, &ids, edges, Config::seeded(3));
+    let rounds = stabilize(&mut rt, budget(n, 8));
+    assert!(rounds.is_some(), "eight hosts failed to stabilize");
+    assert!(runtime_is_legal(&rt));
+}
+
+#[test]
+fn thirty_two_hosts_from_all_shapes() {
+    use avatar_cbt::legal::runtime_from_shape;
+    use ssim::init::Shape;
+    let n = 256u32;
+    for (i, shape) in Shape::ALL.into_iter().enumerate() {
+        let mut rt = runtime_from_shape(n, 32, shape, Config::seeded(100 + i as u64));
+        let rounds = stabilize(&mut rt, budget(n, 32));
+        assert!(
+            rounds.is_some(),
+            "shape {} failed to stabilize",
+            shape.label()
+        );
+    }
+}
+
+#[test]
+fn restabilizes_after_edge_faults() {
+    use ssim::fault::{inject, Fault};
+    let n = 64u32;
+    let ids: Vec<u32> = vec![1, 9, 17, 25, 33, 41, 49, 57];
+    let edges = ssim::init::ring(&ids);
+    let mut rt = runtime(n, &ids, edges, Config::seeded(7));
+    stabilize(&mut rt, budget(n, 8)).expect("initial stabilization");
+
+    // Transient fault: rewire a few edges, keeping connectivity.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+    inject(&mut rt, &Fault::Rewire { count: 3 }, &mut rng);
+    assert!(!runtime_is_legal(&rt), "fault should break legality");
+
+    let rounds = stabilize(&mut rt, budget(n, 8));
+    assert!(rounds.is_some(), "failed to re-stabilize after faults");
+}
+
+#[test]
+fn restabilizes_after_state_corruption() {
+    let n = 64u32;
+    let ids: Vec<u32> = vec![1, 9, 17, 25, 33, 41, 49, 57];
+    let edges = ssim::init::ring(&ids);
+    let mut rt = runtime(n, &ids, edges, Config::seeded(8));
+    stabilize(&mut rt, budget(n, 8)).expect("initial stabilization");
+
+    // Corrupt three hosts' cluster state arbitrarily.
+    for (v, cid, range) in [(9u32, 77u64, (0u32, 64u32)), (25, 78, (3, 9)), (41, 77, (40, 64))] {
+        rt.corrupt_node(v, |p| {
+            p.core.core.cid = cid;
+            p.core.core.range = range;
+            p.core.core.cluster_min = 0;
+        });
+    }
+    let rounds = stabilize(&mut rt, budget(n, 8));
+    assert!(rounds.is_some(), "failed to re-stabilize after corruption");
+    assert!(runtime_is_legal(&rt));
+}
+
+#[test]
+fn single_host_is_immediately_legal() {
+    let mut rt = runtime(16, &[5], vec![], Config::seeded(9));
+    let rounds = stabilize(&mut rt, 10);
+    assert_eq!(rounds, Some(0), "a singleton is the legal Avatar(CBT)");
+}
+
+#[test]
+fn stays_legal_once_stabilized() {
+    let n = 64u32;
+    let ids: Vec<u32> = vec![1, 9, 17, 25, 33, 41, 49, 57];
+    let edges = ssim::init::ring(&ids);
+    let mut rt = runtime(n, &ids, edges, Config::seeded(10));
+    stabilize(&mut rt, budget(n, 8)).expect("stabilization");
+    for _ in 0..2 * avatar_cbt::Schedule::new(n).epoch_len() {
+        rt.step();
+        assert!(runtime_is_legal(&rt), "legality must be closed under steps");
+    }
+}

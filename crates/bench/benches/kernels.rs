@@ -1,0 +1,105 @@
+//! Criterion microbenches for the computational kernels: the per-round local
+//! operations whose costs bound the simulator's scalability and the
+//! protocol's "polylogarithmic work" claims.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use overlay::{Avatar, Cbt, Chord};
+
+fn bench_chord_edges(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chord_edge_set");
+    for n in [256u32, 1024, 4096] {
+        g.bench_function(format!("N={n}"), |b| {
+            let ch = Chord::classic(n);
+            b.iter(|| black_box(ch.edges().len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cbt_locate(c: &mut Criterion) {
+    let t = Cbt::new(1 << 20);
+    c.bench_function("cbt_locate_1M", |b| {
+        let mut g = 0u32;
+        b.iter(|| {
+            g = (g.wrapping_mul(48271)) % (1 << 20);
+            black_box(t.locate(g))
+        })
+    });
+}
+
+fn bench_cbt_decompose(c: &mut Criterion) {
+    let t = Cbt::new(1 << 20);
+    c.bench_function("cbt_decompose_range", |b| {
+        b.iter(|| black_box(t.decompose(123_456, 987_654).len()))
+    });
+}
+
+fn bench_avatar_projection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("avatar_project_cbt");
+    for n in [1024u32, 4096] {
+        let hosts: Vec<u32> = (0..n / 8).map(|i| i * 8 + 1).collect();
+        let av = Avatar::new(n, hosts);
+        let t = Cbt::new(n);
+        g.bench_function(format!("N={n}"), |b| {
+            b.iter(|| black_box(av.project_edges(t.edges()).len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_detector(c: &mut Criterion) {
+    use avatar_cbt::state::{ClusterCore, NeighborView};
+    let n = 1 << 16;
+    let cbt = Cbt::new(n);
+    let core = ClusterCore {
+        cid: 7,
+        range: (1000, 5000),
+        cluster_min: 3,
+    };
+    let mut view = NeighborView::default();
+    // Populate with covering neighbors so the check walks its full path.
+    for (g, _) in cbt.crossing_edges(1000, 5000) {
+        let _ = g;
+    }
+    view.record(
+        5000,
+        10,
+        avatar_cbt::Beacon {
+            cid: 7,
+            range: (5000, 9000),
+            cluster_min: 3,
+            role: None,
+            epoch: 0,
+        },
+    );
+    let neighbors = [5000u32];
+    c.bench_function("detector_check_64k", |b| {
+        b.iter(|| {
+            black_box(avatar_cbt::detector::check(
+                1000, n, &cbt, &core, &view, 10, &neighbors, true,
+            ))
+        })
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let ch = Chord::classic(1 << 16);
+    c.bench_function("greedy_route_64k", |b| {
+        let mut s = 1u32;
+        b.iter(|| {
+            s = s.wrapping_mul(48271) % (1 << 16);
+            black_box(overlay::routing::ideal_route(&ch, s, (s ^ 0x5555) % (1 << 16)))
+        })
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_chord_edges,
+    bench_cbt_locate,
+    bench_cbt_decompose,
+    bench_avatar_projection,
+    bench_detector,
+    bench_routing
+);
+criterion_main!(kernels);

@@ -1,0 +1,25 @@
+//! Criterion benches for lookup routing on the target network at different
+//! scales (the E9 shape as wall-clock).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use overlay::routing::ideal_route;
+use overlay::Chord;
+
+fn bench_route_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("route_by_n");
+    for exp in [8u32, 12, 16, 20] {
+        let n = 1u32 << exp;
+        let ch = Chord::classic(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut s = 1u32;
+            b.iter(|| {
+                s = s.wrapping_mul(48271) % n;
+                black_box(ideal_route(&ch, s, (s ^ 0xABCD) % n))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(routing, bench_route_scaling);
+criterion_main!(routing);

@@ -1,0 +1,39 @@
+//! Criterion benches for full stabilization runs (small sizes — the large
+//! sweeps live in the `exp_*` binaries where per-size tables are printed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scaffold_bench::{measure_cbt, measure_chord};
+use ssim::init::Shape;
+
+fn bench_cbt_stabilize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cbt_stabilize");
+    g.sample_size(10);
+    for n in [64u32, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                measure_cbt(n, (n / 8) as usize, Shape::Random, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_chord_stabilize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chord_stabilize");
+    g.sample_size(10);
+    for n in [64u32, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 100u64;
+            b.iter(|| {
+                seed += 1;
+                measure_chord(n, (n / 8) as usize, Shape::Random, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(stabilization, bench_cbt_stabilize, bench_chord_stabilize);
+criterion_main!(stabilization);

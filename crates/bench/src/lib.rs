@@ -1,0 +1,228 @@
+//! # scaffold-bench — the experiment harness
+//!
+//! Regenerates every table/figure-equivalent of the paper (see DESIGN.md §4
+//! and EXPERIMENTS.md). The paper is a theory paper — its "results" are
+//! theorems with asymptotic bounds — so each experiment measures the bound's
+//! empirical shape: convergence rounds and degree expansion against
+//! `log² N`, the phase-reset and false-Chord lemmas, and the related-work
+//! comparisons against TCF and the linear scaffold.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use chord_scaffold::{ChordTarget, ScaffoldProgram};
+use serde::Serialize;
+use ssim::{init::Shape, Config, NodeId, Runtime};
+
+/// Outcome of one stabilization run.
+#[derive(Debug, Clone, Serialize)]
+pub struct Outcome {
+    /// Guest capacity `N`.
+    pub n_guests: u32,
+    /// Number of hosts `n`.
+    pub hosts: usize,
+    /// Rounds to the legal configuration (None = budget exhausted).
+    pub rounds: Option<u64>,
+    /// Maximum degree observed during convergence.
+    pub peak_degree: usize,
+    /// Maximum degree of the final configuration.
+    pub final_degree: usize,
+    /// Degree expansion (Section 2.2).
+    pub expansion: f64,
+    /// Total messages sent.
+    pub messages: u64,
+}
+
+/// Round budget for a stabilization run: generous multiple of E·log n.
+pub fn budget(n_guests: u32, hosts: usize) -> u64 {
+    let e = avatar_cbt::Schedule::new(n_guests).epoch_len();
+    let logn = (usize::BITS - hosts.leading_zeros()) as u64;
+    e * (8 * logn + 16)
+}
+
+/// `log2(N)²` — the paper's bound shape, for normalized columns.
+pub fn log2_sq(n: u32) -> f64 {
+    let l = (n as f64).log2();
+    l * l
+}
+
+/// Run the full Avatar(Chord) stabilization from a shaped initial topology.
+pub fn measure_chord(n_guests: u32, hosts: usize, shape: Shape, seed: u64) -> Outcome {
+    let target = ChordTarget::classic(n_guests);
+    let mut cfg = Config::seeded(seed);
+    cfg.record_rounds = false;
+    let mut rt = chord_scaffold::runtime_from_shape(target, hosts, shape, cfg);
+    let rounds = chord_scaffold::stabilize(&mut rt, budget(n_guests, hosts));
+    outcome_of(n_guests, hosts, rounds, &rt)
+}
+
+/// Run only the Avatar(CBT) scaffold stabilization.
+pub fn measure_cbt(n_guests: u32, hosts: usize, shape: Shape, seed: u64) -> Outcome {
+    let mut cfg = Config::seeded(seed);
+    cfg.record_rounds = false;
+    let mut rt = avatar_cbt::runtime_from_shape(n_guests, hosts, shape, cfg);
+    let rounds = avatar_cbt::stabilize(&mut rt, budget(n_guests, hosts));
+    let final_degree = rt.topology().max_degree();
+    Outcome {
+        n_guests,
+        hosts,
+        rounds,
+        peak_degree: rt.metrics().peak_degree,
+        final_degree,
+        expansion: rt.metrics().degree_expansion(final_degree),
+        messages: rt.metrics().total_messages,
+    }
+}
+
+fn outcome_of(
+    n_guests: u32,
+    hosts: usize,
+    rounds: Option<u64>,
+    rt: &Runtime<ScaffoldProgram<ChordTarget>>,
+) -> Outcome {
+    let final_degree = rt.topology().max_degree();
+    Outcome {
+        n_guests,
+        hosts,
+        rounds,
+        peak_degree: rt.metrics().peak_degree,
+        final_degree,
+        expansion: rt.metrics().degree_expansion(final_degree),
+        messages: rt.metrics().total_messages,
+    }
+}
+
+/// Build a runtime already in the legal Avatar(CBT) configuration with every
+/// host's cluster state installed (the starting point of Lemma 3 /
+/// experiment E5).
+pub fn legal_cbt_runtime(
+    n_guests: u32,
+    hosts: usize,
+    seed: u64,
+) -> Runtime<ScaffoldProgram<ChordTarget>> {
+    use rand::SeedableRng;
+    let target = ChordTarget::classic(n_guests);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
+    let ids = ssim::init::random_ids(hosts, n_guests, &mut rng);
+    let edges = avatar_cbt::legal::expected_edges(n_guests, &ids);
+    let mut cfg = Config::seeded(seed);
+    cfg.record_rounds = false;
+    let mut rt = chord_scaffold::runtime(target, &ids, edges, cfg);
+    install_legal_cbt_state(&mut rt, n_guests, &ids);
+    rt
+}
+
+/// Overwrite host states with the legal single-cluster Avatar(CBT) state.
+pub fn install_legal_cbt_state(
+    rt: &mut Runtime<ScaffoldProgram<ChordTarget>>,
+    n_guests: u32,
+    ids: &[NodeId],
+) {
+    let av = overlay::Avatar::new(n_guests, ids.iter().copied());
+    let min = *ids.iter().min().unwrap();
+    for &v in ids {
+        let r = av.range_of(v);
+        rt.corrupt_node(v, |p| {
+            p.core.cbt.core.cid = 0xFEED_F00D;
+            p.core.cbt.core.range = (r.lo, r.hi);
+            p.core.cbt.core.cluster_min = min;
+        });
+    }
+}
+
+/// Mean and sample standard deviation.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len().max(1) as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = if xs.len() > 1 {
+        xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+    } else {
+        0.0
+    };
+    (mean, var.sqrt())
+}
+
+/// Fixed-width table printer for experiment binaries.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Render to stdout.
+    pub fn print(&self, title: &str) {
+        println!("\n== {title} ==");
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let parts: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            println!("  {}", parts.join("  "));
+        };
+        line(&self.headers);
+        println!(
+            "  {}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 6.0]);
+        assert!((m - 4.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_chord_measurement_succeeds() {
+        let o = measure_chord(32, 4, Shape::Line, 1);
+        assert!(o.rounds.is_some());
+        assert!(o.expansion >= 1.0);
+    }
+
+    #[test]
+    fn legal_cbt_runtime_is_cbt_legal() {
+        let rt = legal_cbt_runtime(64, 8, 2);
+        let ids: Vec<_> = rt.ids().to_vec();
+        let expect = avatar_cbt::legal::expected_edges(64, &ids);
+        assert_eq!(rt.topology().edges(), expect);
+    }
+}

@@ -1,0 +1,123 @@
+//! Global legality for `Avatar(Chord)` (and generic targets), plus runtime
+//! builders and the stabilization driver used by tests and experiments.
+
+use crate::msg::Phase;
+use crate::program::ScaffoldProgram;
+use crate::target::{ChordTarget, InductiveTarget};
+use overlay::Avatar;
+use ssim::{init::Shape, Config, NodeId, Runtime, Topology};
+
+/// The exact host edge set of the legal `Avatar(target)`: the scaffold edges
+/// (tree projection + successor line — "we maintain the scaffold edges after
+/// the target network is built", Section 6) plus the projected target edges.
+pub fn expected_edges<T: InductiveTarget>(target: &T, ids: &[NodeId]) -> Vec<(NodeId, NodeId)> {
+    let n = target.n();
+    let av = Avatar::new(n, ids.iter().copied());
+    let mut edges = avatar_cbt::legal::expected_edges(n, ids);
+    edges.extend(av.project_edges(target.target_edges()));
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+/// True iff the topology and host states form the legal, silent
+/// `Avatar(target)` network: every host in phase DONE with the final wave
+/// completed, and the topology exactly the expected edge set.
+pub fn is_legal<'a, T: InductiveTarget>(
+    target: &T,
+    topo: &Topology,
+    hosts: impl Iterator<Item = &'a ScaffoldProgram<T>>,
+) -> bool {
+    let hosts: Vec<&ScaffoldProgram<T>> = hosts.collect();
+    if hosts.is_empty() {
+        return false;
+    }
+    let ids: Vec<NodeId> = hosts.iter().map(|p| p.core.id()).collect();
+    let av = Avatar::new(target.n(), ids.iter().copied());
+    for p in &hosts {
+        if p.core.phase != Phase::Done {
+            return false;
+        }
+        if p.core.last_wave + 1 != target.waves() as i64 {
+            return false;
+        }
+        let r = av.range_of(p.core.id());
+        if p.core.cbt.core.range != (r.lo, r.hi) {
+            return false;
+        }
+    }
+    topo.edges() == expected_edges(target, &ids)
+}
+
+/// Runtime-level legality for the default Chord target.
+pub fn runtime_is_legal(rt: &Runtime<ScaffoldProgram<ChordTarget>>) -> bool {
+    let target = *rt.program(rt.ids()[0]).core.target.chord();
+    let t = ChordTarget::classic(target.n());
+    let t = if target.finger_count() == t.chord().finger_count() {
+        t
+    } else {
+        ChordTarget::paper(target.n())
+    };
+    is_legal(&t, rt.topology(), rt.programs().map(|(_, p)| p))
+}
+
+/// Build a scaffolding runtime over the given hosts and initial edges.
+pub fn runtime(
+    target: ChordTarget,
+    ids: &[NodeId],
+    edges: Vec<(NodeId, NodeId)>,
+    cfg: Config,
+) -> Runtime<ScaffoldProgram<ChordTarget>> {
+    let nodes = ids.iter().map(|&v| {
+        let nonce = cfg.seed ^ (v as u64 + 7).wrapping_mul(0x9E3779B97F4A7C15);
+        (v, ScaffoldProgram::new(v, target, nonce))
+    });
+    Runtime::new(cfg, nodes, edges)
+}
+
+/// Build a scaffolding runtime from a named initial shape with `count`
+/// random hosts.
+pub fn runtime_from_shape(
+    target: ChordTarget,
+    count: usize,
+    shape: Shape,
+    cfg: Config,
+) -> Runtime<ScaffoldProgram<ChordTarget>> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(cfg.seed ^ 0xA5A5_5A5A);
+    let ids = ssim::init::random_ids(count, target.n(), &mut rng);
+    let edges = shape.edges(&ids, &mut rng);
+    runtime(target, &ids, edges, cfg)
+}
+
+/// Run to legality; returns rounds taken or `None` on timeout.
+pub fn stabilize(
+    rt: &mut Runtime<ScaffoldProgram<ChordTarget>>,
+    max_rounds: u64,
+) -> Option<u64> {
+    rt.run_until(runtime_is_legal, max_rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_edges_superset_of_scaffold() {
+        let t = ChordTarget::classic(64);
+        let ids = [3u32, 17, 30, 41, 55];
+        let scaffold = avatar_cbt::legal::expected_edges(64, &ids);
+        let full = expected_edges(&t, &ids);
+        for e in &scaffold {
+            assert!(full.contains(e), "missing scaffold edge {e:?}");
+        }
+        assert!(full.len() > scaffold.len(), "fingers add edges");
+    }
+
+    #[test]
+    fn fresh_runtime_is_not_legal() {
+        let t = ChordTarget::classic(16);
+        let rt = runtime(t, &[3, 9], vec![(3, 9)], Config::seeded(5));
+        assert!(!runtime_is_legal(&rt));
+    }
+}

@@ -1,0 +1,66 @@
+//! [`ssim::Program`] wrapper for the combined scaffolding protocol.
+
+use crate::msg::ScafMsg;
+use crate::protocol::{ScafIo, ScaffoldCore};
+use crate::target::{ChordTarget, InductiveTarget};
+use rand::rngs::SmallRng;
+use ssim::{Ctx, NodeId, Program};
+
+/// A host running the self-stabilizing Avatar(target) protocol. The default
+/// target is [`ChordTarget`], the paper's Avatar(Chord).
+#[derive(Debug, Clone)]
+pub struct ScaffoldProgram<T: InductiveTarget = ChordTarget> {
+    /// The protocol state.
+    pub core: ScaffoldCore<T>,
+}
+
+impl<T: InductiveTarget> ScaffoldProgram<T> {
+    /// A host starting in the CBT phase as a singleton cluster.
+    pub fn new(id: NodeId, target: T, nonce: u64) -> Self {
+        Self {
+            core: ScaffoldCore::new(id, target, nonce),
+        }
+    }
+}
+
+struct CtxIo<'a, 'b> {
+    ctx: &'a mut Ctx<'b, ScafMsg>,
+}
+
+impl ScafIo for CtxIo<'_, '_> {
+    fn id(&self) -> NodeId {
+        self.ctx.id
+    }
+    fn round(&self) -> u64 {
+        self.ctx.round
+    }
+    fn neighbors(&self) -> &[NodeId] {
+        self.ctx.neighbors()
+    }
+    fn rng(&mut self) -> &mut SmallRng {
+        self.ctx.rng()
+    }
+    fn send(&mut self, to: NodeId, msg: ScafMsg) {
+        self.ctx.send(to, msg);
+    }
+    fn link(&mut self, a: NodeId, b: NodeId) {
+        self.ctx.link(a, b);
+    }
+    fn unlink(&mut self, v: NodeId) {
+        self.ctx.unlink(v);
+    }
+}
+
+impl<T: InductiveTarget> Program for ScaffoldProgram<T> {
+    type Msg = ScafMsg;
+
+    fn step(&mut self, ctx: &mut Ctx<'_, ScafMsg>) {
+        let inbox: Vec<(NodeId, ScafMsg)> = ctx.inbox().to_vec();
+        let mut io = CtxIo { ctx };
+        self.core.step(&mut io, &inbox);
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.core.phase == crate::msg::Phase::Done
+    }
+}

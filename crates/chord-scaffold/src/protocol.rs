@@ -1,0 +1,726 @@
+//! The combined self-stabilizing protocol: Avatar(CBT) scaffold construction
+//! plus Algorithm 1's PIF finger waves, glued by the phase machinery of
+//! Section 4.4.
+//!
+//! Each host runs exactly one of three modes per round:
+//! * `phase = CBT` — the embedded [`avatar_cbt::CbtCore`] executes. When a
+//!   cluster root's feedback wave reports the whole network clean, it
+//!   initiates the CBT→CHORD switch wave.
+//! * `phase = CHORD` — Algorithm 1 executes: `PIF(MakeFinger(k))` waves add
+//!   finger `k` for every guest; the `scaffolded` predicate (Definition 3)
+//!   is evaluated every round and any violation reverts the host to CBT.
+//! * `phase = DONE` — the host is silent. It only watches its neighbor list;
+//!   any change (or any incoming message) drops it back to CBT.
+
+use crate::msg::{Phase, PhaseInfo, ScafMsg};
+use crate::target::InductiveTarget;
+use avatar_cbt::hosttree::{self, required_edge};
+use avatar_cbt::{CbtCore, CbtMsg, NetIo};
+use rand::rngs::SmallRng;
+use ssim::NodeId;
+use std::collections::HashMap;
+
+/// I/O surface for the scaffolding protocol (mirrors [`avatar_cbt::NetIo`]
+/// at the wrapped message type).
+pub trait ScafIo {
+    /// This node's identifier.
+    fn id(&self) -> NodeId;
+    /// Current round.
+    fn round(&self) -> u64;
+    /// Sorted round-start neighbors.
+    fn neighbors(&self) -> &[NodeId];
+    /// True iff `v` is a round-start neighbor.
+    fn is_neighbor(&self, v: NodeId) -> bool {
+        self.neighbors().binary_search(&v).is_ok()
+    }
+    /// The node's deterministic PRNG.
+    fn rng(&mut self) -> &mut SmallRng;
+    /// Send a protocol message.
+    fn send(&mut self, to: NodeId, msg: ScafMsg);
+    /// Introduce `a` and `b`.
+    fn link(&mut self, a: NodeId, b: NodeId);
+    /// Delete the incident edge to `v`.
+    fn unlink(&mut self, v: NodeId);
+}
+
+/// Adapter presenting a [`ScafIo`] as the CBT protocol's [`NetIo`].
+struct CbtAdapter<'a, IO: ScafIo>(&'a mut IO);
+
+impl<IO: ScafIo> NetIo for CbtAdapter<'_, IO> {
+    fn id(&self) -> NodeId {
+        self.0.id()
+    }
+    fn round(&self) -> u64 {
+        self.0.round()
+    }
+    fn neighbors(&self) -> &[NodeId] {
+        self.0.neighbors()
+    }
+    fn rng(&mut self) -> &mut SmallRng {
+        self.0.rng()
+    }
+    fn send(&mut self, to: NodeId, msg: CbtMsg) {
+        self.0.send(to, ScafMsg::Cbt(msg));
+    }
+    fn link(&mut self, a: NodeId, b: NodeId) {
+        self.0.link(a, b);
+    }
+    fn unlink(&mut self, v: NodeId) {
+        self.0.unlink(v);
+    }
+}
+
+/// An in-flight PIF wave on this host.
+#[derive(Debug, Clone)]
+struct ActiveWave {
+    k: u32,
+    pending: Vec<NodeId>,
+    ring0: Option<NodeId>,
+    ring_n: Option<NodeId>,
+}
+
+/// The host state of the combined protocol.
+#[derive(Debug, Clone)]
+pub struct ScaffoldCore<T: InductiveTarget> {
+    /// The target topology being built.
+    pub target: T,
+    /// The embedded scaffold protocol (cluster state, view, schedule).
+    pub cbt: CbtCore,
+    /// Current phase.
+    pub phase: Phase,
+    /// Highest wave whose feedback completed here (−1 = none).
+    pub last_wave: i64,
+    active: Option<ActiveWave>,
+    /// Phase info last heard from each neighbor: `(round, info)`.
+    pview: HashMap<NodeId, (u64, PhaseInfo)>,
+    /// First round each current neighbor was observed adjacent (edges
+    /// created mid-wave get a grace period before phase info is expected).
+    seen_since: HashMap<NodeId, u64>,
+    /// Round the host entered the CHORD phase.
+    switch_round: u64,
+    /// Root only: round at which to launch wave 0.
+    wave0_at: Option<u64>,
+    /// Round of the last wave progress (timeout tracking).
+    last_progress: u64,
+    /// DONE-wave machinery: children acks pending, armed flag, and the
+    /// parent snapshotted at arming time (views go stale once beacons
+    /// quiesce).
+    done_pending: Option<Vec<NodeId>>,
+    done_parent: Option<NodeId>,
+    armed: bool,
+    /// Neighbor list cached on entering DONE.
+    done_neighbors: Option<Vec<NodeId>>,
+    done_grace: u8,
+    /// Statistics: CHORD→CBT reversions and DONE completions.
+    pub reverts: u64,
+    /// Number of times this host reached DONE.
+    pub completions: u64,
+}
+
+/// Tolerance window for phase disagreement while a switch wave propagates,
+/// and the per-wave progress timeout, both `Θ(log N)`.
+fn switch_window(h: u64) -> u64 {
+    2 * h + 8
+}
+fn wave_timeout(h: u64) -> u64 {
+    6 * h + 24
+}
+
+impl<T: InductiveTarget> ScaffoldCore<T> {
+    /// A host starting in the CBT phase as a singleton cluster.
+    pub fn new(id: NodeId, target: T, nonce: u64) -> Self {
+        let n = target.n();
+        Self {
+            target,
+            cbt: CbtCore::new(id, n, nonce),
+            phase: Phase::Cbt,
+            last_wave: -1,
+            active: None,
+            pview: HashMap::new(),
+            switch_round: 0,
+            seen_since: HashMap::new(),
+            wave0_at: None,
+            last_progress: 0,
+            done_pending: None,
+            done_parent: None,
+            armed: false,
+            done_neighbors: None,
+            done_grace: 0,
+            reverts: 0,
+            completions: 0,
+        }
+    }
+
+    /// Host identifier.
+    pub fn id(&self) -> NodeId {
+        self.cbt.id
+    }
+
+    /// Execute one synchronous round.
+    pub fn step(&mut self, io: &mut impl ScafIo, inbox: &[(NodeId, ScafMsg)]) {
+        let round = io.round();
+        // Phase info and CBT beacons are ingested in every phase so views
+        // stay fresh regardless of which algorithm is executing.
+        for (from, m) in inbox {
+            match m {
+                ScafMsg::Phase(pi) => {
+                    self.pview.insert(*from, (round, *pi));
+                }
+                ScafMsg::Cbt(CbtMsg::Beacon(b)) if self.phase != Phase::Cbt => {
+                    self.cbt.view.record(*from, round, *b);
+                }
+                _ => {}
+            }
+        }
+
+        match self.phase {
+            Phase::Cbt => self.step_cbt(io, inbox),
+            Phase::Chord => self.step_chord(io, inbox),
+            Phase::Done => self.step_done(io, inbox),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // CBT phase
+    // ------------------------------------------------------------------
+
+    fn step_cbt(&mut self, io: &mut impl ScafIo, inbox: &[(NodeId, ScafMsg)]) {
+        let round = io.round();
+        let cbt_inbox: Vec<(NodeId, CbtMsg)> = inbox
+            .iter()
+            .filter_map(|(v, m)| match m {
+                ScafMsg::Cbt(c) => Some((*v, c.clone())),
+                _ => None,
+            })
+            .collect();
+        let events = {
+            let mut adapter = CbtAdapter(io);
+            self.cbt.step(&mut adapter, &cbt_inbox)
+        };
+
+        // A switch wave reaching us from our (already switched) parent.
+        let start = inbox
+            .iter()
+            .any(|(_, m)| matches!(m, ScafMsg::StartChord));
+        if start && !events.reset {
+            self.enter_chord(io, round, false);
+            return;
+        }
+
+        // The root saw a fully clean feedback wave: the scaffold is built.
+        if events.cluster_clean && self.cbt.is_root() {
+            self.enter_chord(io, round, true);
+        }
+    }
+
+    fn enter_chord(&mut self, io: &mut impl ScafIo, round: u64, as_root: bool) {
+        self.phase = Phase::Chord;
+        self.last_wave = -1;
+        self.active = None;
+        self.switch_round = round;
+        self.last_progress = round;
+        self.done_pending = None;
+        self.armed = false;
+        self.done_neighbors = None;
+        let h = self.cbt.sched.height();
+        self.wave0_at = as_root.then_some(round + switch_window(h));
+        let neighbors: Vec<NodeId> = io.neighbors().to_vec();
+        for c in self.children(round, &neighbors) {
+            io.send(c, ScafMsg::StartChord);
+        }
+        self.emit_chord_beacons(io, &neighbors);
+    }
+
+    fn children(&self, round: u64, neighbors: &[NodeId]) -> Vec<NodeId> {
+        hosttree::children(&self.cbt.cbt, &self.cbt.core, &self.cbt.view, round, neighbors)
+    }
+
+    fn parent(&self, round: u64, neighbors: &[NodeId]) -> Option<NodeId> {
+        hosttree::parent(&self.cbt.cbt, &self.cbt.core, &self.cbt.view, round, neighbors)
+    }
+
+    /// The host covering guest `g`, from own range or the fresh view.
+    fn host_of(&self, round: u64, neighbors: &[NodeId], g: u32) -> Option<NodeId> {
+        hosttree::host_for(self.id(), &self.cbt.core, &self.cbt.view, round, neighbors, g)
+    }
+
+    // ------------------------------------------------------------------
+    // CHORD phase (Algorithm 1)
+    // ------------------------------------------------------------------
+
+    fn emit_chord_beacons(&self, io: &mut impl ScafIo, neighbors: &[NodeId]) {
+        if self.armed {
+            return; // quiescing before DONE
+        }
+        let b = self.cbt.beacon();
+        let pi = PhaseInfo {
+            phase: self.phase,
+            last_wave: self.last_wave,
+        };
+        for &v in neighbors {
+            io.send(v, ScafMsg::Cbt(CbtMsg::Beacon(b)));
+            io.send(v, ScafMsg::Phase(pi));
+        }
+    }
+
+    fn revert_to_cbt(&mut self) {
+        self.phase = Phase::Cbt;
+        self.active = None;
+        self.done_pending = None;
+        self.armed = false;
+        self.wave0_at = None;
+        self.reverts += 1;
+    }
+
+    /// Definition 3's `scaffolded` predicate, evaluated at host granularity:
+    /// intact scaffold structure, and wave states of neighbors within one
+    /// step of ours.
+    fn scaffolded_ok(&self, round: u64, neighbors: &[NodeId]) -> bool {
+        let h = self.cbt.sched.height();
+        // Condition 1: scaffold structure (ranges, covers, successor line)
+        // intact. Finger edges are the tolerated extras.
+        let fault = avatar_cbt::detector::check_stale_tolerant(
+            self.id(),
+            self.target.n(),
+            &self.cbt.cbt,
+            &self.cbt.core,
+            &self.cbt.view,
+            round,
+            neighbors,
+            true,
+        );
+        if fault.is_some() {
+            return false;
+        }
+        // Conditions 2–4: neighbors' waves within one step of ours, and
+        // every neighbor participating in the CHORD phase (after the switch
+        // wave has had time to reach everyone).
+        for &v in neighbors {
+            match self.pview.get(&v) {
+                Some((r, pi)) if round.saturating_sub(*r) < 3 => {
+                    if pi.phase == Phase::Chord && (pi.last_wave - self.last_wave).abs() > 1 {
+                        return false;
+                    }
+                }
+                _ => {
+                    // A neighbor whose last word was "final wave complete"
+                    // has legitimately armed for DONE and gone quiet.
+                    if self.pview.get(&v).is_some_and(|(_, pi)| {
+                        pi.phase == Phase::Chord
+                            && pi.last_wave + 1 == self.target.waves() as i64
+                    }) {
+                        continue;
+                    }
+                    // Otherwise a silent neighbor is only suspicious once
+                    // both the switch wave has settled and the edge has
+                    // existed long enough for beacons to flow (waves
+                    // legitimately create new edges mid-phase).
+                    let age = round.saturating_sub(
+                        self.seen_since.get(&v).copied().unwrap_or(round),
+                    );
+                    if round > self.switch_round + switch_window(h) && age > 3 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn step_chord(&mut self, io: &mut impl ScafIo, inbox: &[(NodeId, ScafMsg)]) {
+        let round = io.round();
+        let neighbors: Vec<NodeId> = io.neighbors().to_vec();
+        let h = self.cbt.sched.height();
+
+        // Track adjacency age for the phase-info expectations.
+        self.seen_since.retain(|v, _| neighbors.binary_search(v).is_ok());
+        for &v in &neighbors {
+            self.seen_since.entry(v).or_insert(round);
+        }
+
+        if !self.armed && !self.scaffolded_ok(round, &neighbors) {
+            self.revert_to_cbt();
+            return;
+        }
+        if round.saturating_sub(self.last_progress) > wave_timeout(h) {
+            self.revert_to_cbt();
+            return;
+        }
+
+        for (from, m) in inbox {
+            match m {
+                ScafMsg::Prop { k } => self.on_prop(io, &neighbors, *k),
+                ScafMsg::Fb { k, ring0, ring_n } => {
+                    self.on_fb(io, &neighbors, *from, *k, *ring0, *ring_n)
+                }
+                ScafMsg::StartDone => self.on_start_done(io, &neighbors),
+                ScafMsg::FbDone => self.on_fb_done(io, &neighbors, *from),
+                _ => {}
+            }
+            if self.phase != Phase::Chord {
+                return; // a handler reverted or completed
+            }
+        }
+
+        // Retry a deferred wave completion (its feedback arrived before the
+        // view caught up with freshly created edges).
+        if let Some(w) = self.active.as_ref() {
+            if w.pending.is_empty() {
+                let k = w.k;
+                self.try_complete_wave(io, &neighbors, k);
+                if self.phase != Phase::Chord {
+                    return;
+                }
+            }
+        }
+
+        // Root: launch wave 0 once the switch wave has propagated.
+        if let Some(at) = self.wave0_at {
+            if round >= at && self.cbt.is_root() && self.last_wave == -1 && self.active.is_none()
+            {
+                self.wave0_at = None;
+                self.start_wave(io, &neighbors, 0);
+            }
+        }
+
+        self.emit_chord_beacons(io, &neighbors);
+    }
+
+    fn start_wave(&mut self, io: &mut impl ScafIo, neighbors: &[NodeId], k: u32) {
+        let round = io.round();
+        let children = self.children(round, neighbors);
+        for &c in &children {
+            io.send(c, ScafMsg::Prop { k });
+        }
+        self.active = Some(ActiveWave {
+            k,
+            pending: children,
+            ring0: None,
+            ring_n: None,
+        });
+        self.last_progress = round;
+        if self.active.as_ref().is_some_and(|w| w.pending.is_empty()) {
+            self.try_complete_wave(io, neighbors, k);
+        }
+    }
+
+    fn on_prop(&mut self, io: &mut impl ScafIo, neighbors: &[NodeId], k: u32) {
+        if self.active.as_ref().is_some_and(|w| w.k == k) {
+            return; // duplicate
+        }
+        if k as i64 != self.last_wave + 1 || self.active.is_some() {
+            // Algorithm 1 line 7 / 14: inconsistent wave ⇒ phase := CBT.
+            self.revert_to_cbt();
+            return;
+        }
+        self.start_wave(io, neighbors, k);
+    }
+
+    fn on_fb(
+        &mut self,
+        io: &mut impl ScafIo,
+        neighbors: &[NodeId],
+        from: NodeId,
+        k: u32,
+        ring0: Option<NodeId>,
+        ring_n: Option<NodeId>,
+    ) {
+        let Some(w) = self.active.as_mut() else {
+            return;
+        };
+        if w.k != k {
+            return;
+        }
+        w.pending.retain(|&c| c != from);
+        if ring0.is_some() {
+            w.ring0 = ring0;
+        }
+        if ring_n.is_some() {
+            w.ring_n = ring_n;
+        }
+        if w.pending.is_empty() {
+            self.try_complete_wave(io, neighbors, k);
+        }
+    }
+
+    /// The feedback action of Algorithm 1 for all guests of this host, then
+    /// either ascend (member) or advance to the next wave (root). Returns
+    /// false (and changes nothing) when a just-created neighbor's beacon has
+    /// not arrived yet — the completion is retried next round, bounded by
+    /// the wave timeout.
+    fn try_complete_wave(&mut self, io: &mut impl ScafIo, neighbors: &[NodeId], k: u32) -> bool {
+        let round = io.round();
+        let me = self.id();
+        let (lo, hi) = self.cbt.core.range;
+
+        // Feedback action: create this wave's finger edges, projected onto
+        // the host network, one introduction per distinct host pair. All
+        // lookups must resolve before anything is committed.
+        let mut links: Vec<(NodeId, NodeId)> = Vec::new();
+        for a in lo..hi {
+            let Some((x, y)) = self.target.feedback_edge(a, k) else {
+                continue;
+            };
+            let (Some(hx), Some(hy)) = (
+                self.host_of(round, neighbors, x),
+                self.host_of(round, neighbors, y),
+            ) else {
+                return false; // view not caught up: retry next round
+            };
+            if hx != hy {
+                links.push((hx.min(hy), hx.max(hy)));
+            }
+        }
+        links.sort_unstable();
+        links.dedup();
+        // Every introduction endpoint must already be adjacent (the wave
+        // induction invariant); a fresh edge whose beacon arrived implies
+        // the edge still exists, so a miss here means the induction has not
+        // caught up yet either — retry, bounded by the wave timeout.
+        let adjacent = |v: NodeId| v == me || neighbors.binary_search(&v).is_ok();
+        if links.iter().any(|&(x, y)| !(adjacent(x) && adjacent(y))) {
+            return false;
+        }
+        for (x, y) in links {
+            io.link(x, y);
+        }
+
+        // Wave 0: contribute/forward the walked edges to guests 0 and N−1.
+        let (mut ring0, mut ring_n) = self
+            .active
+            .as_ref()
+            .map(|w| (w.ring0, w.ring_n))
+            .unwrap_or((None, None));
+        if k == 0 && self.target.closes_ring() {
+            if self.cbt.core.covers(0) {
+                ring0 = Some(me);
+            }
+            if self.cbt.core.covers(self.target.n() - 1) {
+                ring_n = Some(me);
+            }
+        }
+
+        self.active = None;
+        self.last_wave = k as i64;
+        self.last_progress = round;
+
+        if self.cbt.is_root() {
+            if k == 0 && self.target.closes_ring() {
+                // Close the guest ring (Algorithm 1 lines 6–7).
+                if let (Some(a), Some(b)) = (ring0, ring_n) {
+                    if a != b {
+                        let ok = |v: NodeId| v == me || neighbors.binary_search(&v).is_ok();
+                        if !(ok(a) && ok(b)) {
+                            self.revert_to_cbt();
+                            return true;
+                        }
+                        io.link(a, b);
+                    }
+                } else {
+                    self.revert_to_cbt();
+                    return true;
+                }
+            }
+            if k + 1 < self.target.waves() {
+                self.start_wave(io, neighbors, k + 1);
+            } else {
+                // All fingers built: run the DONE handshake.
+                self.begin_done_wave(io, neighbors);
+            }
+        } else {
+            let Some(p) = self.parent(round, neighbors) else {
+                self.revert_to_cbt();
+                return true;
+            };
+            // Walk the ring endpoints one level up before the feedback.
+            for ep in [ring0, ring_n].into_iter().flatten() {
+                if ep != me && ep != p {
+                    if !io.is_neighbor(ep) {
+                        self.revert_to_cbt();
+                        return true;
+                    }
+                    io.link(ep, p);
+                }
+            }
+            io.send(p, ScafMsg::Fb { k, ring0, ring_n });
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // DONE handshake: StartDone↓ (arm + prune), FbDone↑, then silence.
+    // ------------------------------------------------------------------
+
+    fn begin_done_wave(&mut self, io: &mut impl ScafIo, neighbors: &[NodeId]) {
+        let round = io.round();
+        // Final transmission before quiescing: let neighbors see the
+        // completed last wave so their `scaffolded` checks tolerate our
+        // silence while the DONE wave descends.
+        self.emit_chord_beacons(io, neighbors);
+        self.armed = true;
+        self.last_progress = round;
+        // Snapshot the tree relations while beacons are still fresh.
+        self.done_parent = self.parent(round, neighbors);
+        let children = self.children(round, neighbors);
+        self.prune_for_target(io, neighbors);
+        for &c in &children {
+            io.send(c, ScafMsg::StartDone);
+        }
+        if children.is_empty() {
+            // Leaf: ack immediately and fall silent.
+            if !self.cbt.is_root() {
+                if let Some(p) = self.done_parent {
+                    io.send(p, ScafMsg::FbDone);
+                }
+            }
+            self.enter_done();
+        } else {
+            self.done_pending = Some(children);
+        }
+    }
+
+    fn on_start_done(&mut self, io: &mut impl ScafIo, neighbors: &[NodeId]) {
+        if self.last_wave + 1 != self.target.waves() as i64 || self.active.is_some() {
+            self.revert_to_cbt();
+            return;
+        }
+        self.begin_done_wave(io, neighbors);
+    }
+
+    fn on_fb_done(&mut self, io: &mut impl ScafIo, neighbors: &[NodeId], from: NodeId) {
+        let Some(pending) = self.done_pending.as_mut() else {
+            return;
+        };
+        pending.retain(|&c| c != from);
+        if pending.is_empty() {
+            self.done_pending = None;
+            let _ = neighbors;
+            if self.cbt.is_root() {
+                self.enter_done();
+            } else if let Some(p) = self.done_parent {
+                io.send(p, ScafMsg::FbDone);
+                self.enter_done();
+            } else {
+                self.revert_to_cbt();
+            }
+        }
+    }
+
+    fn enter_done(&mut self) {
+        self.phase = Phase::Done;
+        self.armed = false;
+        // Hosts in sibling subtrees keep beaconing until the DONE wave
+        // reaches them: tolerate traffic for a full descent-plus-ascent of
+        // the host tree before treating messages as a wake-up signal.
+        self.done_grace = (2 * (self.cbt.sched.height() + 1) + 8).min(u8::MAX as u64) as u8;
+        self.done_neighbors = None;
+        self.completions += 1;
+    }
+
+    /// Remove host edges the final Avatar(target) does not require: kept are
+    /// scaffold-required edges (tree projection + successor line) and edges
+    /// realizing a target guest edge. Uses stale-tolerant beacon lookups:
+    /// neighbors that armed before us stopped beaconing, but their cluster
+    /// state is frozen for the whole CHORD phase.
+    fn prune_for_target(&mut self, io: &mut impl ScafIo, neighbors: &[NodeId]) {
+        let me = self.id();
+        let (lo, hi) = self.cbt.core.range;
+        let covering = |g: u32| -> Option<NodeId> {
+            if self.cbt.core.covers(g) {
+                return Some(me);
+            }
+            neighbors
+                .iter()
+                .find(|&&v| {
+                    self.cbt.view.latest(v).is_some_and(|b| {
+                        b.cid == self.cbt.core.cid && b.range.0 <= g && g < b.range.1
+                    })
+                })
+                .copied()
+        };
+        let mut keep: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        // Scaffold-required neighbors.
+        for &v in neighbors {
+            match self.cbt.view.latest(v) {
+                Some(b) => {
+                    if b.cid == self.cbt.core.cid
+                        && required_edge(&self.cbt.cbt, self.cbt.core.range, b.range)
+                    {
+                        keep.insert(v);
+                    }
+                }
+                None => {
+                    keep.insert(v); // truly unknown: keep conservatively
+                }
+            }
+        }
+        // Target-required neighbors: hosts of the target neighborhoods of my
+        // guests (both edge directions, ring included).
+        for a in lo..hi {
+            for g in self.target.guest_neighbors(a) {
+                if let Some(hg) = covering(g) {
+                    if hg != me {
+                        keep.insert(hg);
+                    }
+                }
+            }
+        }
+        for &v in neighbors {
+            if !keep.contains(&v) {
+                io.unlink(v);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // DONE phase: silence.
+    // ------------------------------------------------------------------
+
+    fn step_done(&mut self, io: &mut impl ScafIo, inbox: &[(NodeId, ScafMsg)]) {
+        let neighbors: Vec<NodeId> = io.neighbors().to_vec();
+        match &self.done_neighbors {
+            None => {
+                // The topology incident to this host is final at Done entry
+                // (it pruned its own non-required edges at arming), so the
+                // baseline is cached immediately.
+                self.done_neighbors = Some(neighbors.clone());
+            }
+            Some(cache) => {
+                if *cache != neighbors {
+                    // Topology perturbed: wake up and rebuild.
+                    self.revert_to_cbt();
+                    return;
+                }
+            }
+        }
+        // The grace window only tolerates residual *traffic* from sibling
+        // subtrees the DONE wave has not reached yet.
+        if self.done_grace > 0 {
+            self.done_grace -= 1;
+            return;
+        }
+        if !inbox.is_empty() {
+            // Someone is talking: a neighbor detected a fault. Join in.
+            self.revert_to_cbt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::ChordTarget;
+
+    #[test]
+    fn new_core_starts_in_cbt() {
+        let c = ScaffoldCore::new(5, ChordTarget::classic(64), 9);
+        assert_eq!(c.phase, Phase::Cbt);
+        assert_eq!(c.last_wave, -1);
+    }
+
+    #[test]
+    fn windows_are_logarithmic() {
+        assert!(switch_window(10) < 40);
+        assert!(wave_timeout(10) < 100);
+    }
+}

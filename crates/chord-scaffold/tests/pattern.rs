@@ -1,0 +1,94 @@
+//! Contract tests for the network-scaffolding pattern (Section 6): any
+//! `InductiveTarget` must satisfy the witness invariant the waves rely on,
+//! and its waves must generate exactly its edge set.
+
+use chord_scaffold::{ChordTarget, InductiveTarget, TruncatedChordTarget};
+use std::collections::HashSet;
+
+/// The generic contract every target must satisfy.
+fn check_target_contract<T: InductiveTarget>(t: &T) {
+    let n = t.n();
+    // 1. Waves regenerate the target: ring (wave 0, if closing) plus every
+    //    feedback edge equals target_edges.
+    let mut built: HashSet<(u32, u32)> = HashSet::new();
+    if t.closes_ring() {
+        for i in 0..n {
+            let j = (i + 1) % n;
+            built.insert((i.min(j), i.max(j)));
+        }
+    }
+    for k in 0..t.waves() {
+        for a in 0..n {
+            if let Some((x, y)) = t.feedback_edge(a, k) {
+                assert_ne!(x, y, "{}: degenerate edge at a={a} k={k}", t.name());
+                built.insert((x.min(y), x.max(y)));
+            }
+        }
+    }
+    let expect: HashSet<(u32, u32)> = t.target_edges().into_iter().collect();
+    assert_eq!(built, expect, "{}: waves must generate the target", t.name());
+
+    // 2. Witness invariant: the endpoints of every wave-k feedback edge are
+    //    adjacent to the witness in the graph built so far (ring + earlier
+    //    waves) — otherwise the introduction would be illegal.
+    let mut so_far: HashSet<(u32, u32)> = HashSet::new();
+    if t.closes_ring() {
+        for i in 0..n {
+            let j = (i + 1) % n;
+            so_far.insert((i.min(j), i.max(j)));
+        }
+    }
+    for k in 0..t.waves() {
+        for a in 0..n {
+            if let Some((x, y)) = t.feedback_edge(a, k) {
+                let adj = |u: u32, v: u32| u == v || so_far.contains(&(u.min(v), u.max(v)));
+                assert!(
+                    adj(a, x) && adj(a, y),
+                    "{}: witness {a} not adjacent to ({x},{y}) at wave {k}",
+                    t.name()
+                );
+            }
+        }
+        // Materialize this wave before the next.
+        for a in 0..n {
+            if let Some((x, y)) = t.feedback_edge(a, k) {
+                so_far.insert((x.min(y), x.max(y)));
+            }
+        }
+    }
+
+    // 3. guest_neighbors is symmetric and matches the edge set.
+    let mut from_neigh: HashSet<(u32, u32)> = HashSet::new();
+    for a in 0..n {
+        for b in t.guest_neighbors(a) {
+            assert!(
+                t.guest_neighbors(b).contains(&a),
+                "{}: asymmetric neighborhood ({a},{b})",
+                t.name()
+            );
+            from_neigh.insert((a.min(b), a.max(b)));
+        }
+    }
+    assert_eq!(from_neigh, expect, "{}: neighborhoods vs edges", t.name());
+}
+
+#[test]
+fn chord_classic_satisfies_contract() {
+    for n in [8u32, 64, 256] {
+        check_target_contract(&ChordTarget::classic(n));
+    }
+}
+
+#[test]
+fn chord_paper_satisfies_contract() {
+    for n in [8u32, 64, 256] {
+        check_target_contract(&ChordTarget::paper(n));
+    }
+}
+
+#[test]
+fn truncated_chord_satisfies_contract() {
+    for (n, f) in [(64u32, 2u32), (64, 4), (256, 3)] {
+        check_target_contract(&TruncatedChordTarget::new(n, f));
+    }
+}

@@ -1,0 +1,315 @@
+//! The Avatar framework (Section 3.1): a dilation-1 embedding of an `N`-node
+//! *guest* network onto `n ≤ N` *host* nodes.
+//!
+//! Every host `u` (identifiers drawn from `[0, N)`) *hosts* the guests in its
+//! **responsible range** `[u.id, succ(u).id)`, where `succ(u)` is the host with
+//! the smallest identifier greater than `u.id`. The host with the smallest
+//! identifier additionally covers `[0, u.id)` (its range is `[0, succ)`), and
+//! the host with the largest identifier covers up to `N`.
+//!
+//! A guest edge `(a, b)` is realized either inside a single host or by the
+//! host edge `(host(a), host(b))` — the *dilation-1* condition. Because the
+//! guest network is a fixed function of `N`, any `Avatar(Guest(N))` topology is
+//! **locally checkable**: a host can verify from its own state and its
+//! neighbors' states whether the embedding around it is correct.
+
+use crate::Id;
+
+/// Half-open interval `[lo, hi)` of guest identifiers a host is responsible
+/// for. `lo ≤ hi` always; the interval never wraps (the minimum host's range
+/// starts at 0 by construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ResponsibleRange {
+    /// Inclusive lower bound.
+    pub lo: Id,
+    /// Exclusive upper bound.
+    pub hi: Id,
+}
+
+impl ResponsibleRange {
+    /// Create a range; panics if `lo > hi`.
+    pub fn new(lo: Id, hi: Id) -> Self {
+        assert!(lo <= hi, "invalid range [{lo}, {hi})");
+        Self { lo, hi }
+    }
+
+    /// True iff the guest `g` belongs to the range.
+    pub fn contains(&self, g: Id) -> bool {
+        self.lo <= g && g < self.hi
+    }
+
+    /// Number of guests in the range.
+    pub fn len(&self) -> u32 {
+        self.hi - self.lo
+    }
+
+    /// True iff the range holds no guests.
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Iterate the guests of the range in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = Id> {
+        self.lo..self.hi
+    }
+}
+
+/// An Avatar embedding: the guest capacity `N` plus the sorted host set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Avatar {
+    n_cap: u32,
+    hosts: Vec<Id>,
+}
+
+impl Avatar {
+    /// Build an embedding of guest space `[0, n_cap)` onto the given hosts.
+    ///
+    /// Host identifiers must be unique and in `[0, n_cap)`; they are sorted
+    /// internally.
+    ///
+    /// # Panics
+    /// Panics on an empty host set, duplicate identifiers, or identifiers out
+    /// of range.
+    pub fn new(n_cap: u32, hosts: impl IntoIterator<Item = Id>) -> Self {
+        let mut hosts: Vec<Id> = hosts.into_iter().collect();
+        assert!(!hosts.is_empty(), "Avatar needs at least one host");
+        hosts.sort_unstable();
+        for w in hosts.windows(2) {
+            assert!(w[0] != w[1], "duplicate host id {}", w[0]);
+        }
+        assert!(
+            *hosts.last().unwrap() < n_cap,
+            "host id {} out of guest range [0, {n_cap})",
+            hosts.last().unwrap()
+        );
+        Self { n_cap, hosts }
+    }
+
+    /// The guest capacity `N`.
+    pub fn n_cap(&self) -> u32 {
+        self.n_cap
+    }
+
+    /// The hosts, sorted ascending.
+    pub fn hosts(&self) -> &[Id] {
+        &self.hosts
+    }
+
+    /// Number of hosts `n`.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// The host responsible for guest `g`: the largest host id `≤ g`, or the
+    /// minimum host if `g` precedes all hosts.
+    ///
+    /// # Panics
+    /// `g` must be in `[0, N)`.
+    pub fn host_of(&self, g: Id) -> Id {
+        assert!(g < self.n_cap, "guest {g} out of range [0, {})", self.n_cap);
+        match self.hosts.binary_search(&g) {
+            Ok(i) => self.hosts[i],
+            Err(0) => self.hosts[0],
+            Err(i) => self.hosts[i - 1],
+        }
+    }
+
+    /// The successor of host `u`: the smallest host id greater than `u`.
+    /// Returns `None` for the maximum host.
+    ///
+    /// # Panics
+    /// `u` must be a host.
+    pub fn succ(&self, u: Id) -> Option<Id> {
+        let i = self
+            .hosts
+            .binary_search(&u)
+            .unwrap_or_else(|_| panic!("{u} is not a host"));
+        self.hosts.get(i + 1).copied()
+    }
+
+    /// The predecessor of host `u` (the largest host id smaller than `u`), or
+    /// `None` for the minimum host.
+    pub fn pred(&self, u: Id) -> Option<Id> {
+        let i = self
+            .hosts
+            .binary_search(&u)
+            .unwrap_or_else(|_| panic!("{u} is not a host"));
+        i.checked_sub(1).map(|j| self.hosts[j])
+    }
+
+    /// The responsible range of host `u` per Section 3.1: `[u, succ)` in
+    /// general, `[0, succ)` for the minimum host and `[u, N)` for the maximum.
+    pub fn range_of(&self, u: Id) -> ResponsibleRange {
+        let i = self
+            .hosts
+            .binary_search(&u)
+            .unwrap_or_else(|_| panic!("{u} is not a host"));
+        let lo = if i == 0 { 0 } else { u };
+        let hi = self.hosts.get(i + 1).copied().unwrap_or(self.n_cap);
+        ResponsibleRange::new(lo, hi)
+    }
+
+    /// The guests of host `u`, in increasing order.
+    pub fn guests_of(&self, u: Id) -> impl Iterator<Item = Id> {
+        self.range_of(u).iter()
+    }
+
+    /// Verify that the responsible ranges of all hosts partition `[0, N)`.
+    /// True by construction — exposed as an invariant for property tests.
+    pub fn ranges_partition_guest_space(&self) -> bool {
+        let mut next = 0u32;
+        for &u in &self.hosts {
+            let r = self.range_of(u);
+            if r.lo != next {
+                return false;
+            }
+            next = r.hi;
+        }
+        next == self.n_cap
+    }
+
+    /// Project a guest edge set onto the host network: the dilation-1 host
+    /// edges `{(host(a), host(b)) : (a,b) guest edge, host(a) ≠ host(b)}`,
+    /// each once as `(x, y)` with `x < y`, sorted.
+    pub fn project_edges(&self, guest_edges: impl IntoIterator<Item = (Id, Id)>) -> Vec<(Id, Id)> {
+        let mut out: Vec<(Id, Id)> = guest_edges
+            .into_iter()
+            .filter_map(|(a, b)| {
+                let (x, y) = (self.host_of(a), self.host_of(b));
+                (x != y).then(|| (x.min(y), x.max(y)))
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The required host-level neighbors of host `u` for a guest graph given
+    /// by a neighborhood oracle, i.e. the hosts of all guest neighbors of
+    /// guests of `u` that live elsewhere.
+    pub fn required_neighbors<F>(&self, u: Id, guest_neighbors: F) -> Vec<Id>
+    where
+        F: Fn(Id) -> Vec<Id>,
+    {
+        let mut out: Vec<Id> = self
+            .guests_of(u)
+            .flat_map(|g| guest_neighbors(g).into_iter())
+            .map(|h| self.host_of(h))
+            .filter(|&v| v != u)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cbt::Cbt;
+    use crate::chord::Chord;
+
+    fn demo() -> Avatar {
+        Avatar::new(16, [3u32, 7, 10, 14])
+    }
+
+    #[test]
+    fn host_of_follows_ranges() {
+        let a = demo();
+        // min host 3 covers [0,7), then [7,10), [10,14), [14,16)
+        for g in 0..7 {
+            assert_eq!(a.host_of(g), 3, "g={g}");
+        }
+        for g in 7..10 {
+            assert_eq!(a.host_of(g), 7);
+        }
+        for g in 10..14 {
+            assert_eq!(a.host_of(g), 10);
+        }
+        for g in 14..16 {
+            assert_eq!(a.host_of(g), 14);
+        }
+    }
+
+    #[test]
+    fn ranges_partition() {
+        let a = demo();
+        assert!(a.ranges_partition_guest_space());
+        assert_eq!(a.range_of(3), ResponsibleRange::new(0, 7));
+        assert_eq!(a.range_of(14), ResponsibleRange::new(14, 16));
+    }
+
+    #[test]
+    fn single_host_covers_everything() {
+        let a = Avatar::new(32, [11u32]);
+        assert_eq!(a.range_of(11), ResponsibleRange::new(0, 32));
+        for g in 0..32 {
+            assert_eq!(a.host_of(g), 11);
+        }
+        assert!(a.ranges_partition_guest_space());
+    }
+
+    #[test]
+    fn succ_and_pred() {
+        let a = demo();
+        assert_eq!(a.succ(3), Some(7));
+        assert_eq!(a.succ(14), None);
+        assert_eq!(a.pred(3), None);
+        assert_eq!(a.pred(10), Some(7));
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_hosts_rejected() {
+        Avatar::new(8, [1u32, 1]);
+    }
+
+    #[test]
+    fn projection_skips_internal_edges() {
+        let a = demo();
+        // guests 4 and 5 are both hosted by 3 -> no host edge
+        let es = a.project_edges([(4u32, 5u32), (5, 8)]);
+        assert_eq!(es, vec![(3, 7)]);
+    }
+
+    #[test]
+    fn projected_cbt_is_connected_and_small() {
+        let a = Avatar::new(64, [0u32, 9, 17, 23, 31, 40, 52, 60]);
+        let t = Cbt::new(64);
+        let es = a.project_edges(t.edges());
+        // All hosts appear (every host owns at least one guest with an
+        // external tree neighbor here).
+        let mut seen: Vec<Id> = es.iter().flat_map(|&(x, y)| [x, y]).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, a.hosts());
+        // Dilation-1: each projected edge joins two distinct hosts.
+        for &(x, y) in &es {
+            assert!(x < y);
+        }
+    }
+
+    #[test]
+    fn required_neighbors_match_projection() {
+        let a = Avatar::new(32, [2u32, 8, 15, 21, 30]);
+        let c = Chord::classic(32);
+        let es = a.project_edges(c.edges());
+        for &u in a.hosts() {
+            let mut from_edges: Vec<Id> = es
+                .iter()
+                .filter_map(|&(x, y)| {
+                    if x == u {
+                        Some(y)
+                    } else if y == u {
+                        Some(x)
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            from_edges.sort_unstable();
+            let req = a.required_neighbors(u, |g| c.neighborhood(g));
+            assert_eq!(req, from_edges, "host {u}");
+        }
+    }
+}

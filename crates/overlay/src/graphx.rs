@@ -1,0 +1,321 @@
+//! Graph analytics shared by tests and the experiment harness: degree
+//! statistics, BFS distances and diameter, connectivity, and the
+//! failure-robustness sampling behind experiment E8 (the paper's motivation
+//! for preferring Chord over the tree scaffold: "topologies where the failure
+//! of a few nodes is insufficient to disconnect the network").
+
+use crate::Id;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A simple undirected graph over sparse `u32` identifiers, with dense
+/// internal indexing for O(1) adjacency access.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    ids: Vec<Id>,
+    index: HashMap<Id, usize>,
+    adj: Vec<Vec<usize>>,
+}
+
+/// Aggregate degree statistics of a graph.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+}
+
+impl Graph {
+    /// Build a graph over `ids` with the given undirected edges.
+    /// Self-loops are rejected; duplicate edges are deduplicated.
+    ///
+    /// # Panics
+    /// Panics if an edge endpoint is not in `ids` or is a self-loop.
+    pub fn new(ids: impl IntoIterator<Item = Id>, edges: impl IntoIterator<Item = (Id, Id)>) -> Self {
+        let ids: Vec<Id> = ids.into_iter().collect();
+        let index: HashMap<Id, usize> = ids.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        assert_eq!(index.len(), ids.len(), "duplicate ids");
+        let mut adj = vec![Vec::new(); ids.len()];
+        let mut seen = std::collections::HashSet::new();
+        for (a, b) in edges {
+            assert!(a != b, "self-loop at {a}");
+            let (x, y) = (index[&a], index[&b]);
+            if seen.insert((x.min(y), x.max(y))) {
+                adj[x].push(y);
+                adj[y].push(x);
+            }
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+        }
+        Self { ids, index, adj }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// The node identifiers, in insertion order.
+    pub fn ids(&self) -> &[Id] {
+        &self.ids
+    }
+
+    /// Neighbors of node `v` (by identifier).
+    pub fn neighbors(&self, v: Id) -> Vec<Id> {
+        let i = self.index[&v];
+        self.adj[i].iter().map(|&j| self.ids[j]).collect()
+    }
+
+    /// Degree of node `v`.
+    pub fn degree(&self, v: Id) -> usize {
+        self.adj[self.index[&v]].len()
+    }
+
+    /// True iff the edge `(a, b)` exists.
+    pub fn has_edge(&self, a: Id, b: Id) -> bool {
+        let (x, y) = (self.index[&a], self.index[&b]);
+        self.adj[x].binary_search(&y).is_ok()
+    }
+
+    /// Degree statistics across all nodes.
+    pub fn degree_stats(&self) -> DegreeStats {
+        let degs: Vec<usize> = self.adj.iter().map(Vec::len).collect();
+        let min = degs.iter().copied().min().unwrap_or(0);
+        let max = degs.iter().copied().max().unwrap_or(0);
+        let mean = if degs.is_empty() {
+            0.0
+        } else {
+            degs.iter().sum::<usize>() as f64 / degs.len() as f64
+        };
+        DegreeStats { min, max, mean }
+    }
+
+    /// BFS distances (in hops) from `src` to every node; `usize::MAX` for
+    /// unreachable nodes.
+    pub fn bfs(&self, src: Id) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.ids.len()];
+        let s = self.index[&src];
+        dist[s] = 0;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(v) = queue.pop_front() {
+            for &w in &self.adj[v] {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// True iff the graph is connected (vacuously true for ≤ 1 node).
+    pub fn is_connected(&self) -> bool {
+        if self.ids.is_empty() {
+            return true;
+        }
+        self.bfs(self.ids[0]).iter().all(|&d| d != usize::MAX)
+    }
+
+    /// Fraction of nodes in the largest connected component.
+    pub fn largest_component_fraction(&self) -> f64 {
+        if self.ids.is_empty() {
+            return 1.0;
+        }
+        let n = self.ids.len();
+        let mut comp = vec![usize::MAX; n];
+        let mut best = 0usize;
+        let mut c = 0usize;
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let mut size = 0usize;
+            let mut queue = std::collections::VecDeque::from([start]);
+            comp[start] = c;
+            while let Some(v) = queue.pop_front() {
+                size += 1;
+                for &w in &self.adj[v] {
+                    if comp[w] == usize::MAX {
+                        comp[w] = c;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            best = best.max(size);
+            c += 1;
+        }
+        best as f64 / n as f64
+    }
+
+    /// Exact diameter by all-pairs BFS. `O(V·E)`; intended for graphs up to a
+    /// few thousand nodes. Returns `None` for disconnected graphs.
+    pub fn diameter(&self) -> Option<usize> {
+        let mut best = 0usize;
+        for &v in &self.ids {
+            let d = self.bfs(v);
+            let m = *d.iter().max()?;
+            if m == usize::MAX {
+                return None;
+            }
+            best = best.max(m);
+        }
+        Some(best)
+    }
+
+    /// Diameter lower bound by BFS from `samples` random nodes — cheap
+    /// estimate for large graphs.
+    pub fn diameter_sampled(&self, samples: usize, rng: &mut impl Rng) -> Option<usize> {
+        let mut best = 0usize;
+        for _ in 0..samples {
+            let v = *self.ids.choose(rng)?;
+            let d = self.bfs(v);
+            let m = *d.iter().max()?;
+            if m == usize::MAX {
+                return None;
+            }
+            best = best.max(m);
+        }
+        Some(best)
+    }
+
+    /// A copy of the graph with the given nodes (and their edges) removed.
+    pub fn without_nodes(&self, remove: &[Id]) -> Graph {
+        let dead: std::collections::HashSet<Id> = remove.iter().copied().collect();
+        let ids: Vec<Id> = self.ids.iter().copied().filter(|v| !dead.contains(v)).collect();
+        let edges: Vec<(Id, Id)> = self
+            .edges()
+            .into_iter()
+            .filter(|(a, b)| !dead.contains(a) && !dead.contains(b))
+            .collect();
+        Graph::new(ids, edges)
+    }
+
+    /// The undirected edge list, each edge once as `(a, b)` with `a < b` by
+    /// identifier value.
+    pub fn edges(&self) -> Vec<(Id, Id)> {
+        let mut out = Vec::with_capacity(self.edge_count());
+        for (i, l) in self.adj.iter().enumerate() {
+            for &j in l {
+                if i < j {
+                    let (a, b) = (self.ids[i], self.ids[j]);
+                    out.push((a.min(b), a.max(b)));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Estimate the probability that the graph stays connected after removing
+    /// `f` random nodes, over `trials` samples. This is experiment E8's
+    /// robustness measure.
+    pub fn survival_probability(&self, f: usize, trials: usize, rng: &mut impl Rng) -> f64 {
+        if f >= self.ids.len() {
+            return 0.0;
+        }
+        let mut ok = 0usize;
+        for _ in 0..trials {
+            let mut pool = self.ids.clone();
+            pool.shuffle(rng);
+            let removed = &pool[..f];
+            if self.without_nodes(removed).is_connected() {
+                ok += 1;
+            }
+        }
+        ok as f64 / trials as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chord::Chord;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn path(n: u32) -> Graph {
+        Graph::new(0..n, (0..n - 1).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn path_basics() {
+        let g = path(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), Some(4));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = Graph::new(0..3u32, [(0, 1), (1, 0), (1, 2)]);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn bfs_distances_on_cycle() {
+        let n = 8u32;
+        let g = Graph::new(0..n, (0..n).map(|i| (i, (i + 1) % n)));
+        let d = g.bfs(0);
+        assert_eq!(d[4], 4);
+        assert_eq!(d[7], 1);
+        assert_eq!(g.diameter(), Some(4));
+    }
+
+    #[test]
+    fn disconnection_detected() {
+        let g = Graph::new(0..4u32, [(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+        assert_eq!(g.diameter(), None);
+        assert_eq!(g.largest_component_fraction(), 0.5);
+    }
+
+    #[test]
+    fn without_nodes_removes_incident_edges() {
+        let g = path(5);
+        let h = g.without_nodes(&[2]);
+        assert_eq!(h.node_count(), 4);
+        assert!(!h.is_connected());
+    }
+
+    #[test]
+    fn chord_is_more_robust_than_path() {
+        let c = Chord::classic(64);
+        let chord = Graph::new(0..64u32, c.edges());
+        let line = path(64);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let pc = chord.survival_probability(4, 40, &mut rng);
+        let pl = line.survival_probability(4, 40, &mut rng);
+        assert!(pc > pl, "chord {pc} should beat line {pl}");
+        assert!(pc > 0.9, "chord survives 4 failures with high prob, got {pc}");
+    }
+
+    #[test]
+    fn chord_diameter_is_logarithmic() {
+        let c = Chord::classic(128);
+        let g = Graph::new(0..128u32, c.edges());
+        let d = g.diameter().unwrap();
+        assert!(d <= 7, "Chord(128) diameter {d} should be ≤ log2 N");
+    }
+
+    #[test]
+    fn sampled_diameter_is_lower_bound() {
+        let g = path(32);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = g.diameter_sampled(5, &mut rng).unwrap();
+        assert!(s <= 31);
+        assert!(s >= 16, "a path BFS from anywhere reaches ≥ n/2");
+    }
+}

@@ -1,0 +1,89 @@
+//! The Linear (sorted list) topology, the classic "first" self-stabilizing
+//! overlay (Onus–Richa–Scheideler, ALENEX 2007) and the scaffold used by
+//! Re-Chord. It appears here as the substrate of the linear-scaffold baseline
+//! (experiment E7): its Θ(n) diameter is exactly why Re-Chord pays
+//! `O(n log n)` convergence, the comparison the paper draws in Section 6.
+
+use crate::Id;
+
+/// The sorted-list topology over an arbitrary id set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Linear {
+    ids: Vec<Id>,
+}
+
+impl Linear {
+    /// Build the line over the given ids (sorted internally, must be unique).
+    ///
+    /// # Panics
+    /// Panics on an empty or duplicate id set.
+    pub fn new(ids: impl IntoIterator<Item = Id>) -> Self {
+        let mut ids: Vec<Id> = ids.into_iter().collect();
+        assert!(!ids.is_empty());
+        ids.sort_unstable();
+        for w in ids.windows(2) {
+            assert!(w[0] != w[1], "duplicate id {}", w[0]);
+        }
+        Self { ids }
+    }
+
+    /// The ids, sorted ascending.
+    pub fn ids(&self) -> &[Id] {
+        &self.ids
+    }
+
+    /// Edges of the sorted list: consecutive pairs.
+    pub fn edges(&self) -> Vec<(Id, Id)> {
+        self.ids.windows(2).map(|w| (w[0], w[1])).collect()
+    }
+
+    /// The list successor of `u`.
+    pub fn succ(&self, u: Id) -> Option<Id> {
+        let i = self.ids.binary_search(&u).ok()?;
+        self.ids.get(i + 1).copied()
+    }
+
+    /// The list predecessor of `u`.
+    pub fn pred(&self, u: Id) -> Option<Id> {
+        let i = self.ids.binary_search(&u).ok()?;
+        i.checked_sub(1).map(|j| self.ids[j])
+    }
+
+    /// True iff `(a, b)` is a list edge.
+    pub fn is_edge(&self, a: Id, b: Id) -> bool {
+        self.succ(a) == Some(b) || self.succ(b) == Some(a)
+    }
+
+    /// Diameter of the line: `n − 1` hops.
+    pub fn diameter(&self) -> usize {
+        self.ids.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_are_consecutive_pairs() {
+        let l = Linear::new([9u32, 1, 4]);
+        assert_eq!(l.edges(), vec![(1, 4), (4, 9)]);
+        assert!(l.is_edge(4, 1));
+        assert!(!l.is_edge(1, 9));
+    }
+
+    #[test]
+    fn succ_pred_roundtrip() {
+        let l = Linear::new([2u32, 5, 8, 13]);
+        assert_eq!(l.succ(2), Some(5));
+        assert_eq!(l.pred(5), Some(2));
+        assert_eq!(l.succ(13), None);
+        assert_eq!(l.pred(2), None);
+    }
+
+    #[test]
+    fn diameter_is_linear() {
+        let l = Linear::new(0..100u32);
+        assert_eq!(l.diameter(), 99);
+    }
+}

@@ -1,0 +1,164 @@
+//! Greedy finger routing on Chord — the application-level payoff of building
+//! the robust target topology (experiment E9).
+//!
+//! A lookup for key `t` starting at node `s` repeatedly forwards to the
+//! neighbor that minimizes the remaining clockwise ring distance to `t`
+//! without overshooting. On the full `Chord(N)` finger table this takes
+//! `O(log N)` hops.
+
+use crate::chord::Chord;
+use crate::Id;
+
+/// Outcome of a greedy route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Nodes visited, starting with the source and ending with the target
+    /// (when successful).
+    pub path: Vec<Id>,
+    /// True iff the target was reached within the hop budget.
+    pub reached: bool,
+}
+
+impl Route {
+    /// Number of hops taken (edges traversed).
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+}
+
+/// Greedy-route from `s` to `t` using a neighborhood oracle. At each step the
+/// neighbor with the smallest clockwise distance to `t` is chosen, provided it
+/// strictly improves on the current node; otherwise routing stops.
+///
+/// `neighbors(v)` must return the *current* overlay neighbors of `v`. The ring
+/// size is taken from `chord` (only used for modular distance arithmetic).
+pub fn greedy_route<F>(chord: &Chord, neighbors: F, s: Id, t: Id, max_hops: usize) -> Route
+where
+    F: Fn(Id) -> Vec<Id>,
+{
+    let mut path = vec![s];
+    let mut cur = s;
+    while cur != t && path.len() <= max_hops {
+        let dcur = chord.ring_distance(cur, t);
+        let next = neighbors(cur)
+            .into_iter()
+            .map(|w| (chord.ring_distance(w, t), w))
+            .filter(|&(d, _)| d < dcur)
+            .min();
+        match next {
+            Some((_, w)) => {
+                path.push(w);
+                cur = w;
+            }
+            None => break,
+        }
+    }
+    Route {
+        reached: cur == t,
+        path,
+    }
+}
+
+/// Greedy-route on the *ideal* `Chord(N)` topology (oracle = finger table).
+pub fn ideal_route(chord: &Chord, s: Id, t: Id) -> Route {
+    let max = 4 * (32 - chord.n().leading_zeros()) as usize + 4;
+    greedy_route(chord, |v| chord.neighborhood(v), s, t, max)
+}
+
+/// Mean and maximum hop counts over all (s, t) pairs with `s ≠ t`, or over a
+/// random sample when `N` is large. Used by experiment E9.
+pub fn hop_statistics(chord: &Chord, sample: Option<(usize, &mut dyn rand::RngCore)>) -> (f64, usize) {
+    let n = chord.n();
+    let mut total = 0usize;
+    let mut count = 0usize;
+    let mut max = 0usize;
+    let mut record = |s: Id, t: Id| {
+        let r = ideal_route(chord, s, t);
+        assert!(r.reached, "ideal chord routing must reach {t} from {s}");
+        total += r.hops();
+        max = max.max(r.hops());
+        count += 1;
+    };
+    match sample {
+        None => {
+            for s in 0..n {
+                for t in 0..n {
+                    if s != t {
+                        record(s, t);
+                    }
+                }
+            }
+        }
+        Some((k, rng)) => {
+            use rand::Rng;
+            for _ in 0..k {
+                let s = rng.gen_range(0..n);
+                let mut t = rng.gen_range(0..n);
+                while t == s {
+                    t = rng.gen_range(0..n);
+                }
+                record(s, t);
+            }
+        }
+    }
+    (total as f64 / count.max(1) as f64, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn routes_reach_target() {
+        let c = Chord::classic(64);
+        for s in [0u32, 13, 63] {
+            for t in [5u32, 40, 62] {
+                if s == t {
+                    continue;
+                }
+                let r = ideal_route(&c, s, t);
+                assert!(r.reached, "{s} -> {t}");
+                assert_eq!(*r.path.last().unwrap(), t);
+            }
+        }
+    }
+
+    #[test]
+    fn hop_count_is_logarithmic() {
+        let c = Chord::classic(256);
+        let (mean, max) = hop_statistics(&c, None);
+        // Greedy Chord routing takes at most log2 N hops on the full table.
+        assert!(max <= 8, "max hops {max} exceeds log2 N");
+        assert!(mean <= 5.0, "mean hops {mean} too large");
+    }
+
+    #[test]
+    fn sampled_hops_match_shape() {
+        let c = Chord::classic(1024);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let (mean, max) = hop_statistics(&c, Some((500, &mut rng)));
+        assert!(max <= 10);
+        assert!(mean <= 6.0);
+    }
+
+    #[test]
+    fn routing_stops_without_progress() {
+        // Ring-only neighborhoods going the wrong way: neighbor set {t+1} from
+        // everywhere can never decrease distance to t when distance wraps.
+        let c = Chord::classic(8);
+        let r = greedy_route(&c, |_| vec![], 0, 5, 16);
+        assert!(!r.reached);
+        assert_eq!(r.hops(), 0);
+    }
+
+    #[test]
+    fn paper_finger_table_also_routes() {
+        // Def. 1 (log N − 1 fingers) still yields O(log N) greedy routes
+        // because in-edges supply the short hops.
+        let c = Chord::paper(256);
+        let (_, max) = hop_statistics(&c, None);
+        assert!(max <= 12, "max hops {max}");
+    }
+}

@@ -1,0 +1,96 @@
+//! In-crate property tests for the topology layer.
+
+use overlay::{Avatar, Cbt, Chord, Graph};
+use proptest::prelude::*;
+
+proptest! {
+    /// Projection of a connected guest graph over any host set stays
+    /// connected (dilation-1 embeddings preserve connectivity).
+    #[test]
+    fn projection_preserves_connectivity(
+        n_exp in 3u32..9,
+        picks in proptest::collection::btree_set(0u32..256, 1..20),
+    ) {
+        let n = 1u32 << n_exp;
+        let hosts: Vec<u32> = picks.into_iter().filter(|&v| v < n).collect();
+        prop_assume!(!hosts.is_empty());
+        let av = Avatar::new(n, hosts.iter().copied());
+        let edges = av.project_edges(Cbt::new(n).edges());
+        let g = Graph::new(hosts.iter().copied(), edges);
+        prop_assert!(g.is_connected());
+    }
+
+    /// Chord guest graphs are vertex-transitive in degree and connected.
+    #[test]
+    fn chord_uniform_degree(n_exp in 2u32..11) {
+        let n = 1u32 << n_exp;
+        let c = Chord::classic(n);
+        let g = Graph::new(0..n, c.edges());
+        prop_assert!(g.is_connected());
+        let stats = g.degree_stats();
+        prop_assert_eq!(stats.min, stats.max, "ring symmetry ⇒ uniform degree");
+    }
+
+    /// BFS distances satisfy the triangle inequality over edges.
+    #[test]
+    fn bfs_is_metric(n in 4u32..64, seed in 0u64..100) {
+        use rand::SeedableRng;
+        let ids: Vec<u32> = (0..n).collect();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let edges = ssim_free_random_connected(&ids, (n / 2) as usize, &mut rng);
+        let g = Graph::new(ids.iter().copied(), edges);
+        let d = g.bfs(0);
+        for &(a, b) in &g.edges() {
+            let (ia, ib) = (
+                ids.iter().position(|&x| x == a).unwrap(),
+                ids.iter().position(|&x| x == b).unwrap(),
+            );
+            let (da, db) = (d[ia] as i64, d[ib] as i64);
+            prop_assert!((da - db).abs() <= 1, "edge ({a},{b}): {da} vs {db}");
+        }
+    }
+
+    /// Removing nodes never increases the surviving component fraction
+    /// beyond 1 and the robustness probability is monotone-ish in trials.
+    #[test]
+    fn survival_probability_in_unit_interval(f in 0usize..10, seed in 0u64..20) {
+        use rand::SeedableRng;
+        let c = Chord::classic(32);
+        let g = Graph::new(0..32u32, c.edges());
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let p = g.survival_probability(f, 10, &mut rng);
+        prop_assert!((0.0..=1.0).contains(&p));
+        if f == 0 {
+            prop_assert_eq!(p, 1.0);
+        }
+    }
+}
+
+/// Minimal random connected graph builder (kept local: overlay does not
+/// depend on ssim).
+fn ssim_free_random_connected(
+    ids: &[u32],
+    extra: usize,
+    rng: &mut impl rand::Rng,
+) -> Vec<(u32, u32)> {
+    use rand::seq::SliceRandom;
+    let mut order = ids.to_vec();
+    order.shuffle(rng);
+    let mut set = std::collections::HashSet::new();
+    for i in 1..order.len() {
+        let j = rng.gen_range(0..i);
+        let (a, b) = (order[i].min(order[j]), order[i].max(order[j]));
+        set.insert((a, b));
+    }
+    for _ in 0..extra * 4 {
+        if set.len() >= order.len() - 1 + extra {
+            break;
+        }
+        let a = *order.choose(rng).unwrap();
+        let b = *order.choose(rng).unwrap();
+        if a != b {
+            set.insert((a.min(b), a.max(b)));
+        }
+    }
+    set.into_iter().collect()
+}

@@ -1,0 +1,154 @@
+//! Transient-fault injection: adversarial perturbations applied between
+//! rounds. Self-stabilization promises recovery from *any* transient fault
+//! that leaves the network weakly connected; these helpers produce such
+//! faults reproducibly for the experiments and the failure-injection tests.
+
+use crate::program::Program;
+use crate::runtime::Runtime;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A transient fault to inject into a running simulation.
+#[derive(Debug, Clone)]
+pub enum Fault {
+    /// Add `count` uniformly random edges (bypassing the introduction rule —
+    /// this is an adversarial perturbation, not a protocol action).
+    AddRandomEdges {
+        /// Number of edges to add.
+        count: usize,
+    },
+    /// Remove up to `count` random edges; when `keep_connected`, removals
+    /// that would disconnect the network are skipped (the paper's guarantee
+    /// only covers connected configurations).
+    RemoveRandomEdges {
+        /// Number of removal attempts.
+        count: usize,
+        /// Skip removals that disconnect the network.
+        keep_connected: bool,
+    },
+    /// Rewire: remove `count` random edges (connectivity-preserving) and add
+    /// the same number of random edges.
+    Rewire {
+        /// Number of edges to rewire.
+        count: usize,
+    },
+}
+
+/// Apply a fault to the runtime. Returns the number of topology changes made.
+pub fn inject<P: Program>(rt: &mut Runtime<P>, fault: &Fault, rng: &mut impl Rng) -> usize {
+    match *fault {
+        Fault::AddRandomEdges { count } => add_random_edges(rt, count, rng),
+        Fault::RemoveRandomEdges {
+            count,
+            keep_connected,
+        } => remove_random_edges(rt, count, keep_connected, rng),
+        Fault::Rewire { count } => {
+            let removed = remove_random_edges(rt, count, true, rng);
+            let added = add_random_edges(rt, count, rng);
+            removed + added
+        }
+    }
+}
+
+fn add_random_edges<P: Program>(rt: &mut Runtime<P>, count: usize, rng: &mut impl Rng) -> usize {
+    let ids = rt.ids().to_vec();
+    if ids.len() < 2 {
+        return 0;
+    }
+    let mut done = 0;
+    let mut attempts = 0;
+    while done < count && attempts < 20 * count + 100 {
+        attempts += 1;
+        let a = *ids.choose(rng).unwrap();
+        let b = *ids.choose(rng).unwrap();
+        if a != b && rt.adversarial_add_edge(a, b) {
+            done += 1;
+        }
+    }
+    done
+}
+
+fn remove_random_edges<P: Program>(
+    rt: &mut Runtime<P>,
+    count: usize,
+    keep_connected: bool,
+    rng: &mut impl Rng,
+) -> usize {
+    let mut done = 0;
+    for _ in 0..count {
+        let mut edges = rt.topology().edges();
+        if edges.is_empty() {
+            break;
+        }
+        edges.shuffle(rng);
+        let mut removed = false;
+        for (a, b) in edges {
+            rt.adversarial_remove_edge(a, b);
+            if keep_connected && !rt.topology().is_connected() {
+                rt.adversarial_add_edge(a, b);
+                continue;
+            }
+            removed = true;
+            break;
+        }
+        if !removed {
+            break;
+        }
+        done += 1;
+    }
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Ctx, Program};
+    use crate::runtime::Config;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    struct Idle;
+    impl Program for Idle {
+        type Msg = ();
+        fn step(&mut self, _ctx: &mut Ctx<'_, ()>) {}
+    }
+
+    fn ring_runtime(n: u32) -> Runtime<Idle> {
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Runtime::new(Config::default(), (0..n).map(|i| (i, Idle)), edges)
+    }
+
+    #[test]
+    fn add_edges_increases_count() {
+        let mut rt = ring_runtime(16);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let added = inject(&mut rt, &Fault::AddRandomEdges { count: 5 }, &mut rng);
+        assert_eq!(added, 5);
+        assert_eq!(rt.topology().edge_count(), 21);
+    }
+
+    #[test]
+    fn remove_preserving_connectivity() {
+        let mut rt = ring_runtime(16);
+        let mut rng = SmallRng::seed_from_u64(4);
+        // A 16-ring tolerates exactly 1 edge removal while staying connected.
+        let removed = inject(
+            &mut rt,
+            &Fault::RemoveRandomEdges {
+                count: 3,
+                keep_connected: true,
+            },
+            &mut rng,
+        );
+        assert_eq!(removed, 1, "ring minus 2 edges would disconnect");
+        assert!(rt.topology().is_connected());
+    }
+
+    #[test]
+    fn rewire_keeps_connectivity() {
+        let mut rt = ring_runtime(32);
+        let mut rng = SmallRng::seed_from_u64(5);
+        inject(&mut rt, &Fault::Rewire { count: 6 }, &mut rng);
+        assert!(rt.topology().is_connected());
+    }
+}

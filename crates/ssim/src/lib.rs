@@ -1,0 +1,41 @@
+//! # ssim — synchronous overlay-network simulator
+//!
+//! Implements the model of computation of Section 2 of Berns, *"Network
+//! Scaffolding for Efficient Stabilization of the Chord Overlay Network"*
+//! (SPAA 2021):
+//!
+//! * **Synchronous message passing**: computation proceeds in rounds; a
+//!   message is received in round `i` iff it was sent in round `i − 1` by a
+//!   then-neighbor. Channels are reliable.
+//! * **Overlay model**: logical edges are node state. In a round, a node may
+//!   *delete* any incident edge, and may *connect two of its neighbors* to one
+//!   another ("introduction"): node `w` may create edge `(u, v)` only when
+//!   `(u, w)` and `(w, v)` both exist at the start of the round. The runtime
+//!   **enforces** this rule — a protocol that attempts an illegal link is a
+//!   bug and panics under [`Config::strict`] (the default).
+//! * **Metrics**: per-round maximum degree, message counts and edge churn are
+//!   recorded to compute *convergence time* and *degree expansion*, the two
+//!   performance measures of Section 2.2.
+//!
+//! Node programs implement [`Program`]; per-round execution of independent
+//! node programs is data-parallel (rayon) and fully deterministic: every node
+//! owns a PRNG seeded from `(run seed, node id)` and action application is
+//! sequenced in node-index order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod init;
+pub mod metrics;
+pub mod program;
+pub mod runtime;
+pub mod topology;
+
+pub use metrics::{RoundMetrics, RunMetrics};
+pub use program::{Actions, Ctx, Program};
+pub use runtime::{Config, Runtime};
+pub use topology::Topology;
+
+/// Identifier of a (host) node. Drawn from `[0, N)` for guest capacity `N`.
+pub type NodeId = u32;

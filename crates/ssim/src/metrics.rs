@@ -1,0 +1,126 @@
+//! Run metrics: the inputs to the paper's two performance measures,
+//! *convergence time* (Section 2.2) and *degree expansion* (ratio of the
+//! maximum degree during convergence to the maximum of the initial and final
+//! configurations' degrees).
+
+use serde::Serialize;
+
+/// Metrics of a single round.
+#[derive(Debug, Clone, Copy, Default, Serialize, PartialEq, Eq)]
+pub struct RoundMetrics {
+    /// Round number.
+    pub round: u64,
+    /// Messages delivered out of this round.
+    pub messages: u64,
+    /// Edges created by introductions this round.
+    pub links_added: u64,
+    /// Edges deleted this round.
+    pub links_removed: u64,
+    /// Model violations (dropped in lenient mode).
+    pub violations: u64,
+    /// Maximum node degree after the round.
+    pub max_degree: usize,
+    /// Total edges after the round.
+    pub total_edges: usize,
+}
+
+/// Aggregated metrics of a run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RunMetrics {
+    /// Maximum degree in the initial configuration.
+    pub initial_max_degree: usize,
+    /// Peak maximum degree observed over all rounds so far (including the
+    /// initial configuration).
+    pub peak_degree: usize,
+    /// Total messages sent.
+    pub total_messages: u64,
+    /// Total edges created.
+    pub total_links_added: u64,
+    /// Total edges deleted.
+    pub total_links_removed: u64,
+    /// Total model violations observed (lenient mode only; strict panics).
+    pub total_violations: u64,
+    /// Number of completed rounds.
+    pub rounds_executed: u64,
+    /// Per-round rows (only when `Config::record_rounds`).
+    pub per_round: Vec<RoundMetrics>,
+}
+
+impl RunMetrics {
+    /// Start collecting with the given initial maximum degree.
+    pub fn new(initial_max_degree: usize) -> Self {
+        Self {
+            initial_max_degree,
+            peak_degree: initial_max_degree,
+            ..Self::default()
+        }
+    }
+
+    pub(crate) fn absorb(&mut self, row: RoundMetrics, record: bool) {
+        self.total_messages += row.messages;
+        self.total_links_added += row.links_added;
+        self.total_links_removed += row.links_removed;
+        self.total_violations += row.violations;
+        self.peak_degree = self.peak_degree.max(row.max_degree);
+        self.rounds_executed += 1;
+        if record {
+            self.per_round.push(row);
+        }
+    }
+
+    /// Degree expansion per Section 2.2: peak degree during convergence over
+    /// `max(initial max degree, final max degree)`. The caller supplies the
+    /// final configuration's maximum degree.
+    pub fn degree_expansion(&self, final_max_degree: usize) -> f64 {
+        let denom = self.initial_max_degree.max(final_max_degree).max(1);
+        self.peak_degree as f64 / denom as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_uses_larger_of_initial_and_final() {
+        let mut m = RunMetrics::new(4);
+        m.absorb(
+            RoundMetrics {
+                max_degree: 12,
+                ..Default::default()
+            },
+            true,
+        );
+        assert_eq!(m.peak_degree, 12);
+        // final degree 6 > initial 4 -> denominator 6
+        assert!((m.degree_expansion(6) - 2.0).abs() < 1e-12);
+        // final degree 3 < initial 4 -> denominator 4
+        assert!((m.degree_expansion(3) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expansion_of_quiet_run_is_one() {
+        let m = RunMetrics::new(5);
+        assert!((m.degree_expansion(5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut m = RunMetrics::new(0);
+        for r in 0..3 {
+            m.absorb(
+                RoundMetrics {
+                    round: r,
+                    messages: 2,
+                    links_added: 1,
+                    ..Default::default()
+                },
+                true,
+            );
+        }
+        assert_eq!(m.total_messages, 6);
+        assert_eq!(m.total_links_added, 3);
+        assert_eq!(m.rounds_executed, 3);
+        assert_eq!(m.per_round.len(), 3);
+    }
+}

@@ -1,0 +1,120 @@
+//! Node programs and the per-round execution context.
+
+use crate::NodeId;
+use rand::rngs::SmallRng;
+
+/// A distributed node program. All nodes run the same program type (the
+/// paper's uniform-program assumption); per-node behavior derives from the
+/// node's identifier and state.
+pub trait Program: Send {
+    /// Message type exchanged by the protocol.
+    type Msg: Clone + Send + Sync + std::fmt::Debug;
+
+    /// Execute one synchronous round: read the inbox and the neighbor
+    /// snapshot from `ctx`, update local state, and emit sends / topology
+    /// actions through `ctx`.
+    fn step(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Whether the node considers itself quiescent (purely informational; the
+    /// runtime never acts on it — legality is judged by external monitors as
+    /// in the paper's global legal-configuration predicate).
+    fn is_quiescent(&self) -> bool {
+        false
+    }
+}
+
+/// Actions a node emits during a round; applied by the runtime after all
+/// nodes have stepped (synchronous semantics).
+#[derive(Debug)]
+pub struct Actions<M> {
+    /// Messages to send: `(recipient, payload)`. Recipients must be
+    /// round-start neighbors.
+    pub sends: Vec<(NodeId, M)>,
+    /// Introductions: create edge `(a, b)` where both `a` and `b` are in the
+    /// acting node's closed neighborhood (the overlay-model edge creation
+    /// rule).
+    pub links: Vec<(NodeId, NodeId)>,
+    /// Deletions of incident edges: remove edge `(self, v)`.
+    pub unlinks: Vec<NodeId>,
+}
+
+impl<M> Default for Actions<M> {
+    fn default() -> Self {
+        Self {
+            sends: Vec::new(),
+            links: Vec::new(),
+            unlinks: Vec::new(),
+        }
+    }
+}
+
+/// Per-round execution context handed to [`Program::step`].
+pub struct Ctx<'a, M> {
+    /// This node's identifier.
+    pub id: NodeId,
+    /// The current round number (starts at 0).
+    pub round: u64,
+    neighbors: &'a [NodeId],
+    inbox: &'a [(NodeId, M)],
+    rng: &'a mut SmallRng,
+    actions: &'a mut Actions<M>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    pub(crate) fn new(
+        id: NodeId,
+        round: u64,
+        neighbors: &'a [NodeId],
+        inbox: &'a [(NodeId, M)],
+        rng: &'a mut SmallRng,
+        actions: &'a mut Actions<M>,
+    ) -> Self {
+        Self {
+            id,
+            round,
+            neighbors,
+            inbox,
+            rng,
+            actions,
+        }
+    }
+
+    /// Sorted neighbor identifiers at the start of this round.
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+
+    /// True iff `v` was a neighbor at the start of this round.
+    pub fn is_neighbor(&self, v: NodeId) -> bool {
+        self.neighbors.binary_search(&v).is_ok()
+    }
+
+    /// Messages received this round (sent by neighbors in the previous round),
+    /// as `(sender, payload)` pairs in deterministic (sender-index) order.
+    pub fn inbox(&self) -> &[(NodeId, M)] {
+        self.inbox
+    }
+
+    /// The node's private deterministic PRNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Send `msg` to neighbor `to` (delivered next round). Sending to a
+    /// non-neighbor is a protocol bug (checked at application time).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.actions.sends.push((to, msg));
+    }
+
+    /// Introduce `a` and `b`: create the edge `(a, b)`. Both must be in this
+    /// node's closed neighborhood `N(self) ∪ {self}` at round start — the
+    /// overlay-model edge-creation rule, enforced by the runtime.
+    pub fn link(&mut self, a: NodeId, b: NodeId) {
+        self.actions.links.push((a, b));
+    }
+
+    /// Delete the incident edge `(self, v)` (unilateral, per the model).
+    pub fn unlink(&mut self, v: NodeId) {
+        self.actions.unlinks.push(v);
+    }
+}

@@ -1,0 +1,496 @@
+//! The synchronous round engine.
+
+use crate::metrics::{RoundMetrics, RunMetrics};
+use crate::program::{Actions, Ctx, Program};
+use crate::topology::Topology;
+use crate::NodeId;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Runtime configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Panic on model violations (illegal links, sends to non-neighbors).
+    /// When false, violations are dropped and counted in the metrics.
+    pub strict: bool,
+    /// Execute node programs data-parallel with rayon. Results are identical
+    /// to sequential execution (actions are applied in node-index order).
+    pub parallel: bool,
+    /// Seed for all node PRNGs (node `v` gets `seed ⊕ splitmix(v)`).
+    pub seed: u64,
+    /// Record per-round metric rows (otherwise only aggregates are kept).
+    pub record_rounds: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            strict: true,
+            parallel: false,
+            seed: 0xC0FFEE,
+            record_rounds: true,
+        }
+    }
+}
+
+impl Config {
+    /// Default config with a given seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Enable rayon-parallel round execution (worth it from ~1k nodes).
+    pub fn parallel(mut self) -> Self {
+        self.parallel = true;
+        self
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// The simulator: a set of node programs, the overlay topology, and mailboxes.
+pub struct Runtime<P: Program> {
+    cfg: Config,
+    topo: Topology,
+    ids: Vec<NodeId>,
+    index: HashMap<NodeId, usize>,
+    programs: Vec<P>,
+    rngs: Vec<SmallRng>,
+    /// Messages to be delivered at the next `step` (sent last round).
+    inboxes: Vec<Vec<(NodeId, P::Msg)>>,
+    round: u64,
+    metrics: RunMetrics,
+}
+
+impl<P: Program> Runtime<P> {
+    /// Create a runtime over `(id, program)` pairs and initial edges.
+    ///
+    /// # Panics
+    /// Panics on duplicate ids or invalid edges.
+    pub fn new(
+        cfg: Config,
+        nodes: impl IntoIterator<Item = (NodeId, P)>,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Self {
+        let (ids, programs): (Vec<NodeId>, Vec<P>) = nodes.into_iter().unzip();
+        let index: HashMap<NodeId, usize> = ids.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        assert_eq!(index.len(), ids.len(), "duplicate node ids");
+        let topo = Topology::new(ids.iter().copied(), edges);
+        let rngs = ids
+            .iter()
+            .map(|&v| SmallRng::seed_from_u64(cfg.seed ^ splitmix64(v as u64 + 1)))
+            .collect();
+        let inboxes = vec![Vec::new(); ids.len()];
+        let metrics = RunMetrics::new(topo.max_degree());
+        Self {
+            cfg,
+            topo,
+            ids,
+            index,
+            programs,
+            rngs,
+            inboxes,
+            round: 0,
+            metrics,
+        }
+    }
+
+    /// Current round number (number of completed rounds).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The current topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Run-wide metrics collected so far.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Node identifiers in construction order.
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// Immutable access to a node's program.
+    ///
+    /// # Panics
+    /// `v` must be a node.
+    pub fn program(&self, v: NodeId) -> &P {
+        &self.programs[self.index[&v]]
+    }
+
+    /// Iterate `(id, program)` pairs.
+    pub fn programs(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        self.ids.iter().copied().zip(self.programs.iter())
+    }
+
+    /// Mutate a node's program out-of-band — **adversarial state corruption**
+    /// for fault-injection experiments; not part of the protocol.
+    pub fn corrupt_node(&mut self, v: NodeId, f: impl FnOnce(&mut P)) {
+        let i = self.index[&v];
+        f(&mut self.programs[i]);
+    }
+
+    /// Adversarially insert an edge, bypassing the introduction rule
+    /// (transient fault). Counted as a perturbation in the metrics.
+    pub fn adversarial_add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.topo.add_edge(a, b)
+    }
+
+    /// Adversarially delete an edge (transient fault).
+    pub fn adversarial_remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.topo.remove_edge(a, b)
+    }
+
+    /// Execute one synchronous round.
+    pub fn step(&mut self) {
+        // Phase 1: deliver inboxes and run every program against the
+        // round-start topology snapshot.
+        let inboxes = std::mem::take(&mut self.inboxes);
+        let round = self.round;
+        let topo = &self.topo;
+        let ids = &self.ids;
+
+        let run_one = |i: usize, prog: &mut P, rng: &mut SmallRng, inbox: &[(NodeId, P::Msg)]| {
+            let mut actions = Actions::default();
+            let neighbors = topo.neighbors_by_index(i);
+            let mut ctx = Ctx::new(ids[i], round, neighbors, inbox, rng, &mut actions);
+            prog.step(&mut ctx);
+            actions
+        };
+
+        let actions: Vec<Actions<P::Msg>> = if self.cfg.parallel {
+            self.programs
+                .par_iter_mut()
+                .zip(self.rngs.par_iter_mut())
+                .zip(inboxes.par_iter())
+                .enumerate()
+                .map(|(i, ((prog, rng), inbox))| run_one(i, prog, rng, inbox))
+                .collect()
+        } else {
+            self.programs
+                .iter_mut()
+                .zip(self.rngs.iter_mut())
+                .zip(inboxes.iter())
+                .enumerate()
+                .map(|(i, ((prog, rng), inbox))| run_one(i, prog, rng, inbox))
+                .collect()
+        };
+
+        // Phase 2: apply actions in node-index order against the round-start
+        // snapshot semantics. Unlinks first, then links (an edge both removed
+        // and introduced in the same round ends up present), then sends
+        // (validated against round-START adjacency).
+        let mut row = RoundMetrics {
+            round,
+            ..RoundMetrics::default()
+        };
+        let mut new_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); self.ids.len()];
+
+        // Snapshot adjacency checks must use round-start state; capture the
+        // closed neighborhoods needed for link validation before mutating.
+        // (Cheap: only for nodes that emitted links.)
+        let link_ok: Vec<Vec<bool>> = actions
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                a.links
+                    .iter()
+                    .map(|&(x, y)| {
+                        let me = self.ids[i];
+                        let nb = self.topo.neighbors_by_index(i);
+                        let in_closed =
+                            |v: NodeId| v == me || nb.binary_search(&v).is_ok();
+                        x != y && in_closed(x) && in_closed(y)
+                    })
+                    .collect()
+            })
+            .collect();
+        let send_ok: Vec<Vec<bool>> = actions
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let nb = self.topo.neighbors_by_index(i);
+                a.sends
+                    .iter()
+                    .map(|&(to, _)| nb.binary_search(&to).is_ok())
+                    .collect()
+            })
+            .collect();
+
+        for (i, a) in actions.iter().enumerate() {
+            let me = self.ids[i];
+            for &v in &a.unlinks {
+                if self.topo.remove_edge(me, v) {
+                    row.links_removed += 1;
+                }
+            }
+        }
+        for (i, a) in actions.iter().enumerate() {
+            let me = self.ids[i];
+            for (j, &(x, y)) in a.links.iter().enumerate() {
+                if !link_ok[i][j] {
+                    row.violations += 1;
+                    if self.cfg.strict {
+                        panic!(
+                            "round {round}: node {me} attempted illegal link ({x}, {y}) \
+                             outside its closed neighborhood"
+                        );
+                    }
+                    continue;
+                }
+                if self.topo.add_edge(x, y) {
+                    row.links_added += 1;
+                }
+            }
+        }
+        for (i, a) in actions.into_iter().enumerate() {
+            let me = self.ids[i];
+            for (j, (to, msg)) in a.sends.into_iter().enumerate() {
+                if !send_ok[i][j] {
+                    row.violations += 1;
+                    if self.cfg.strict {
+                        panic!("round {round}: node {me} sent to non-neighbor {to}");
+                    }
+                    continue;
+                }
+                row.messages += 1;
+                new_inboxes[self.index[&to]].push((me, msg));
+            }
+        }
+
+        self.inboxes = new_inboxes;
+        self.round += 1;
+        row.max_degree = self.topo.max_degree();
+        row.total_edges = self.topo.edge_count();
+        self.metrics.absorb(row, self.cfg.record_rounds);
+        debug_assert!(self.topo.check_invariants());
+    }
+
+    /// Run until `legal(self)` holds (checked *before* each round, so a
+    /// runtime already in a legal state returns 0) or `max_rounds` elapse.
+    /// Returns the number of rounds executed on success, `None` on timeout.
+    pub fn run_until(
+        &mut self,
+        mut legal: impl FnMut(&Self) -> bool,
+        max_rounds: u64,
+    ) -> Option<u64> {
+        let start = self.round;
+        for _ in 0..=max_rounds {
+            if legal(self) {
+                return Some(self.round - start);
+            }
+            if self.round - start == max_rounds {
+                break;
+            }
+            self.step();
+        }
+        None
+    }
+
+    /// Run a fixed number of rounds.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// True iff no messages are in flight (next round delivers nothing).
+    pub fn is_silent(&self) -> bool {
+        self.inboxes.iter().all(Vec::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Flooding program: forward a token to all neighbors once.
+    #[derive(Default)]
+    struct Flood {
+        has: bool,
+        announced: bool,
+    }
+
+    impl Program for Flood {
+        type Msg = ();
+
+        fn step(&mut self, ctx: &mut Ctx<'_, ()>) {
+            if !ctx.inbox().is_empty() {
+                self.has = true;
+            }
+            if self.has && !self.announced {
+                self.announced = true;
+                for &v in &Vec::from(ctx.neighbors()) {
+                    ctx.send(v, ());
+                }
+            }
+        }
+
+        fn is_quiescent(&self) -> bool {
+            self.has
+        }
+    }
+
+    fn line_runtime(n: u32) -> Runtime<Flood> {
+        let nodes = (0..n).map(|i| {
+            (
+                i,
+                Flood {
+                    has: i == 0,
+                    announced: false,
+                },
+            )
+        });
+        Runtime::new(Config::default(), nodes, (0..n - 1).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn flood_takes_diameter_rounds() {
+        let mut rt = line_runtime(10);
+        let done = rt.run_until(
+            |r| r.programs().all(|(_, p)| p.is_quiescent()),
+            100,
+        );
+        // Token starts at node 0 and is sent in round 0; 9 message hops mean
+        // node 9 receives during round 9, i.e. after the 10th step.
+        assert_eq!(done, Some(10));
+    }
+
+    #[test]
+    fn run_until_on_legal_start_is_zero() {
+        let mut rt = line_runtime(4);
+        assert_eq!(rt.run_until(|_| true, 10), Some(0));
+    }
+
+    #[test]
+    fn run_until_times_out() {
+        let mut rt = line_runtime(4);
+        assert_eq!(rt.run_until(|_| false, 5), None);
+        assert_eq!(rt.round(), 5);
+    }
+
+    /// Program that introduces its two smallest neighbors each round.
+    struct Introducer;
+
+    impl Program for Introducer {
+        type Msg = ();
+
+        fn step(&mut self, ctx: &mut Ctx<'_, ()>) {
+            let nb = ctx.neighbors();
+            if nb.len() >= 2 {
+                let (a, b) = (nb[0], nb[1]);
+                ctx.link(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn introductions_triangulate_a_path() {
+        let nodes = (0..3u32).map(|i| (i, Introducer));
+        let mut rt = Runtime::new(Config::default(), nodes, [(0, 1), (1, 2)]);
+        rt.step();
+        assert!(rt.topology().has_edge(0, 2), "node 1 introduced 0 and 2");
+        assert_eq!(rt.metrics().total_links_added, 1);
+    }
+
+    /// Program that tries an illegal link (to a node two hops away).
+    struct Cheater;
+
+    impl Program for Cheater {
+        type Msg = ();
+
+        fn step(&mut self, ctx: &mut Ctx<'_, ()>) {
+            if ctx.id == 0 {
+                ctx.link(0, 2); // 2 is not a neighbor of 0 on a path 0-1-2
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal link")]
+    fn illegal_link_panics_in_strict_mode() {
+        let nodes = (0..3u32).map(|i| (i, Cheater));
+        let mut rt = Runtime::new(Config::default(), nodes, [(0, 1), (1, 2)]);
+        rt.step();
+    }
+
+    #[test]
+    fn illegal_link_counted_in_lenient_mode() {
+        let cfg = Config {
+            strict: false,
+            ..Config::default()
+        };
+        let nodes = (0..3u32).map(|i| (i, Cheater));
+        let mut rt = Runtime::new(cfg, nodes, [(0, 1), (1, 2)]);
+        rt.step();
+        assert!(!rt.topology().has_edge(0, 2));
+        assert_eq!(rt.metrics().total_violations, 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let run = |parallel: bool| {
+            let cfg = Config {
+                parallel,
+                ..Config::default()
+            };
+            let nodes = (0..64u32).map(|i| {
+                (
+                    i,
+                    Flood {
+                        has: i == 0,
+                        announced: false,
+                    },
+                )
+            });
+            let mut rt = Runtime::new(cfg, nodes, (0..63u32).map(|i| (i, i + 1)));
+            rt.run(70);
+            (rt.metrics().total_messages, rt.topology().edges())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn unlink_then_link_same_round_keeps_edge() {
+        struct Churner;
+        impl Program for Churner {
+            type Msg = ();
+            fn step(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if ctx.id == 1 {
+                    // Remove (1,0) but also re-introduce it: link wins.
+                    ctx.unlink(0);
+                    ctx.link(1, 0);
+                }
+            }
+        }
+        let nodes = (0..2u32).map(|i| (i, Churner));
+        let mut rt = Runtime::new(Config::default(), nodes, [(0, 1)]);
+        rt.step();
+        assert!(rt.topology().has_edge(0, 1));
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let go = || {
+            let mut rt = line_runtime(16);
+            rt.run(20);
+            rt.metrics().total_messages
+        };
+        assert_eq!(go(), go());
+    }
+}

@@ -1,0 +1,236 @@
+//! The mutable overlay topology: an undirected graph over node identifiers
+//! with sorted adjacency lists and O(log deg) edge queries.
+
+use crate::NodeId;
+use std::collections::HashMap;
+
+/// Undirected graph over sparse node identifiers. Edges are symmetric by
+/// construction; self-loops are forbidden.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    ids: Vec<NodeId>,
+    index: HashMap<NodeId, usize>,
+    adj: Vec<Vec<NodeId>>, // sorted neighbor identifiers
+}
+
+impl Topology {
+    /// Build a topology over `ids` with the given initial undirected edges.
+    ///
+    /// # Panics
+    /// Panics on duplicate ids, unknown edge endpoints, or self-loops.
+    pub fn new(
+        ids: impl IntoIterator<Item = NodeId>,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Self {
+        let ids: Vec<NodeId> = ids.into_iter().collect();
+        let index: HashMap<NodeId, usize> = ids.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        assert_eq!(index.len(), ids.len(), "duplicate node ids");
+        let mut t = Self {
+            adj: vec![Vec::new(); ids.len()],
+            ids,
+            index,
+        };
+        for (a, b) in edges {
+            t.add_edge(a, b);
+        }
+        t
+    }
+
+    /// Node identifiers in insertion order.
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Dense index of a node id, if present.
+    pub fn index_of(&self, v: NodeId) -> Option<usize> {
+        self.index.get(&v).copied()
+    }
+
+    /// True iff `v` is a node of the topology.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.index.contains_key(&v)
+    }
+
+    /// Sorted neighbor identifiers of node `v`.
+    ///
+    /// # Panics
+    /// `v` must be a node.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[self.index[&v]]
+    }
+
+    /// Sorted neighbor identifiers by dense index (hot path for the runtime).
+    pub(crate) fn neighbors_by_index(&self, i: usize) -> &[NodeId] {
+        &self.adj[i]
+    }
+
+    /// Degree of node `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// True iff the edge `(a, b)` exists.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        match self.index.get(&a) {
+            Some(&i) => self.adj[i].binary_search(&b).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Insert the undirected edge `(a, b)`. Returns true if it was new.
+    ///
+    /// # Panics
+    /// Panics on self-loops or unknown endpoints.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        assert!(a != b, "self-loop at {a}");
+        let ia = *self.index.get(&a).unwrap_or_else(|| panic!("unknown node {a}"));
+        let ib = *self.index.get(&b).unwrap_or_else(|| panic!("unknown node {b}"));
+        match self.adj[ia].binary_search(&b) {
+            Ok(_) => false,
+            Err(pa) => {
+                self.adj[ia].insert(pa, b);
+                let pb = self.adj[ib].binary_search(&a).unwrap_err();
+                self.adj[ib].insert(pb, a);
+                true
+            }
+        }
+    }
+
+    /// Remove the undirected edge `(a, b)`. Returns true if it existed.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        let (Some(&ia), Some(&ib)) = (self.index.get(&a), self.index.get(&b)) else {
+            return false;
+        };
+        match self.adj[ia].binary_search(&b) {
+            Ok(pa) => {
+                self.adj[ia].remove(pa);
+                let pb = self.adj[ib].binary_search(&a).unwrap();
+                self.adj[ib].remove(pb);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The undirected edge list, each edge once as `(a, b)` with `a < b`.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::with_capacity(self.edge_count());
+        for (i, l) in self.adj.iter().enumerate() {
+            let a = self.ids[i];
+            for &b in l {
+                if a < b {
+                    out.push((a, b));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// True iff the graph is weakly connected (trivially true for ≤ 1 node).
+    pub fn is_connected(&self) -> bool {
+        if self.ids.is_empty() {
+            return true;
+        }
+        let n = self.ids.len();
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        seen[0] = true;
+        let mut count = 1usize;
+        while let Some(v) = queue.pop_front() {
+            for &w in &self.adj[v] {
+                let wi = self.index[&w];
+                if !seen[wi] {
+                    seen[wi] = true;
+                    count += 1;
+                    queue.push_back(wi);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Verify adjacency symmetry and sortedness — an internal invariant
+    /// exposed for property tests.
+    pub fn check_invariants(&self) -> bool {
+        for (i, l) in self.adj.iter().enumerate() {
+            let a = self.ids[i];
+            if l.windows(2).any(|w| w[0] >= w[1]) {
+                return false;
+            }
+            for &b in l {
+                if b == a {
+                    return false;
+                }
+                let Some(&ib) = self.index.get(&b) else {
+                    return false;
+                };
+                if self.adj[ib].binary_search(&a).is_err() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut t = Topology::new([1u32, 5, 9], [(1, 5)]);
+        assert!(t.has_edge(5, 1));
+        assert!(!t.add_edge(5, 1), "duplicate add is a no-op");
+        assert!(t.add_edge(5, 9));
+        assert_eq!(t.edge_count(), 2);
+        assert!(t.remove_edge(1, 5));
+        assert!(!t.remove_edge(1, 5));
+        assert_eq!(t.neighbors(5), &[9]);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_rejected() {
+        Topology::new([1u32], [(1, 1)]);
+    }
+
+    #[test]
+    fn connectivity() {
+        let t = Topology::new(0..4u32, [(0, 1), (1, 2), (2, 3)]);
+        assert!(t.is_connected());
+        let t = Topology::new(0..4u32, [(0, 1), (2, 3)]);
+        assert!(!t.is_connected());
+    }
+
+    #[test]
+    fn degree_and_max_degree() {
+        let t = Topology::new(0..4u32, [(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(t.degree(0), 3);
+        assert_eq!(t.degree(2), 1);
+        assert_eq!(t.max_degree(), 3);
+    }
+
+    #[test]
+    fn edges_sorted_unique() {
+        let t = Topology::new([7u32, 3, 5], [(7, 3), (3, 5)]);
+        assert_eq!(t.edges(), vec![(3, 5), (3, 7)]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # chord-scaffolding — facade crate
+//!
+//! Reproduction of Berns, *"Network Scaffolding for Efficient Stabilization
+//! of the Chord Overlay Network"* (SPAA 2021). Re-exports the workspace
+//! crates under one roof for the examples and downstream users:
+//!
+//! * [`sim`] — the synchronous overlay-network simulator (model of §2).
+//! * [`topology`] — `Chord(N)`, `Cbt(N)`, the Avatar embedding, analytics.
+//! * [`scaffold`] — the self-stabilizing `Avatar(Cbt)` substrate (§3).
+//! * [`chord`] — the paper's contribution: self-stabilizing `Avatar(Chord)`
+//!   via PIF finger waves and phase selection (§4–§5), plus the generalized
+//!   scaffolding pattern (§6).
+//! * [`baseline`] — TCF and the linear-scaffold comparison algorithms.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use chord_scaffolding::chord::{self, ChordTarget};
+//! use chord_scaffolding::sim::{init::Shape, Config};
+//!
+//! // 8 hosts with random ids in a guest space of 64, starting from a line.
+//! let target = ChordTarget::classic(64);
+//! let mut rt = chord::runtime_from_shape(target, 8, Shape::Line, Config::seeded(7));
+//! let rounds = chord::stabilize(&mut rt, 50_000).expect("self-stabilization");
+//! println!("stabilized in {rounds} rounds");
+//! assert!(chord::runtime_is_legal(&rt));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use avatar_cbt as scaffold;
+pub use baselines as baseline;
+pub use chord_scaffold as chord;
+pub use overlay as topology;
+pub use ssim as sim;
