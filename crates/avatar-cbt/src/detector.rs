@@ -42,6 +42,7 @@ pub enum FaultKind {
 ///
 /// `tolerate_extra` suppresses the unexplained-edge check during the
 /// post-commit grace window (merge transients are pruned on a schedule).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's predicate arity
 pub fn check(
     id: NodeId,
     n: u32,
@@ -52,7 +53,17 @@ pub fn check(
     neighbors: &[NodeId],
     tolerate_extra: bool,
 ) -> Option<FaultKind> {
-    check_inner(id, n, cbt, core, view, now, neighbors, tolerate_extra, false)
+    check_inner(
+        id,
+        n,
+        cbt,
+        core,
+        view,
+        now,
+        neighbors,
+        tolerate_extra,
+        false,
+    )
 }
 
 /// [`check`] with stale-tolerant beacon lookups: a neighbor's last beacon is
@@ -60,6 +71,7 @@ pub fn check(
 /// the caller's phase (the CHORD phase: any state change implies a phase
 /// reversion, which resumes fresh beaconing) — quiescent neighbors there are
 /// hosts that have armed for DONE.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's predicate arity
 pub fn check_stale_tolerant(
     id: NodeId,
     n: u32,
@@ -92,7 +104,11 @@ fn check_inner(
             view.get(now, v)
         }
     };
-    let fresh = || neighbors.iter().filter_map(|&v| beacon_of(v).map(|b| (v, b)));
+    let fresh = || {
+        neighbors
+            .iter()
+            .filter_map(|&v| beacon_of(v).map(|b| (v, b)))
+    };
     let (lo, hi) = core.range;
     // 1. Range sanity: non-min hosts own [id, hi); the min host owns [0, hi)
     //    and must itself be the cluster minimum.

@@ -104,8 +104,13 @@ pub fn ranges_adjacent(cbt: &Cbt, a: (u32, u32), b: (u32, u32)) -> bool {
         return false;
     }
     let covered = |r: (u32, u32), g: u32| r.0 <= g && g < r.1;
-    cbt.crossing_up(a.0, a.1).iter().any(|&(_, p)| covered(b, p))
-        || cbt.crossing_up(b.0, b.1).iter().any(|&(_, p)| covered(a, p))
+    cbt.crossing_up(a.0, a.1)
+        .iter()
+        .any(|&(_, p)| covered(b, p))
+        || cbt
+            .crossing_up(b.0, b.1)
+            .iter()
+            .any(|&(_, p)| covered(a, p))
 }
 
 /// True iff two responsible ranges are consecutive (successor relation).

@@ -9,6 +9,7 @@
 use crate::program::CbtProgram;
 use crate::protocol::CbtCore;
 use overlay::{Avatar, Cbt};
+use ssim::monitor::{self, Goal};
 use ssim::{init::Shape, Config, NodeId, Runtime, Topology};
 
 /// The exact edge set of a legal `Avatar(Cbt(N))` over the given host set:
@@ -29,11 +30,7 @@ pub fn expected_edges(n: u32, ids: &[NodeId]) -> Vec<(NodeId, NodeId)> {
 }
 
 /// True iff the host states and topology form the legal `Avatar(Cbt(N))`.
-pub fn is_legal_cbt<'a>(
-    n: u32,
-    topo: &Topology,
-    cores: impl Iterator<Item = &'a CbtCore>,
-) -> bool {
+pub fn is_legal_cbt<'a>(n: u32, topo: &Topology, cores: impl Iterator<Item = &'a CbtCore>) -> bool {
     let cores: Vec<&CbtCore> = cores.collect();
     if cores.is_empty() {
         return false;
@@ -56,11 +53,21 @@ pub fn is_legal_cbt<'a>(
 
 /// Runtime-level legality check for a standalone CBT run.
 pub fn runtime_is_legal(rt: &Runtime<CbtProgram>) -> bool {
+    let Some(&first) = rt.ids().first() else {
+        return false; // all hosts departed: nothing legal to speak of
+    };
     is_legal_cbt(
-        rt.program(rt.ids()[0]).core.n,
+        rt.program(first).core.n,
         rt.topology(),
         rt.programs().map(|(_, p)| &p.core),
     )
+}
+
+/// The Avatar(CBT) legality goal as a composable [`ssim::Monitor`] — the
+/// driver form of [`runtime_is_legal`], for [`Runtime::run_monitored`] and
+/// scenario runs.
+pub fn legality() -> Goal<impl FnMut(&Runtime<CbtProgram>) -> bool> {
+    monitor::goal("avatar-cbt-legal", runtime_is_legal)
 }
 
 /// Build a CBT runtime over the given host ids and initial edges. Every host
@@ -73,22 +80,22 @@ pub fn runtime(
     edges: Vec<(NodeId, NodeId)>,
     cfg: Config,
 ) -> Runtime<CbtProgram> {
+    let seed = cfg.seed;
     let nodes = ids
         .iter()
-        .map(|&v| {
-            let nonce = cfg.seed ^ (v as u64 + 7).wrapping_mul(0x9E3779B97F4A7C15);
-            (v, CbtProgram::new(v, n, nonce))
-        });
+        .map(|&v| (v, CbtProgram::new(v, n, join_nonce(seed, v))));
+    // Hosts joining mid-run (scenario churn) boot exactly like constructed
+    // hosts: fresh singleton clusters with the seed-derived nonce.
     Runtime::new(cfg, nodes, edges)
+        .with_spawner(move |v| CbtProgram::new(v, n, join_nonce(seed, v)))
+}
+
+fn join_nonce(seed: u64, v: NodeId) -> u64 {
+    seed ^ (v as u64 + 7).wrapping_mul(0x9E3779B97F4A7C15)
 }
 
 /// Build a CBT runtime from a named initial shape with `count` random hosts.
-pub fn runtime_from_shape(
-    n: u32,
-    count: usize,
-    shape: Shape,
-    cfg: Config,
-) -> Runtime<CbtProgram> {
+pub fn runtime_from_shape(n: u32, count: usize, shape: Shape, cfg: Config) -> Runtime<CbtProgram> {
     use rand::SeedableRng;
     let mut rng = rand::rngs::SmallRng::seed_from_u64(cfg.seed ^ 0xA5A5_5A5A);
     let ids = ssim::init::random_ids(count, n, &mut rng);
@@ -98,8 +105,13 @@ pub fn runtime_from_shape(
 
 /// Run a CBT runtime to legality. Returns rounds taken, or `None` on
 /// timeout.
+#[deprecated(
+    since = "0.2.0",
+    note = "drive with `rt.run_monitored(&mut avatar_cbt::legality(), budget)` instead"
+)]
 pub fn stabilize(rt: &mut Runtime<CbtProgram>, max_rounds: u64) -> Option<u64> {
-    rt.run_until(runtime_is_legal, max_rounds)
+    rt.run_monitored(&mut legality(), max_rounds)
+        .rounds_if_satisfied()
 }
 
 #[cfg(test)]

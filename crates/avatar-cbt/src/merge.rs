@@ -117,12 +117,7 @@ impl CbtCore {
                         let (l, r) = self.cbt.children(g);
                         for c in [l, r].into_iter().flatten() {
                             match hosttree::host_for(
-                                me,
-                                &self.core,
-                                &self.view,
-                                round,
-                                neighbors,
-                                c,
+                                me, &self.core, &self.view, round, neighbors, c,
                             ) {
                                 Some(h) => {
                                     if h != me && io.is_neighbor(from) && io.is_neighbor(h) {
@@ -179,8 +174,7 @@ impl CbtCore {
                 }
                 let partner_cid = merge.partner_cid;
                 for &(c, their_host) in entries {
-                    let mine =
-                        hosttree::host_for(me, &self.core, &self.view, round, neighbors, c);
+                    let mine = hosttree::host_for(me, &self.core, &self.view, round, neighbors, c);
                     let Some(mine) = mine else { continue };
                     if mine == me {
                         let merge = self.scratch.merge.as_mut().unwrap();
@@ -390,10 +384,14 @@ mod tests {
                 }
                 for lo in 0..8u32 {
                     for hi in lo..16u32 {
-                        let wa: Vec<u32> =
-                            won_by(a, b, (lo, hi)).iter().flat_map(|&(x, y)| x..y).collect();
-                        let wb: Vec<u32> =
-                            won_by(b, a, (lo, hi)).iter().flat_map(|&(x, y)| x..y).collect();
+                        let wa: Vec<u32> = won_by(a, b, (lo, hi))
+                            .iter()
+                            .flat_map(|&(x, y)| x..y)
+                            .collect();
+                        let wb: Vec<u32> = won_by(b, a, (lo, hi))
+                            .iter()
+                            .flat_map(|&(x, y)| x..y)
+                            .collect();
                         let mut all = wa.clone();
                         all.extend(&wb);
                         all.sort_unstable();

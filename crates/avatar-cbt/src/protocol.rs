@@ -230,7 +230,11 @@ impl CbtCore {
                     self.forward_nomination(io, neighbors, epoch, offset);
                 }
             }
-            CbtMsg::MergeReq { epoch: e, fcid, fmin } => {
+            CbtMsg::MergeReq {
+                epoch: e,
+                fcid,
+                fmin,
+            } => {
                 if *e == epoch
                     && self.scratch.role == Some(Role::Leader)
                     && offset < self.sched.t_match_deadline()
@@ -246,7 +250,15 @@ impl CbtCore {
                 remote_min,
             } => {
                 if *e == epoch {
-                    self.continue_walk(io, neighbors, epoch, *kind, *endpoint, *remote_cid, *remote_min);
+                    self.continue_walk(
+                        io,
+                        neighbors,
+                        epoch,
+                        *kind,
+                        *endpoint,
+                        *remote_cid,
+                        *remote_min,
+                    );
                 }
             }
             CbtMsg::MatchMade {
@@ -321,7 +333,9 @@ impl CbtCore {
             && !self.scratch.report_sent
         {
             if let Some(children) = self.scratch.report_children.clone() {
-                let all_in = children.iter().all(|c| self.scratch.reports.contains_key(c));
+                let all_in = children
+                    .iter()
+                    .all(|c| self.scratch.reports.contains_key(c));
                 if all_in && !self.is_root() {
                     let agg_cand = self.scratch.self_candidate
                         || children.iter().any(|c| self.scratch.reports[c].0);
@@ -332,10 +346,7 @@ impl CbtCore {
                     self.scratch.cand_child = if self.scratch.self_candidate {
                         None
                     } else {
-                        children
-                            .iter()
-                            .find(|c| self.scratch.reports[c].0)
-                            .copied()
+                        children.iter().find(|c| self.scratch.reports[c].0).copied()
                     };
                     if let Some(p) = self.parent(round, neighbors) {
                         io.send(
@@ -355,7 +366,9 @@ impl CbtCore {
         // Root finalization: cleanliness signal and follower nomination.
         if offset == self.sched.t_nominate() && self.is_root() {
             let children = self.scratch.report_children.clone().unwrap_or_default();
-            let all_in = children.iter().all(|c| self.scratch.reports.contains_key(c));
+            let all_in = children
+                .iter()
+                .all(|c| self.scratch.reports.contains_key(c));
             let clean = all_in
                 && self.locally_clean(round, neighbors)
                 && children.iter().all(|c| self.scratch.reports[c].1);
@@ -466,6 +479,7 @@ impl CbtCore {
 
     /// A walk step arrived: I now hold an edge to `endpoint`. Either absorb
     /// it (walk complete at a root) or hand it to my parent and drop my copy.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's predicate arity
     fn continue_walk(
         &mut self,
         io: &mut impl NetIo,

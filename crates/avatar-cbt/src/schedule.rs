@@ -103,7 +103,7 @@ impl Schedule {
             return None;
         }
         let d = offset - self.t_zip();
-        if d % 3 == 0 && d / 3 <= self.h {
+        if d.is_multiple_of(3) && d / 3 <= self.h {
             Some((d / 3) as u32)
         } else {
             None

@@ -84,12 +84,15 @@ impl NeighborView {
         now: u64,
         neighbors: &'a [NodeId],
     ) -> impl Iterator<Item = (NodeId, &'a Beacon)> + 'a {
-        neighbors.iter().filter_map(move |&v| self.get(now, v).map(|b| (v, b)))
+        neighbors
+            .iter()
+            .filter_map(move |&v| self.get(now, v).map(|b| (v, b)))
     }
 
     /// Drop beacons of nodes no longer adjacent (housekeeping).
     pub fn retain_neighbors(&mut self, neighbors: &[NodeId]) {
-        self.beacons.retain(|v, _| neighbors.binary_search(v).is_ok());
+        self.beacons
+            .retain(|v, _| neighbors.binary_search(v).is_ok());
     }
 }
 

@@ -1,6 +1,9 @@
-//! End-to-end stabilization tests for the Avatar(CBT) algorithm.
+//! End-to-end stabilization tests for the Avatar(CBT) algorithm, driven
+//! through the generic `Runtime::run_monitored` / `avatar_cbt::legality()`
+//! observer API.
 
-use avatar_cbt::legal::{runtime, runtime_is_legal, stabilize};
+use avatar_cbt::legal::{legality, runtime, runtime_is_legal};
+use ssim::monitor::{MonitorExt, PeakDegree, RunVerdict};
 use ssim::Config;
 
 /// Generous round budget: c · E · log n epochs' worth.
@@ -15,8 +18,12 @@ fn two_singletons_merge() {
     let n = 16u32;
     let ids = [3u32, 9];
     let mut rt = runtime(n, &ids, vec![(3, 9)], Config::seeded(1));
-    let rounds = stabilize(&mut rt, budget(n, 2));
-    assert!(rounds.is_some(), "two hosts failed to merge");
+    let out = rt.run_monitored(&mut legality(), budget(n, 2));
+    assert_eq!(
+        out.verdict,
+        RunVerdict::Satisfied,
+        "two hosts failed to merge"
+    );
     assert!(runtime_is_legal(&rt));
 }
 
@@ -25,8 +32,8 @@ fn three_hosts_line() {
     let n = 16u32;
     let ids = [2u32, 7, 12];
     let mut rt = runtime(n, &ids, vec![(2, 7), (7, 12)], Config::seeded(2));
-    let rounds = stabilize(&mut rt, budget(n, 3));
-    assert!(rounds.is_some(), "three hosts failed to stabilize");
+    let out = rt.run_monitored(&mut legality(), budget(n, 3));
+    assert_eq!(out.verdict, RunVerdict::Satisfied, "three hosts failed");
 }
 
 #[test]
@@ -35,8 +42,8 @@ fn eight_hosts_ring() {
     let ids: Vec<u32> = vec![1, 9, 17, 25, 33, 41, 49, 57];
     let edges = ssim::init::ring(&ids);
     let mut rt = runtime(n, &ids, edges, Config::seeded(3));
-    let rounds = stabilize(&mut rt, budget(n, 8));
-    assert!(rounds.is_some(), "eight hosts failed to stabilize");
+    let out = rt.run_monitored(&mut legality(), budget(n, 8));
+    assert_eq!(out.verdict, RunVerdict::Satisfied, "eight hosts failed");
     assert!(runtime_is_legal(&rt));
 }
 
@@ -47,9 +54,10 @@ fn thirty_two_hosts_from_all_shapes() {
     let n = 256u32;
     for (i, shape) in Shape::ALL.into_iter().enumerate() {
         let mut rt = runtime_from_shape(n, 32, shape, Config::seeded(100 + i as u64));
-        let rounds = stabilize(&mut rt, budget(n, 32));
-        assert!(
-            rounds.is_some(),
+        let out = rt.run_monitored(&mut legality(), budget(n, 32));
+        assert_eq!(
+            out.verdict,
+            RunVerdict::Satisfied,
             "shape {} failed to stabilize",
             shape.label()
         );
@@ -63,7 +71,8 @@ fn restabilizes_after_edge_faults() {
     let ids: Vec<u32> = vec![1, 9, 17, 25, 33, 41, 49, 57];
     let edges = ssim::init::ring(&ids);
     let mut rt = runtime(n, &ids, edges, Config::seeded(7));
-    stabilize(&mut rt, budget(n, 8)).expect("initial stabilization");
+    let out = rt.run_monitored(&mut legality(), budget(n, 8));
+    assert_eq!(out.verdict, RunVerdict::Satisfied, "initial stabilization");
 
     // Transient fault: rewire a few edges, keeping connectivity.
     use rand::SeedableRng;
@@ -71,8 +80,8 @@ fn restabilizes_after_edge_faults() {
     inject(&mut rt, &Fault::Rewire { count: 3 }, &mut rng);
     assert!(!runtime_is_legal(&rt), "fault should break legality");
 
-    let rounds = stabilize(&mut rt, budget(n, 8));
-    assert!(rounds.is_some(), "failed to re-stabilize after faults");
+    let out = rt.run_monitored(&mut legality(), budget(n, 8));
+    assert_eq!(out.verdict, RunVerdict::Satisfied, "failed to re-stabilize");
 }
 
 #[test]
@@ -81,26 +90,35 @@ fn restabilizes_after_state_corruption() {
     let ids: Vec<u32> = vec![1, 9, 17, 25, 33, 41, 49, 57];
     let edges = ssim::init::ring(&ids);
     let mut rt = runtime(n, &ids, edges, Config::seeded(8));
-    stabilize(&mut rt, budget(n, 8)).expect("initial stabilization");
+    rt.run_monitored(&mut legality(), budget(n, 8));
+    assert!(runtime_is_legal(&rt), "initial stabilization");
 
     // Corrupt three hosts' cluster state arbitrarily.
-    for (v, cid, range) in [(9u32, 77u64, (0u32, 64u32)), (25, 78, (3, 9)), (41, 77, (40, 64))] {
+    for (v, cid, range) in [
+        (9u32, 77u64, (0u32, 64u32)),
+        (25, 78, (3, 9)),
+        (41, 77, (40, 64)),
+    ] {
         rt.corrupt_node(v, |p| {
             p.core.core.cid = cid;
             p.core.core.range = range;
             p.core.core.cluster_min = 0;
         });
     }
-    let rounds = stabilize(&mut rt, budget(n, 8));
-    assert!(rounds.is_some(), "failed to re-stabilize after corruption");
+    let out = rt.run_monitored(&mut legality(), budget(n, 8));
+    assert_eq!(
+        out.verdict,
+        RunVerdict::Satisfied,
+        "failed after corruption"
+    );
     assert!(runtime_is_legal(&rt));
 }
 
 #[test]
 fn single_host_is_immediately_legal() {
     let mut rt = runtime(16, &[5], vec![], Config::seeded(9));
-    let rounds = stabilize(&mut rt, 10);
-    assert_eq!(rounds, Some(0), "a singleton is the legal Avatar(CBT)");
+    let out = rt.run_monitored(&mut legality(), 10);
+    assert_eq!(out.rounds_if_satisfied(), Some(0), "a singleton is legal");
 }
 
 #[test]
@@ -109,9 +127,33 @@ fn stays_legal_once_stabilized() {
     let ids: Vec<u32> = vec![1, 9, 17, 25, 33, 41, 49, 57];
     let edges = ssim::init::ring(&ids);
     let mut rt = runtime(n, &ids, edges, Config::seeded(10));
-    stabilize(&mut rt, budget(n, 8)).expect("stabilization");
+    let out = rt.run_monitored(&mut legality(), budget(n, 8));
+    assert_eq!(out.verdict, RunVerdict::Satisfied, "stabilization");
     for _ in 0..2 * avatar_cbt::Schedule::new(n).epoch_len() {
         rt.step();
         assert!(runtime_is_legal(&rt), "legality must be closed under steps");
     }
+}
+
+#[test]
+fn composed_monitor_enforces_degree_budget_while_stabilizing() {
+    // The degree-expansion guarantee as an inline invariant: legality AND a
+    // generous peak-degree ceiling, one driver call.
+    let n = 64u32;
+    let ids: Vec<u32> = vec![1, 9, 17, 25, 33, 41, 49, 57];
+    let edges = ssim::init::ring(&ids);
+    let mut rt = runtime(n, &ids, edges, Config::seeded(11));
+    let mut monitor = legality().and(PeakDegree::at_most(ids.len() - 1));
+    let out = rt.run_monitored(&mut monitor, budget(n, 8));
+    assert_eq!(out.verdict, RunVerdict::Satisfied, "{:?}", out.reason);
+}
+
+#[test]
+fn deprecated_stabilize_shim_still_works() {
+    #[allow(deprecated)]
+    let rounds = {
+        let mut rt = runtime(16, &[3, 9], vec![(3, 9)], Config::seeded(1));
+        avatar_cbt::legal::stabilize(&mut rt, budget(16, 2))
+    };
+    assert!(rounds.is_some());
 }

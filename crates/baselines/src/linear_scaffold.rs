@@ -110,7 +110,12 @@ impl Program for LinearProgram {
         // introduced to me last round; extend the walk through my successor.
         let inbox: Vec<(NodeId, LinMsg)> = ctx.inbox().to_vec();
         for (_, m) in &inbox {
-            if let LinMsg::Walk { origin, dist, reach } = m {
+            if let LinMsg::Walk {
+                origin,
+                dist,
+                reach,
+            } = m
+            {
                 if ctx.is_neighbor(*origin) {
                     if dist < reach {
                         if let Some(s) = succ {
@@ -149,7 +154,14 @@ impl Program for LinearProgram {
                 self.walk_done = true; // I am the maximum: nothing to build
             } else if let Some(s) = succ {
                 let reach = 1u32 << (self.fingers - 1);
-                ctx.send(s, LinMsg::Walk { origin: me, dist: 1, reach });
+                ctx.send(
+                    s,
+                    LinMsg::Walk {
+                        origin: me,
+                        dist: 1,
+                        reach,
+                    },
+                );
             }
         }
         // The walk advances one hop per round deterministically: the holder

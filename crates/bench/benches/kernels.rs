@@ -88,7 +88,11 @@ fn bench_routing(c: &mut Criterion) {
         let mut s = 1u32;
         b.iter(|| {
             s = s.wrapping_mul(48271) % (1 << 16);
-            black_box(overlay::routing::ideal_route(&ch, s, (s ^ 0x5555) % (1 << 16)))
+            black_box(overlay::routing::ideal_route(
+                &ch,
+                s,
+                (s ^ 0x5555) % (1 << 16),
+            ))
         })
     });
 }

@@ -1,4 +1,4 @@
-use chord_scaffold::{runtime_from_shape, runtime_is_legal, ChordTarget, Phase};
+use chord_scaffold::{runtime_from_shape, runtime_is_legal, ChordTarget};
 use ssim::{init::Shape, Config};
 
 fn main() {
@@ -7,23 +7,29 @@ fn main() {
     let hosts: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(12);
     let seed: u64 = args.get(3).map(|s| s.parse().unwrap()).unwrap_or(501);
     let shape = match args.get(4).map(|s| s.as_str()).unwrap_or("ring") {
-        "ring" => Shape::Ring, "random" => Shape::Random, "line" => Shape::Line, _ => Shape::Ring };
+        "ring" => Shape::Ring,
+        "random" => Shape::Random,
+        "line" => Shape::Line,
+        _ => Shape::Ring,
+    };
     let t = ChordTarget::classic(n);
     let mut rt = runtime_from_shape(t, hosts, shape, Config::seeded(seed));
     let e = avatar_cbt::Schedule::new(n).epoch_len();
-    for round in 0..40*e {
+    for round in 0..40 * e {
         rt.step();
-        if round % e == e-1 {
+        if round % e == e - 1 {
             let mut phases = std::collections::HashMap::new();
             let mut cids = std::collections::HashSet::new();
             for (_, p) in rt.programs() {
                 *phases.entry(format!("{:?}", p.core.phase)).or_insert(0) += 1;
                 cids.insert(p.core.cbt.core.cid);
             }
-            let resets: u64 = rt.programs().map(|(_,p)| p.core.cbt.resets).sum();
-            let reverts: u64 = rt.programs().map(|(_,p)| p.core.reverts).sum();
+            let resets: u64 = rt.programs().map(|(_, p)| p.core.cbt.resets).sum();
+            let reverts: u64 = rt.programs().map(|(_, p)| p.core.reverts).sum();
             println!("r{round}: phases={phases:?} clusters={} resets={resets} reverts={reverts} legal={}", cids.len(), runtime_is_legal(&rt));
-            if runtime_is_legal(&rt) { break; }
+            if runtime_is_legal(&rt) {
+                break;
+            }
         }
     }
 }

@@ -19,8 +19,14 @@ fn run_tcf(hosts: usize, seed: u64) -> (Option<u64>, usize, u64) {
     let mut cfg = Config::seeded(seed);
     cfg.record_rounds = false;
     let mut rt = Runtime::new(cfg, nodes, edges);
-    let rounds = rt.run_until(|r| r.programs().all(|(_, p)| p.is_done()), 10_000);
-    (rounds, rt.metrics().peak_degree, rt.metrics().total_messages)
+    let rounds = rt
+        .run_monitored(&mut baselines::tcf_done(), 10_000)
+        .rounds_if_satisfied();
+    (
+        rounds,
+        rt.metrics().peak_degree,
+        rt.metrics().total_messages,
+    )
 }
 
 fn run_linear(hosts: usize, seed: u64) -> (Option<u64>, usize, u64) {
@@ -31,17 +37,19 @@ fn run_linear(hosts: usize, seed: u64) -> (Option<u64>, usize, u64) {
     let mut cfg = Config::seeded(seed);
     cfg.record_rounds = false;
     let mut rt = Runtime::new(cfg, nodes, edges);
-    let rounds = rt.run_until(
-        |r| r.programs().all(|(_, p)| p.walk_done),
-        64 * hosts as u64 + 1000,
-    );
-    (rounds, rt.metrics().peak_degree, rt.metrics().total_messages)
+    let rounds = rt
+        .run_monitored(&mut baselines::linear_done(), 64 * hosts as u64 + 1000)
+        .rounds_if_satisfied();
+    (
+        rounds,
+        rt.metrics().peak_degree,
+        rt.metrics().total_messages,
+    )
 }
 
 fn main() {
-    let mut t = Table::new(&[
-        "n", "algo", "rounds", "peak_deg", "messages",
-    ]);
+    let args = scaffold_bench::exp_args();
+    let mut t = Table::new(&["n", "algo", "rounds", "peak_deg", "messages"]);
     for hosts in [16usize, 32, 64, 128, 256] {
         let n_guests = (hosts as u32 * 8).next_power_of_two();
         let o = measure_chord(n_guests, hosts, Shape::Line, 7000 + hosts as u64);
@@ -69,7 +77,12 @@ fn main() {
             m.to_string(),
         ]);
     }
-    t.print("E7: scaffolding vs TCF vs linear scaffold (rounds / peak degree / messages)");
-    println!("\nExpected shape: TCF peak degree = n−1 (linear in n); linear-scaffold");
-    println!("rounds grow linearly in n; scaffolding stays polylogarithmic in both.");
+    t.emit(
+        &args,
+        "E7: scaffolding vs TCF vs linear scaffold (rounds / peak degree / messages)",
+    );
+    if !args.json {
+        println!("\nExpected shape: TCF peak degree = n−1 (linear in n); linear-scaffold");
+        println!("rounds grow linearly in n; scaffolding stays polylogarithmic in both.");
+    }
 }

@@ -8,12 +8,16 @@ use scaffold_bench::{f2, log2_sq, mean_std, measure_cbt, Table};
 use ssim::init::Shape;
 
 fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
+    let args = scaffold_bench::exp_args();
+    let seeds: u64 = args.count.unwrap_or(5);
     let mut t = Table::new(&[
-        "N", "hosts", "rounds(mean)", "rounds(std)", "rounds/log²N", "peak_deg", "expansion",
+        "N",
+        "hosts",
+        "rounds(mean)",
+        "rounds(std)",
+        "rounds/log²N",
+        "peak_deg",
+        "expansion",
     ]);
     for n in [64u32, 128, 256, 512, 1024, 2048] {
         let hosts = (n / 8) as usize;
@@ -42,5 +46,8 @@ fn main() {
             f2(em),
         ]);
     }
-    t.print("E1: Avatar(CBT) convergence vs N (Theorem 1/4; expect flat rounds/log²N)");
+    t.emit(
+        &args,
+        "E1: Avatar(CBT) convergence vs N (Theorem 1/4; expect flat rounds/log²N)",
+    );
 }

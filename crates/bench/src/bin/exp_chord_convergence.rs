@@ -5,12 +5,16 @@ use scaffold_bench::{f2, log2_sq, mean_std, measure_chord, Table};
 use ssim::init::Shape;
 
 fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
+    let args = scaffold_bench::exp_args();
+    let seeds: u64 = args.count.unwrap_or(5);
     let mut t = Table::new(&[
-        "N", "hosts", "rounds(mean)", "rounds(std)", "rounds/log²N", "peak_deg", "final_deg",
+        "N",
+        "hosts",
+        "rounds(mean)",
+        "rounds(std)",
+        "rounds/log²N",
+        "peak_deg",
+        "final_deg",
     ]);
     for n in [64u32, 128, 256, 512, 1024, 2048] {
         let hosts = (n / 8) as usize;
@@ -39,5 +43,8 @@ fn main() {
             f2(fm),
         ]);
     }
-    t.print("E2: Avatar(Chord) convergence vs N (Theorem 2/5; expect flat rounds/log²N)");
+    t.emit(
+        &args,
+        "E2: Avatar(Chord) convergence vs N (Theorem 2/5; expect flat rounds/log²N)",
+    );
 }

@@ -7,12 +7,15 @@ use scaffold_bench::{f2, log2_sq, mean_std, measure_chord, Table};
 use ssim::init::Shape;
 
 fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
+    let args = scaffold_bench::exp_args();
+    let seeds: u64 = args.count.unwrap_or(5);
     let mut t = Table::new(&[
-        "N", "hosts", "expansion(mean)", "expansion(std)", "expansion/log²N", "peak_deg",
+        "N",
+        "hosts",
+        "expansion(mean)",
+        "expansion(std)",
+        "expansion/log²N",
+        "peak_deg",
     ]);
     for n in [64u32, 128, 256, 512, 1024, 2048] {
         let hosts = (n / 8) as usize;
@@ -34,5 +37,8 @@ fn main() {
             f2(pm),
         ]);
     }
-    t.print("E3: degree expansion vs N (Theorem 3/7; expect sub-log²N growth)");
+    t.emit(
+        &args,
+        "E3: degree expansion vs N (Theorem 3/7; expect sub-log²N growth)",
+    );
 }

@@ -12,12 +12,14 @@ use scaffold_bench::{f2, legal_cbt_runtime, mean_std, Table};
 use std::collections::HashMap;
 
 fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
+    let args = scaffold_bench::exp_args();
+    let seeds: u64 = args.count.unwrap_or(10);
     let mut t = Table::new(&[
-        "N", "hosts", "max_growth(mean)", "max_growth(worst)", "bound",
+        "N",
+        "hosts",
+        "max_growth(mean)",
+        "max_growth(worst)",
+        "bound",
     ]);
     for n in [64u32, 128, 256, 512, 1024] {
         let hosts = (n / 8) as usize;
@@ -61,5 +63,8 @@ fn main() {
             "2.00".to_string(),
         ]);
     }
-    t.print("E6: degree growth during a false-CHORD phase (Lemma 4; bound 2×)");
+    t.emit(
+        &args,
+        "E6: degree growth during a false-CHORD phase (Lemma 4; bound 2×)",
+    );
 }

@@ -30,10 +30,11 @@ fn build_rounds(n: u32, hosts: usize, paper_variant: bool, seeds: u64) -> (f64, 
             chord_scaffold::ChordTarget::classic(n)
         };
         let r = rt
-            .run_until(
-                |r| chord_scaffold::is_legal(&target, r.topology(), r.programs().map(|(_, p)| p)),
+            .run_monitored(
+                &mut chord_scaffold::legality_for(target),
                 scaffold_bench::budget(n, hosts),
             )
+            .rounds_if_satisfied()
             .expect("variant must converge");
         rounds.push(r as f64);
         finals.push(rt.topology().max_degree() as f64);
@@ -42,12 +43,16 @@ fn build_rounds(n: u32, hosts: usize, paper_variant: bool, seeds: u64) -> (f64, 
 }
 
 fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3);
+    let args = scaffold_bench::exp_args();
+    let seeds: u64 = args.count.unwrap_or(3);
     let mut t = Table::new(&[
-        "N", "variant", "fingers", "build rounds", "final max deg", "route mean", "route max",
+        "N",
+        "variant",
+        "fingers",
+        "build rounds",
+        "final max deg",
+        "route mean",
+        "route max",
     ]);
     for n in [64u32, 256, 1024] {
         let hosts = (n / 8) as usize;
@@ -61,7 +66,12 @@ fn main() {
             let (mean_hops, max_hops) = hop_statistics(&c, None);
             t.row(vec![
                 n.to_string(),
-                if paper_variant { "paper(Def.1)" } else { "classic" }.into(),
+                if paper_variant {
+                    "paper(Def.1)"
+                } else {
+                    "classic"
+                }
+                .into(),
                 c.finger_count().to_string(),
                 f2(rounds),
                 f2(deg),
@@ -70,7 +80,12 @@ fn main() {
             ]);
         }
     }
-    t.print("Ablation: Definition 1 (log N − 1 fingers) vs Algorithm 1 (log N fingers)");
-    println!("\nExpected shape: one fewer wave ⇒ slightly faster build and lower degree,");
-    println!("one extra routing hop on average (longest jump halves).");
+    t.emit(
+        &args,
+        "Ablation: Definition 1 (log N − 1 fingers) vs Algorithm 1 (log N fingers)",
+    );
+    if !args.json {
+        println!("\nExpected shape: one fewer wave ⇒ slightly faster build and lower degree,");
+        println!("one extra routing hop on average (longest jump halves).");
+    }
 }

@@ -11,12 +11,14 @@ use chord_scaffold::Phase;
 use scaffold_bench::{f2, legal_cbt_runtime, mean_std, Table};
 
 fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
+    let args = scaffold_bench::exp_args();
+    let seeds: u64 = args.count.unwrap_or(10);
     let mut t = Table::new(&[
-        "N", "hosts", "reset_rounds(mean)", "reset_rounds(max)", "bound 2(logN+1)",
+        "N",
+        "hosts",
+        "reset_rounds(mean)",
+        "reset_rounds(max)",
+        "bound 2(logN+1)",
     ]);
     for n in [64u32, 128, 256, 512, 1024] {
         let hosts = (n / 8) as usize;
@@ -33,11 +35,15 @@ fn main() {
                     p.core.last_wave = ((i * 3) % 7) as i64; // inconsistent
                 });
             }
+            type Rt = ssim::Runtime<chord_scaffold::ScaffoldProgram<chord_scaffold::ChordTarget>>;
             let reset = rt
-                .run_until(
-                    |r| r.programs().all(|(_, p)| p.core.phase == Phase::Cbt),
+                .run_monitored(
+                    &mut ssim::monitor::goal("all-cbt", |r: &Rt| {
+                        r.programs().all(|(_, p)| p.core.phase == Phase::Cbt)
+                    }),
                     10 * bound + 50,
                 )
+                .rounds_if_satisfied()
                 .expect("phase must collapse to CBT");
             obs.push(reset as f64);
             worst = worst.max(reset);
@@ -51,5 +57,8 @@ fn main() {
             bound.to_string(),
         ]);
     }
-    t.print("E4: rounds until all nodes execute CBT from a false-CHORD state (Lemma 1/2)");
+    t.emit(
+        &args,
+        "E4: rounds until all nodes execute CBT from a false-CHORD state (Lemma 1/2)",
+    );
 }

@@ -9,7 +9,8 @@ use rand::SeedableRng;
 use scaffold_bench::{f2, Table};
 
 fn main() {
-    let trials = 200;
+    let args = scaffold_bench::exp_args();
+    let trials = args.count.unwrap_or(200) as usize;
     let mut rng = SmallRng::seed_from_u64(8);
     let mut t = Table::new(&["N", "failures", "P(survive) CBT", "P(survive) Chord"]);
     for n in [64u32, 256, 1024] {
@@ -30,7 +31,12 @@ fn main() {
             ]);
         }
     }
-    t.print("E8: survival probability under random node failures (guest networks)");
-    println!("\nExpected shape: the tree disconnects with any internal failure;");
-    println!("Chord survives large failure fractions with high probability.");
+    t.emit(
+        &args,
+        "E8: survival probability under random node failures (guest networks)",
+    );
+    if !args.json {
+        println!("\nExpected shape: the tree disconnects with any internal failure;");
+        println!("Chord survives large failure fractions with high probability.");
+    }
 }

@@ -11,6 +11,7 @@ use scaffold_bench::{f2, measure_chord, Table};
 use ssim::init::Shape;
 
 fn main() {
+    let args = scaffold_bench::exp_args();
     // Routing hop shape on the guest Chord.
     let mut t = Table::new(&["N", "mean hops", "max hops", "log2 N"]);
     let mut rng = SmallRng::seed_from_u64(9);
@@ -28,10 +29,18 @@ fn main() {
             f2((n as f64).log2()),
         ]);
     }
-    t.print("E9a: greedy finger routing hops on Chord(N) (expect ≤ log2 N)");
+    t.emit(
+        &args,
+        "E9a: greedy finger routing hops on Chord(N) (expect ≤ log2 N)",
+    );
 
     // Silence of the stabilized network.
-    let mut t = Table::new(&["N", "hosts", "rounds_to_legal", "msgs after legal (100 rounds)"]);
+    let mut t = Table::new(&[
+        "N",
+        "hosts",
+        "rounds_to_legal",
+        "msgs after legal (100 rounds)",
+    ]);
     for n in [64u32, 256] {
         let hosts = (n / 8) as usize;
         let o = measure_chord(n, hosts, Shape::Random, 9000);
@@ -40,7 +49,12 @@ fn main() {
         let mut cfg = ssim::Config::seeded(9000);
         cfg.record_rounds = false;
         let mut rt = chord_scaffold::runtime_from_shape(target, hosts, Shape::Random, cfg);
-        chord_scaffold::stabilize(&mut rt, scaffold_bench::budget(n, hosts)).unwrap();
+        rt.run_monitored(
+            &mut chord_scaffold::legality(),
+            scaffold_bench::budget(n, hosts),
+        )
+        .rounds_if_satisfied()
+        .unwrap();
         for _ in 0..5 {
             rt.step(); // drain in-flight traffic
         }
@@ -56,5 +70,8 @@ fn main() {
             silent_msgs.to_string(),
         ]);
     }
-    t.print("E9b: silence of the legal Avatar(Chord) configuration (expect 0 messages)");
+    t.emit(
+        &args,
+        "E9b: silence of the legal Avatar(Chord) configuration (expect 0 messages)",
+    );
 }

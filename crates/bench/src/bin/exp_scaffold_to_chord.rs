@@ -5,12 +5,16 @@
 use scaffold_bench::{f2, legal_cbt_runtime, log2_sq, mean_std, Table};
 
 fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
+    let args = scaffold_bench::exp_args();
+    let seeds: u64 = args.count.unwrap_or(5);
     let mut t = Table::new(&[
-        "N", "hosts", "rounds(mean)", "rounds/log²N", "waves", "peak_deg", "final_deg",
+        "N",
+        "hosts",
+        "rounds(mean)",
+        "rounds/log²N",
+        "waves",
+        "peak_deg",
+        "final_deg",
     ]);
     for n in [64u32, 128, 256, 512, 1024, 2048] {
         let hosts = (n / 8) as usize;
@@ -20,7 +24,12 @@ fn main() {
         let mut finals = Vec::new();
         for s in 0..seeds {
             let mut rt = legal_cbt_runtime(n, hosts, 5000 + s);
-            let r = chord_scaffold::stabilize(&mut rt, scaffold_bench::budget(n, hosts))
+            let r = rt
+                .run_monitored(
+                    &mut chord_scaffold::legality(),
+                    scaffold_bench::budget(n, hosts),
+                )
+                .rounds_if_satisfied()
                 .expect("scaffold→chord must converge");
             rounds.push(r as f64);
             peaks.push(rt.metrics().peak_degree as f64);
@@ -39,5 +48,8 @@ fn main() {
             f2(fm),
         ]);
     }
-    t.print("E5: scaffold→Chord build time from legal Avatar(CBT) (Lemma 3)");
+    t.emit(
+        &args,
+        "E5: scaffold→Chord build time from legal Avatar(CBT) (Lemma 3)",
+    );
 }

@@ -6,9 +6,10 @@ use scaffold_bench::{f2, measure_chord, Table};
 use ssim::init::Shape;
 
 fn main() {
+    let args = scaffold_bench::exp_args();
     let n = 256u32;
     let hosts = 32usize;
-    let seeds = 3u64;
+    let seeds = args.count.unwrap_or(3);
     let mut t = Table::new(&["shape", "rounds(mean)", "peak_deg(mean)", "expansion(mean)"]);
     for shape in Shape::ALL {
         let mut rounds = Vec::new();
@@ -27,7 +28,8 @@ fn main() {
         let (em, _) = scaffold_bench::mean_std(&exps);
         t.row(vec![shape.label().to_string(), f2(rm), f2(pm), f2(em)]);
     }
-    t.print(&format!(
-        "E10: Avatar(Chord) stabilization across initial shapes (N={n}, n={hosts})"
-    ));
+    t.emit(
+        &args,
+        &format!("E10: Avatar(Chord) stabilization across initial shapes (N={n}, n={hosts})"),
+    );
 }

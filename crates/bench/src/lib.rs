@@ -12,7 +12,8 @@
 
 use chord_scaffold::{ChordTarget, ScaffoldProgram};
 use serde::Serialize;
-use ssim::{init::Shape, Config, NodeId, Runtime};
+use ssim::scenario::{Scenario, ScenarioReport};
+use ssim::{fault::Fault, init::Shape, Config, NodeId, Runtime};
 
 /// Outcome of one stabilization run.
 #[derive(Debug, Clone, Serialize)]
@@ -52,7 +53,9 @@ pub fn measure_chord(n_guests: u32, hosts: usize, shape: Shape, seed: u64) -> Ou
     let mut cfg = Config::seeded(seed);
     cfg.record_rounds = false;
     let mut rt = chord_scaffold::runtime_from_shape(target, hosts, shape, cfg);
-    let rounds = chord_scaffold::stabilize(&mut rt, budget(n_guests, hosts));
+    let rounds = rt
+        .run_monitored(&mut chord_scaffold::legality(), budget(n_guests, hosts))
+        .rounds_if_satisfied();
     outcome_of(n_guests, hosts, rounds, &rt)
 }
 
@@ -61,7 +64,9 @@ pub fn measure_cbt(n_guests: u32, hosts: usize, shape: Shape, seed: u64) -> Outc
     let mut cfg = Config::seeded(seed);
     cfg.record_rounds = false;
     let mut rt = avatar_cbt::runtime_from_shape(n_guests, hosts, shape, cfg);
-    let rounds = avatar_cbt::stabilize(&mut rt, budget(n_guests, hosts));
+    let rounds = rt
+        .run_monitored(&mut avatar_cbt::legality(), budget(n_guests, hosts))
+        .rounds_if_satisfied();
     let final_degree = rt.topology().max_degree();
     Outcome {
         n_guests,
@@ -72,6 +77,55 @@ pub fn measure_cbt(n_guests: u32, hosts: usize, shape: Shape, seed: u64) -> Outc
         expansion: rt.metrics().degree_expansion(final_degree),
         messages: rt.metrics().total_messages,
     }
+}
+
+/// Stabilize an Avatar(Chord) overlay, then subject it to `episodes` rounds
+/// of true membership churn — alternating joins of fresh hosts, graceful
+/// leaves, and crashes, one event per scaffold epoch — and measure the
+/// re-convergence through the scenario driver.
+pub fn measure_churn(n_guests: u32, hosts: usize, episodes: usize, seed: u64) -> ScenarioReport {
+    let target = ChordTarget::classic(n_guests);
+    let mut cfg = Config::seeded(seed);
+    cfg.record_rounds = false;
+    let mut rt = chord_scaffold::runtime_from_shape(target, hosts, Shape::Random, cfg);
+    let baseline = rt.run_monitored(&mut chord_scaffold::legality(), budget(n_guests, hosts));
+    assert!(
+        baseline.rounds_if_satisfied().is_some(),
+        "measure_churn: baseline overlay (N={n_guests}, n={hosts}, seed={seed}) \
+         failed to stabilize within budget — churn measurement would be meaningless"
+    );
+
+    // Fresh identifiers for joiners: smallest guest ids not already hosting.
+    let taken: std::collections::HashSet<NodeId> = rt.ids().iter().copied().collect();
+    let mut fresh = (0..n_guests).filter(|v| !taken.contains(v));
+
+    let gap = avatar_cbt::Schedule::new(n_guests).epoch_len();
+    let mut scenario = Scenario::new(format!("churn-n{n_guests}-h{hosts}")).seeded(seed);
+    for e in 0..episodes {
+        let round = gap * e as u64;
+        scenario = match e % 3 {
+            0 => {
+                let id = fresh.next().expect("guest space exhausted");
+                scenario.fault(round, Fault::Join { id, attach: 2 })
+            }
+            1 => scenario.fault(
+                round,
+                Fault::Leave {
+                    id: None,
+                    keep_connected: true,
+                },
+            ),
+            _ => scenario.fault(
+                round,
+                Fault::Crash {
+                    id: None,
+                    keep_connected: true,
+                },
+            ),
+        };
+    }
+    let max_rounds = gap * episodes as u64 + budget(n_guests, hosts);
+    scenario.run(&mut rt, &mut chord_scaffold::legality(), max_rounds)
 }
 
 fn outcome_of(
@@ -142,10 +196,47 @@ pub fn mean_std(xs: &[f64]) -> (f64, f64) {
     (mean, var.sqrt())
 }
 
-/// Fixed-width table printer for experiment binaries.
+/// CLI options shared by every experiment binary.
+///
+/// * `--json` — emit machine-readable JSON (one document per table) instead
+///   of fixed-width tables, for the benchmark-trajectory tooling;
+/// * first numeric positional argument — override the seed/trial count
+///   where the experiment takes one.
+#[derive(Debug, Clone, Default)]
+pub struct ExpArgs {
+    /// Emit JSON instead of human tables.
+    pub json: bool,
+    /// Optional numeric positional (seeds / trials), experiment-specific.
+    pub count: Option<u64>,
+}
+
+/// Parse [`ExpArgs`] from `std::env::args`.
+pub fn exp_args() -> ExpArgs {
+    let mut out = ExpArgs::default();
+    for a in std::env::args().skip(1) {
+        if a == "--json" {
+            out.json = true;
+        } else if out.count.is_none() {
+            if let Ok(v) = a.parse() {
+                out.count = Some(v);
+            }
+        }
+    }
+    out
+}
+
+/// Fixed-width table printer for experiment binaries, JSON-emitting under
+/// `--json`.
 pub struct Table {
     headers: Vec<String>,
     rows: Vec<Vec<String>>,
+}
+
+#[derive(Serialize)]
+struct JsonTable<'a> {
+    experiment: &'a str,
+    headers: &'a Vec<String>,
+    rows: &'a Vec<Vec<String>>,
 }
 
 impl Table {
@@ -161,6 +252,21 @@ impl Table {
     pub fn row(&mut self, cells: Vec<String>) {
         assert_eq!(cells.len(), self.headers.len());
         self.rows.push(cells);
+    }
+
+    /// Render to stdout: a fixed-width table, or one JSON document when the
+    /// shared `--json` flag is set.
+    pub fn emit(&self, args: &ExpArgs, title: &str) {
+        if args.json {
+            let doc = JsonTable {
+                experiment: title,
+                headers: &self.headers,
+                rows: &self.rows,
+            };
+            println!("{}", serde_json::to_string(&doc).expect("table JSON"));
+        } else {
+            self.print(title);
+        }
     }
 
     /// Render to stdout.

@@ -5,6 +5,7 @@ use crate::msg::Phase;
 use crate::program::ScaffoldProgram;
 use crate::target::{ChordTarget, InductiveTarget};
 use overlay::Avatar;
+use ssim::monitor::{self, Goal};
 use ssim::{init::Shape, Config, NodeId, Runtime, Topology};
 
 /// The exact host edge set of the legal `Avatar(target)`: the scaffold edges
@@ -51,7 +52,10 @@ pub fn is_legal<'a, T: InductiveTarget>(
 
 /// Runtime-level legality for the default Chord target.
 pub fn runtime_is_legal(rt: &Runtime<ScaffoldProgram<ChordTarget>>) -> bool {
-    let target = *rt.program(rt.ids()[0]).core.target.chord();
+    let Some(&first) = rt.ids().first() else {
+        return false; // all hosts departed: nothing legal to speak of
+    };
+    let target = *rt.program(first).core.target.chord();
     let t = ChordTarget::classic(target.n());
     let t = if target.finger_count() == t.chord().finger_count() {
         t
@@ -61,6 +65,26 @@ pub fn runtime_is_legal(rt: &Runtime<ScaffoldProgram<ChordTarget>>) -> bool {
     is_legal(&t, rt.topology(), rt.programs().map(|(_, p)| p))
 }
 
+/// The Avatar(Chord) legality goal as a composable [`ssim::Monitor`] — the
+/// driver form of [`runtime_is_legal`], for [`Runtime::run_monitored`] and
+/// scenario runs.
+pub fn legality() -> Goal<impl FnMut(&Runtime<ScaffoldProgram<ChordTarget>>) -> bool> {
+    monitor::goal("avatar-chord-legal", runtime_is_legal)
+}
+
+/// Legality goal for an arbitrary [`InductiveTarget`] instance (the
+/// generalized scaffolding pattern of Section 6).
+pub fn legality_for<T: InductiveTarget + Clone + Send + 'static>(
+    target: T,
+) -> Goal<impl FnMut(&Runtime<ScaffoldProgram<T>>) -> bool> {
+    monitor::goal(
+        "avatar-target-legal",
+        move |rt: &Runtime<ScaffoldProgram<T>>| {
+            is_legal(&target, rt.topology(), rt.programs().map(|(_, p)| p))
+        },
+    )
+}
+
 /// Build a scaffolding runtime over the given hosts and initial edges.
 pub fn runtime(
     target: ChordTarget,
@@ -68,11 +92,18 @@ pub fn runtime(
     edges: Vec<(NodeId, NodeId)>,
     cfg: Config,
 ) -> Runtime<ScaffoldProgram<ChordTarget>> {
-    let nodes = ids.iter().map(|&v| {
-        let nonce = cfg.seed ^ (v as u64 + 7).wrapping_mul(0x9E3779B97F4A7C15);
-        (v, ScaffoldProgram::new(v, target, nonce))
-    });
+    let seed = cfg.seed;
+    let nodes = ids
+        .iter()
+        .map(|&v| (v, ScaffoldProgram::new(v, target, join_nonce(seed, v))));
+    // Hosts joining mid-run boot exactly like constructed hosts: CBT phase,
+    // singleton cluster, seed-derived nonce.
     Runtime::new(cfg, nodes, edges)
+        .with_spawner(move |v| ScaffoldProgram::new(v, target, join_nonce(seed, v)))
+}
+
+fn join_nonce(seed: u64, v: NodeId) -> u64 {
+    seed ^ (v as u64 + 7).wrapping_mul(0x9E3779B97F4A7C15)
 }
 
 /// Build a scaffolding runtime from a named initial shape with `count`
@@ -91,11 +122,13 @@ pub fn runtime_from_shape(
 }
 
 /// Run to legality; returns rounds taken or `None` on timeout.
-pub fn stabilize(
-    rt: &mut Runtime<ScaffoldProgram<ChordTarget>>,
-    max_rounds: u64,
-) -> Option<u64> {
-    rt.run_until(runtime_is_legal, max_rounds)
+#[deprecated(
+    since = "0.2.0",
+    note = "drive with `rt.run_monitored(&mut chord_scaffold::legality(), budget)` instead"
+)]
+pub fn stabilize(rt: &mut Runtime<ScaffoldProgram<ChordTarget>>, max_rounds: u64) -> Option<u64> {
+    rt.run_monitored(&mut legality(), max_rounds)
+        .rounds_if_satisfied()
 }
 
 #[cfg(test)]

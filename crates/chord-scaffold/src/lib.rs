@@ -35,7 +35,11 @@ pub mod program;
 pub mod protocol;
 pub mod target;
 
-pub use legal::{expected_edges, is_legal, runtime, runtime_from_shape, runtime_is_legal, stabilize};
+#[allow(deprecated)]
+pub use legal::stabilize;
+pub use legal::{
+    expected_edges, is_legal, legality, legality_for, runtime, runtime_from_shape, runtime_is_legal,
+};
 pub use msg::{Phase, PhaseInfo, ScafMsg};
 pub use program::ScaffoldProgram;
 pub use protocol::{ScafIo, ScaffoldCore};

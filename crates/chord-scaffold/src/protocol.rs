@@ -199,9 +199,7 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
         };
 
         // A switch wave reaching us from our (already switched) parent.
-        let start = inbox
-            .iter()
-            .any(|(_, m)| matches!(m, ScafMsg::StartChord));
+        let start = inbox.iter().any(|(_, m)| matches!(m, ScafMsg::StartChord));
         if start && !events.reset {
             self.enter_chord(io, round, false);
             return;
@@ -232,16 +230,35 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
     }
 
     fn children(&self, round: u64, neighbors: &[NodeId]) -> Vec<NodeId> {
-        hosttree::children(&self.cbt.cbt, &self.cbt.core, &self.cbt.view, round, neighbors)
+        hosttree::children(
+            &self.cbt.cbt,
+            &self.cbt.core,
+            &self.cbt.view,
+            round,
+            neighbors,
+        )
     }
 
     fn parent(&self, round: u64, neighbors: &[NodeId]) -> Option<NodeId> {
-        hosttree::parent(&self.cbt.cbt, &self.cbt.core, &self.cbt.view, round, neighbors)
+        hosttree::parent(
+            &self.cbt.cbt,
+            &self.cbt.core,
+            &self.cbt.view,
+            round,
+            neighbors,
+        )
     }
 
     /// The host covering guest `g`, from own range or the fresh view.
     fn host_of(&self, round: u64, neighbors: &[NodeId], g: u32) -> Option<NodeId> {
-        hosttree::host_for(self.id(), &self.cbt.core, &self.cbt.view, round, neighbors, g)
+        hosttree::host_for(
+            self.id(),
+            &self.cbt.core,
+            &self.cbt.view,
+            round,
+            neighbors,
+            g,
+        )
     }
 
     // ------------------------------------------------------------------
@@ -306,8 +323,7 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
                     // A neighbor whose last word was "final wave complete"
                     // has legitimately armed for DONE and gone quiet.
                     if self.pview.get(&v).is_some_and(|(_, pi)| {
-                        pi.phase == Phase::Chord
-                            && pi.last_wave + 1 == self.target.waves() as i64
+                        pi.phase == Phase::Chord && pi.last_wave + 1 == self.target.waves() as i64
                     }) {
                         continue;
                     }
@@ -315,9 +331,8 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
                     // both the switch wave has settled and the edge has
                     // existed long enough for beacons to flow (waves
                     // legitimately create new edges mid-phase).
-                    let age = round.saturating_sub(
-                        self.seen_since.get(&v).copied().unwrap_or(round),
-                    );
+                    let age =
+                        round.saturating_sub(self.seen_since.get(&v).copied().unwrap_or(round));
                     if round > self.switch_round + switch_window(h) && age > 3 {
                         return false;
                     }
@@ -333,7 +348,8 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
         let h = self.cbt.sched.height();
 
         // Track adjacency age for the phase-info expectations.
-        self.seen_since.retain(|v, _| neighbors.binary_search(v).is_ok());
+        self.seen_since
+            .retain(|v, _| neighbors.binary_search(v).is_ok());
         for &v in &neighbors {
             self.seen_since.entry(v).or_insert(round);
         }
@@ -376,8 +392,7 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
 
         // Root: launch wave 0 once the switch wave has propagated.
         if let Some(at) = self.wave0_at {
-            if round >= at && self.cbt.is_root() && self.last_wave == -1 && self.active.is_none()
-            {
+            if round >= at && self.cbt.is_root() && self.last_wave == -1 && self.active.is_none() {
                 self.wave0_at = None;
                 self.start_wave(io, &neighbors, 0);
             }

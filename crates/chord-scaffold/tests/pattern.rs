@@ -26,7 +26,12 @@ fn check_target_contract<T: InductiveTarget>(t: &T) {
         }
     }
     let expect: HashSet<(u32, u32)> = t.target_edges().into_iter().collect();
-    assert_eq!(built, expect, "{}: waves must generate the target", t.name());
+    assert_eq!(
+        built,
+        expect,
+        "{}: waves must generate the target",
+        t.name()
+    );
 
     // 2. Witness invariant: the endpoints of every wave-k feedback edge are
     //    adjacent to the witness in the graph built so far (ring + earlier

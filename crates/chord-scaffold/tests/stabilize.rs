@@ -1,6 +1,8 @@
-//! End-to-end: arbitrary connected start → silent legal Avatar(Chord).
+//! End-to-end: arbitrary connected start → silent legal Avatar(Chord),
+//! driven through the `Runtime::run_monitored` / `legality()` observer API.
 
-use chord_scaffold::{runtime, runtime_from_shape, runtime_is_legal, stabilize, ChordTarget};
+use chord_scaffold::{legality, runtime, runtime_from_shape, runtime_is_legal, ChordTarget};
+use ssim::monitor::{MonitorExt, RunVerdict};
 use ssim::Config;
 
 fn budget(n: u32, hosts: usize) -> u64 {
@@ -13,16 +15,21 @@ fn budget(n: u32, hosts: usize) -> u64 {
 fn single_host_builds_chord_alone() {
     let t = ChordTarget::classic(16);
     let mut rt = runtime(t, &[5], vec![], Config::seeded(1));
-    let rounds = stabilize(&mut rt, budget(16, 1));
-    assert!(rounds.is_some(), "single host failed: {:?}", rt.topology().edges());
+    let out = rt.run_monitored(&mut legality(), budget(16, 1));
+    assert_eq!(
+        out.verdict,
+        RunVerdict::Satisfied,
+        "single host failed: {:?}",
+        rt.topology().edges()
+    );
 }
 
 #[test]
 fn two_hosts_build_chord() {
     let t = ChordTarget::classic(16);
     let mut rt = runtime(t, &[3, 9], vec![(3, 9)], Config::seeded(2));
-    let rounds = stabilize(&mut rt, budget(16, 2));
-    assert!(rounds.is_some(), "two hosts failed to build Avatar(Chord)");
+    let out = rt.run_monitored(&mut legality(), budget(16, 2));
+    assert_eq!(out.verdict, RunVerdict::Satisfied, "two hosts failed");
 }
 
 #[test]
@@ -31,8 +38,8 @@ fn eight_hosts_ring_build_chord() {
     let ids: Vec<u32> = vec![1, 9, 17, 25, 33, 41, 49, 57];
     let edges = ssim::init::ring(&ids);
     let mut rt = runtime(t, &ids, edges, Config::seeded(3));
-    let rounds = stabilize(&mut rt, budget(64, 8));
-    assert!(rounds.is_some(), "eight hosts failed to build Avatar(Chord)");
+    let out = rt.run_monitored(&mut legality(), budget(64, 8));
+    assert_eq!(out.verdict, RunVerdict::Satisfied, "eight hosts failed");
     assert!(runtime_is_legal(&rt));
 }
 
@@ -42,11 +49,13 @@ fn silent_after_stabilization() {
     let ids: Vec<u32> = vec![1, 9, 17, 25, 33, 41, 49, 57];
     let edges = ssim::init::ring(&ids);
     let mut rt = runtime(t, &ids, edges, Config::seeded(4));
-    stabilize(&mut rt, budget(64, 8)).expect("stabilization");
-    // Let in-flight traffic drain, then require absolute silence.
-    for _ in 0..5 {
-        rt.step();
-    }
+    let out = rt.run_monitored(&mut legality(), budget(64, 8));
+    assert_eq!(out.verdict, RunVerdict::Satisfied, "stabilization");
+    // Let in-flight traffic drain, then require absolute silence. The
+    // combined goal legality ∧ silence is itself expressible as a monitor.
+    let mut settled = legality().and(ssim::monitor::silence());
+    let out = rt.run_monitored(&mut settled, 10);
+    assert_eq!(out.verdict, RunVerdict::Satisfied, "must drain to silence");
     let before = rt.metrics().total_messages;
     for _ in 0..50 {
         rt.step();
@@ -63,8 +72,12 @@ fn silent_after_stabilization() {
 fn sixteen_hosts_random_shape() {
     let t = ChordTarget::classic(128);
     let mut rt = runtime_from_shape(t, 16, ssim::init::Shape::Random, Config::seeded(5));
-    let rounds = stabilize(&mut rt, budget(128, 16));
-    assert!(rounds.is_some(), "16 hosts (random) failed");
+    let out = rt.run_monitored(&mut legality(), budget(128, 16));
+    assert_eq!(
+        out.verdict,
+        RunVerdict::Satisfied,
+        "16 hosts (random) failed"
+    );
 }
 
 #[test]
@@ -73,7 +86,8 @@ fn wakes_and_rebuilds_after_perturbation() {
     let ids: Vec<u32> = vec![1, 9, 17, 25, 33, 41, 49, 57];
     let edges = ssim::init::ring(&ids);
     let mut rt = runtime(t, &ids, edges, Config::seeded(6));
-    stabilize(&mut rt, budget(64, 8)).expect("initial stabilization");
+    let out = rt.run_monitored(&mut legality(), budget(64, 8));
+    assert_eq!(out.verdict, RunVerdict::Satisfied, "initial stabilization");
     for _ in 0..5 {
         rt.step();
     }
@@ -83,6 +97,15 @@ fn wakes_and_rebuilds_after_perturbation() {
     assert!(rt.adversarial_remove_edge(1, 9));
     assert!(rt.topology().is_connected());
     assert!(!runtime_is_legal(&rt));
-    let rounds = stabilize(&mut rt, budget(64, 8));
-    assert!(rounds.is_some(), "failed to recover from perturbation");
+    let out = rt.run_monitored(&mut legality(), budget(64, 8));
+    assert_eq!(out.verdict, RunVerdict::Satisfied, "failed to recover");
+}
+
+#[test]
+fn deprecated_stabilize_shim_still_works() {
+    let t = ChordTarget::classic(16);
+    let mut rt = runtime(t, &[3, 9], vec![(3, 9)], Config::seeded(2));
+    #[allow(deprecated)]
+    let rounds = chord_scaffold::stabilize(&mut rt, budget(16, 2));
+    assert!(rounds.is_some());
 }

@@ -462,11 +462,8 @@ mod tests {
             for level in 0..=t.height() {
                 let all = t.level_nodes(level);
                 for (lo, hi) in [(0, n), (1, n / 2), (n / 3, 2 * n / 3)] {
-                    let expect: Vec<Id> = all
-                        .iter()
-                        .copied()
-                        .filter(|&g| lo <= g && g < hi)
-                        .collect();
+                    let expect: Vec<Id> =
+                        all.iter().copied().filter(|&g| lo <= g && g < hi).collect();
                     let mut expect = expect;
                     expect.sort_unstable();
                     assert_eq!(t.level_nodes_in(level, lo, hi), expect, "n={n} l={level}");

@@ -35,7 +35,10 @@ impl Graph {
     ///
     /// # Panics
     /// Panics if an edge endpoint is not in `ids` or is a self-loop.
-    pub fn new(ids: impl IntoIterator<Item = Id>, edges: impl IntoIterator<Item = (Id, Id)>) -> Self {
+    pub fn new(
+        ids: impl IntoIterator<Item = Id>,
+        edges: impl IntoIterator<Item = (Id, Id)>,
+    ) -> Self {
         let ids: Vec<Id> = ids.into_iter().collect();
         let index: HashMap<Id, usize> = ids.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         assert_eq!(index.len(), ids.len(), "duplicate ids");
@@ -191,7 +194,12 @@ impl Graph {
     /// A copy of the graph with the given nodes (and their edges) removed.
     pub fn without_nodes(&self, remove: &[Id]) -> Graph {
         let dead: std::collections::HashSet<Id> = remove.iter().copied().collect();
-        let ids: Vec<Id> = self.ids.iter().copied().filter(|v| !dead.contains(v)).collect();
+        let ids: Vec<Id> = self
+            .ids
+            .iter()
+            .copied()
+            .filter(|v| !dead.contains(v))
+            .collect();
         let edges: Vec<(Id, Id)> = self
             .edges()
             .into_iter()
@@ -299,7 +307,10 @@ mod tests {
         let pc = chord.survival_probability(4, 40, &mut rng);
         let pl = line.survival_probability(4, 40, &mut rng);
         assert!(pc > pl, "chord {pc} should beat line {pl}");
-        assert!(pc > 0.9, "chord survives 4 failures with high prob, got {pc}");
+        assert!(
+            pc > 0.9,
+            "chord survives 4 failures with high prob, got {pc}"
+        );
     }
 
     #[test]

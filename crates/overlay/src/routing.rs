@@ -67,7 +67,10 @@ pub fn ideal_route(chord: &Chord, s: Id, t: Id) -> Route {
 
 /// Mean and maximum hop counts over all (s, t) pairs with `s ≠ t`, or over a
 /// random sample when `N` is large. Used by experiment E9.
-pub fn hop_statistics(chord: &Chord, sample: Option<(usize, &mut dyn rand::RngCore)>) -> (f64, usize) {
+pub fn hop_statistics(
+    chord: &Chord,
+    sample: Option<(usize, &mut dyn rand::RngCore)>,
+) -> (f64, usize) {
     let n = chord.n();
     let mut total = 0usize;
     let mut count = 0usize;

@@ -2,9 +2,15 @@
 //! rounds. Self-stabilization promises recovery from *any* transient fault
 //! that leaves the network weakly connected; these helpers produce such
 //! faults reproducibly for the experiments and the failure-injection tests.
+//!
+//! Since the dynamic-membership redesign, churn is a fault like any other:
+//! [`Fault::Join`], [`Fault::Leave`] and [`Fault::Crash`] grow and shrink
+//! the node set mid-run (joins require a spawner, see
+//! [`Runtime::set_spawner`]).
 
 use crate::program::Program;
 use crate::runtime::Runtime;
+use crate::NodeId;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -32,9 +38,36 @@ pub enum Fault {
         /// Number of edges to rewire.
         count: usize,
     },
+    /// A new host with identifier `id` joins, attached to `attach` distinct
+    /// random existing hosts. Requires a registered spawner. Skipped (0
+    /// changes) if `id` is already a member.
+    Join {
+        /// Identifier of the joining host.
+        id: NodeId,
+        /// Number of random bootstrap contacts (at least 1 is used when the
+        /// network is non-empty).
+        attach: usize,
+    },
+    /// A uniformly random host (or `id`, when given) leaves gracefully.
+    /// When `keep_connected`, victims whose departure would disconnect the
+    /// survivors are skipped (another victim is tried).
+    Leave {
+        /// Specific victim, or `None` for a uniformly random member.
+        id: Option<NodeId>,
+        /// Only depart hosts whose removal keeps the survivors connected.
+        keep_connected: bool,
+    },
+    /// Like [`Fault::Leave`] but counted as a crash.
+    Crash {
+        /// Specific victim, or `None` for a uniformly random member.
+        id: Option<NodeId>,
+        /// Only crash hosts whose removal keeps the survivors connected.
+        keep_connected: bool,
+    },
 }
 
-/// Apply a fault to the runtime. Returns the number of topology changes made.
+/// Apply a fault to the runtime. Returns the number of changes made
+/// (edges touched, or members joined/departed).
 pub fn inject<P: Program>(rt: &mut Runtime<P>, fault: &Fault, rng: &mut impl Rng) -> usize {
     match *fault {
         Fault::AddRandomEdges { count } => add_random_edges(rt, count, rng),
@@ -47,7 +80,50 @@ pub fn inject<P: Program>(rt: &mut Runtime<P>, fault: &Fault, rng: &mut impl Rng
             let added = add_random_edges(rt, count, rng);
             removed + added
         }
+        Fault::Join { id, attach } => {
+            if rt.topology().contains(id) {
+                return 0;
+            }
+            let mut pool = rt.ids().to_vec();
+            pool.shuffle(rng);
+            pool.truncate(attach.max(usize::from(!pool.is_empty())));
+            rt.join_spawned(id, &pool);
+            1
+        }
+        Fault::Leave { id, keep_connected } => depart(rt, id, keep_connected, rng, false),
+        Fault::Crash { id, keep_connected } => depart(rt, id, keep_connected, rng, true),
     }
+}
+
+fn depart<P: Program>(
+    rt: &mut Runtime<P>,
+    id: Option<NodeId>,
+    keep_connected: bool,
+    rng: &mut impl Rng,
+    crash: bool,
+) -> usize {
+    let mut candidates = match id {
+        Some(v) => vec![v],
+        None => rt.ids().to_vec(),
+    };
+    candidates.shuffle(rng);
+    for v in candidates {
+        if keep_connected && !survivors_connected(rt, v) {
+            continue;
+        }
+        let removed = if crash { rt.crash(v) } else { rt.leave(v) };
+        if removed.is_some() {
+            return 1;
+        }
+    }
+    0
+}
+
+/// Would the network remain connected if `v` departed?
+fn survivors_connected<P: Program>(rt: &Runtime<P>, v: NodeId) -> bool {
+    let mut t = rt.topology().clone();
+    t.remove_node(v);
+    t.is_connected()
 }
 
 fn add_random_edges<P: Program>(rt: &mut Runtime<P>, count: usize, rng: &mut impl Rng) -> usize {
@@ -68,6 +144,11 @@ fn add_random_edges<P: Program>(rt: &mut Runtime<P>, count: usize, rng: &mut imp
     done
 }
 
+/// Remove up to `count` random edges. The candidate list is collected and
+/// shuffled **once per pass** instead of once per removal (the old
+/// implementation was quadratic in the edge count); a pass that makes no
+/// progress ends the attempt, which preserves the old guarantee that we only
+/// give up when no single removable edge exists.
 fn remove_random_edges<P: Program>(
     rt: &mut Runtime<P>,
     count: usize,
@@ -75,26 +156,27 @@ fn remove_random_edges<P: Program>(
     rng: &mut impl Rng,
 ) -> usize {
     let mut done = 0;
-    for _ in 0..count {
+    while done < count {
         let mut edges = rt.topology().edges();
         if edges.is_empty() {
             break;
         }
         edges.shuffle(rng);
-        let mut removed = false;
+        let before_pass = done;
         for (a, b) in edges {
+            if done >= count {
+                break;
+            }
             rt.adversarial_remove_edge(a, b);
             if keep_connected && !rt.topology().is_connected() {
                 rt.adversarial_add_edge(a, b);
                 continue;
             }
-            removed = true;
-            break;
+            done += 1;
         }
-        if !removed {
-            break;
+        if done == before_pass {
+            break; // no edge in a full pass was removable
         }
-        done += 1;
     }
     done
 }
@@ -115,7 +197,7 @@ mod tests {
 
     fn ring_runtime(n: u32) -> Runtime<Idle> {
         let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
-        Runtime::new(Config::default(), (0..n).map(|i| (i, Idle)), edges)
+        Runtime::new(Config::default(), (0..n).map(|i| (i, Idle)), edges).with_spawner(|_| Idle)
     }
 
     #[test]
@@ -145,10 +227,82 @@ mod tests {
     }
 
     #[test]
+    fn remove_without_connectivity_guard_takes_all() {
+        let mut rt = ring_runtime(8);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let removed = inject(
+            &mut rt,
+            &Fault::RemoveRandomEdges {
+                count: 100,
+                keep_connected: false,
+            },
+            &mut rng,
+        );
+        assert_eq!(removed, 8, "every ring edge removable without the guard");
+        assert_eq!(rt.topology().edge_count(), 0);
+    }
+
+    #[test]
     fn rewire_keeps_connectivity() {
         let mut rt = ring_runtime(32);
         let mut rng = SmallRng::seed_from_u64(5);
         inject(&mut rt, &Fault::Rewire { count: 6 }, &mut rng);
         assert!(rt.topology().is_connected());
+    }
+
+    #[test]
+    fn join_fault_attaches_to_random_members() {
+        let mut rt = ring_runtime(8);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let changed = inject(&mut rt, &Fault::Join { id: 100, attach: 2 }, &mut rng);
+        assert_eq!(changed, 1);
+        assert_eq!(rt.ids().len(), 9);
+        assert_eq!(rt.topology().degree(100), 2);
+        // Joining an existing id is a no-op.
+        assert_eq!(
+            inject(&mut rt, &Fault::Join { id: 100, attach: 2 }, &mut rng),
+            0
+        );
+    }
+
+    #[test]
+    fn leave_fault_respects_connectivity_guard() {
+        // A star: only leaves (never the hub) keep the survivors connected.
+        let edges: Vec<_> = (1..8u32).map(|i| (0, i)).collect();
+        let mut rt = Runtime::new(Config::default(), (0..8u32).map(|i| (i, Idle)), edges);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..5 {
+            assert_eq!(
+                inject(
+                    &mut rt,
+                    &Fault::Leave {
+                        id: None,
+                        keep_connected: true
+                    },
+                    &mut rng
+                ),
+                1
+            );
+            assert!(rt.topology().contains(0), "hub must never be chosen");
+            assert!(rt.topology().is_connected());
+        }
+        assert_eq!(rt.metrics().leaves, 5);
+    }
+
+    #[test]
+    fn crash_fault_targets_specific_member() {
+        let mut rt = ring_runtime(6);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let changed = inject(
+            &mut rt,
+            &Fault::Crash {
+                id: Some(3),
+                keep_connected: false,
+            },
+            &mut rng,
+        );
+        assert_eq!(changed, 1);
+        assert!(!rt.topology().contains(3));
+        assert_eq!(rt.metrics().crashes, 1);
     }
 }

@@ -75,7 +75,10 @@ impl Shape {
 /// # Panics
 /// `n` must be at most `n_cap`.
 pub fn random_ids(n: usize, n_cap: u32, rng: &mut impl Rng) -> Vec<NodeId> {
-    assert!(n as u32 <= n_cap, "cannot draw {n} distinct ids from [0, {n_cap})");
+    assert!(
+        n as u32 <= n_cap,
+        "cannot draw {n} distinct ids from [0, {n_cap})"
+    );
     // Partial Fisher–Yates over the id space for small n; rejection sampling
     // would also do but this is exact and allocation-bounded.
     if n_cap as usize <= 4 * n {

@@ -16,6 +16,15 @@
 //! * **Metrics**: per-round maximum degree, message counts and edge churn are
 //!   recorded to compute *convergence time* and *degree expansion*, the two
 //!   performance measures of Section 2.2.
+//! * **Dynamic membership**: hosts can join, leave, or crash mid-run
+//!   ([`Runtime::join`] / [`Runtime::leave`] / [`Runtime::crash`]), so the
+//!   "fragile environment" churn the paper motivates is a first-class,
+//!   schedulable perturbation.
+//! * **Drivers**: runs are steered by [`monitor`] observers (legality,
+//!   quiescence, degree/message budgets, composable with
+//!   [`monitor::all_of`]) via [`Runtime::run_monitored`], and perturbation
+//!   schedules are declared as [`scenario`]s producing JSON-serializable
+//!   reports.
 //!
 //! Node programs implement [`Program`]; per-round execution of independent
 //! node programs is data-parallel (rayon) and fully deterministic: every node
@@ -28,13 +37,18 @@
 pub mod fault;
 pub mod init;
 pub mod metrics;
+pub mod monitor;
 pub mod program;
 pub mod runtime;
+pub mod scenario;
 pub mod topology;
 
+pub use fault::Fault;
 pub use metrics::{RoundMetrics, RunMetrics};
+pub use monitor::{Monitor, MonitorExt, MonitorOutcome, RunVerdict, Verdict};
 pub use program::{Actions, Ctx, Program};
 pub use runtime::{Config, Runtime};
+pub use scenario::{Event, Scenario, ScenarioReport};
 pub use topology::Topology;
 
 /// Identifier of a (host) node. Drawn from `[0, N)` for guest capacity `N`.

@@ -42,6 +42,12 @@ pub struct RunMetrics {
     pub total_violations: u64,
     /// Number of completed rounds.
     pub rounds_executed: u64,
+    /// Hosts that joined mid-run (dynamic membership).
+    pub joins: u64,
+    /// Hosts that left gracefully mid-run.
+    pub leaves: u64,
+    /// Hosts that crashed mid-run.
+    pub crashes: u64,
     /// Per-round rows (only when `Config::record_rounds`).
     pub per_round: Vec<RoundMetrics>,
 }

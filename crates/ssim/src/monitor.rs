@@ -1,0 +1,434 @@
+//! Observer API for driving simulations: a [`Monitor`] inspects the runtime
+//! between rounds and renders a [`Verdict`]. One generic driver —
+//! [`crate::Runtime::run_monitored`] — replaces the per-protocol
+//! `stabilize`/`runtime_is_legal` free functions that each crate used to
+//! re-invent.
+//!
+//! Two monitor species compose under [`all_of`]:
+//!
+//! * **goal** monitors ([`goal`]) are `Satisfied` exactly while their
+//!   predicate holds — e.g. a protocol's legality predicate;
+//! * **invariant** monitors ([`invariant`], [`PeakDegree`],
+//!   [`MessageBudget`]) are `Satisfied` while they hold and `Violated` the
+//!   round they break — they never block termination, they only abort runs.
+//!
+//! The driver stops at the first round where every composed monitor is
+//! simultaneously `Satisfied`, or aborts on the first `Violated`.
+
+use crate::program::Program;
+use crate::runtime::Runtime;
+
+/// One observation's outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The monitored condition holds.
+    Satisfied,
+    /// Not yet — keep running.
+    Pending,
+    /// A hard failure: abort the run and surface the reason.
+    Violated(String),
+}
+
+/// Observes a runtime between rounds. Monitors are stateful: they may count
+/// rounds, latch transitions, or track extrema across observations.
+pub trait Monitor<P: Program> {
+    /// Inspect the runtime (called once before the first round and once
+    /// after every round).
+    fn observe(&mut self, rt: &Runtime<P>) -> Verdict;
+
+    /// Short label for reports.
+    fn name(&self) -> &str {
+        "monitor"
+    }
+}
+
+/// Outcome of a monitored run.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub enum RunVerdict {
+    /// The monitor was satisfied.
+    Satisfied,
+    /// The round budget ran out first.
+    Timeout,
+    /// A monitor reported violation.
+    Violated,
+}
+
+/// Result of [`crate::Runtime::run_monitored`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct MonitorOutcome {
+    /// Rounds executed by this driver call.
+    pub rounds: u64,
+    /// How the run ended.
+    pub verdict: RunVerdict,
+    /// Violation reason, when `verdict == Violated`.
+    pub reason: Option<String>,
+}
+
+impl MonitorOutcome {
+    /// `Some(rounds)` when satisfied — the shape the old `stabilize`
+    /// functions returned, for drop-in migration.
+    pub fn rounds_if_satisfied(&self) -> Option<u64> {
+        match self.verdict {
+            RunVerdict::Satisfied => Some(self.rounds),
+            _ => None,
+        }
+    }
+}
+
+/// A goal monitor from a predicate: `Satisfied` exactly while `pred` holds,
+/// `Pending` otherwise. Deliberately *not* latched — a perturbation that
+/// breaks the condition again (scenario churn) must read as `Pending`, so
+/// drivers measure true re-convergence.
+pub fn goal<P, F>(name: &'static str, pred: F) -> Goal<F>
+where
+    P: Program,
+    F: FnMut(&Runtime<P>) -> bool,
+{
+    Goal { name, pred }
+}
+
+/// See [`goal`].
+pub struct Goal<F> {
+    name: &'static str,
+    pred: F,
+}
+
+impl<P, F> Monitor<P> for Goal<F>
+where
+    P: Program,
+    F: FnMut(&Runtime<P>) -> bool,
+{
+    fn observe(&mut self, rt: &Runtime<P>) -> Verdict {
+        if (self.pred)(rt) {
+            Verdict::Satisfied
+        } else {
+            Verdict::Pending
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+/// An invariant monitor from a predicate: `Satisfied` while `pred` holds,
+/// `Violated` the first time it doesn't.
+pub fn invariant<P, F>(name: &'static str, pred: F) -> Invariant<F>
+where
+    P: Program,
+    F: FnMut(&Runtime<P>) -> bool,
+{
+    Invariant { name, pred }
+}
+
+/// See [`invariant`].
+pub struct Invariant<F> {
+    name: &'static str,
+    pred: F,
+}
+
+impl<P, F> Monitor<P> for Invariant<F>
+where
+    P: Program,
+    F: FnMut(&Runtime<P>) -> bool,
+{
+    fn observe(&mut self, rt: &Runtime<P>) -> Verdict {
+        if (self.pred)(rt) {
+            Verdict::Satisfied
+        } else {
+            Verdict::Violated(format!("invariant `{}` broken", self.name))
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+/// Goal: the network is silent (no messages in flight) and every program
+/// reports itself quiescent. In a self-stabilizing protocol this is the
+/// paper's "silent network" condition.
+pub fn quiescence<P: Program>() -> Goal<impl FnMut(&Runtime<P>) -> bool> {
+    goal("quiescence", |rt: &Runtime<P>| {
+        rt.is_silent() && rt.programs().all(|(_, p)| p.is_quiescent())
+    })
+}
+
+/// Goal: the network is silent (no messages in flight), regardless of what
+/// programs report.
+pub fn silence<P: Program>() -> Goal<impl FnMut(&Runtime<P>) -> bool> {
+    goal("silence", |rt: &Runtime<P>| rt.is_silent())
+}
+
+/// Invariant: peak degree (over the whole run so far) stays within `max` —
+/// the degree-expansion guardrail of Section 2.2.
+pub struct PeakDegree {
+    max: usize,
+}
+
+impl PeakDegree {
+    /// Allow a peak degree of at most `max`.
+    pub fn at_most(max: usize) -> Self {
+        Self { max }
+    }
+}
+
+impl<P: Program> Monitor<P> for PeakDegree {
+    fn observe(&mut self, rt: &Runtime<P>) -> Verdict {
+        // Metrics absorb degree at round boundaries; also read the live
+        // topology so a perturbation spike is caught the round it lands.
+        let peak = rt.metrics().peak_degree.max(rt.topology().max_degree());
+        if peak <= self.max {
+            Verdict::Satisfied
+        } else {
+            Verdict::Violated(format!("peak degree {peak} exceeds budget {}", self.max))
+        }
+    }
+
+    fn name(&self) -> &str {
+        "peak-degree"
+    }
+}
+
+/// Invariant: total messages sent stay within `max`.
+pub struct MessageBudget {
+    max: u64,
+}
+
+impl MessageBudget {
+    /// Allow at most `max` total messages.
+    pub fn at_most(max: u64) -> Self {
+        Self { max }
+    }
+}
+
+impl<P: Program> Monitor<P> for MessageBudget {
+    fn observe(&mut self, rt: &Runtime<P>) -> Verdict {
+        let sent = rt.metrics().total_messages;
+        if sent <= self.max {
+            Verdict::Satisfied
+        } else {
+            Verdict::Violated(format!("messages {sent} exceed budget {}", self.max))
+        }
+    }
+
+    fn name(&self) -> &str {
+        "message-budget"
+    }
+}
+
+/// Conjunction: `Satisfied` when every part is simultaneously satisfied,
+/// `Violated` as soon as any part is, `Pending` otherwise.
+pub fn all_of<P: Program>(parts: Vec<Box<dyn Monitor<P> + Send>>) -> AllOf<P> {
+    AllOf { parts }
+}
+
+/// See [`all_of`].
+pub struct AllOf<P: Program> {
+    parts: Vec<Box<dyn Monitor<P> + Send>>,
+}
+
+impl<P: Program> Monitor<P> for AllOf<P> {
+    fn observe(&mut self, rt: &Runtime<P>) -> Verdict {
+        let mut all_satisfied = true;
+        for m in &mut self.parts {
+            match m.observe(rt) {
+                Verdict::Satisfied => {}
+                Verdict::Pending => all_satisfied = false,
+                Verdict::Violated(why) => return Verdict::Violated(why),
+            }
+        }
+        if all_satisfied {
+            Verdict::Satisfied
+        } else {
+            Verdict::Pending
+        }
+    }
+
+    fn name(&self) -> &str {
+        "all-of"
+    }
+}
+
+/// Budget combinator: like the inner monitor, but `Violated` once more than
+/// `max_rounds` observations elapse without satisfaction.
+pub fn within_budget<P: Program, M: Monitor<P>>(inner: M, max_rounds: u64) -> WithinBudget<M> {
+    WithinBudget {
+        inner,
+        max_rounds,
+        seen: 0,
+    }
+}
+
+/// See [`within_budget`].
+pub struct WithinBudget<M> {
+    inner: M,
+    max_rounds: u64,
+    seen: u64,
+}
+
+impl<P: Program, M: Monitor<P>> Monitor<P> for WithinBudget<M> {
+    fn observe(&mut self, rt: &Runtime<P>) -> Verdict {
+        let v = self.inner.observe(rt);
+        match v {
+            Verdict::Pending => {
+                // Observation k happens after k rounds (the first one before
+                // any round runs), so a Pending observation with
+                // `seen == max_rounds` means the budget is spent.
+                if self.seen >= self.max_rounds {
+                    return Verdict::Violated(format!(
+                        "`{}` not satisfied within {} rounds",
+                        self.inner.name(),
+                        self.max_rounds
+                    ));
+                }
+                self.seen += 1;
+                Verdict::Pending
+            }
+            v => v,
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// Extension methods for fluent composition.
+pub trait MonitorExt<P: Program>: Monitor<P> + Sized {
+    /// `self` AND `other` (see [`all_of`] for the verdict lattice).
+    fn and<M: Monitor<P> + Send + 'static>(self, other: M) -> AllOf<P>
+    where
+        Self: Send + 'static,
+    {
+        all_of(vec![Box::new(self), Box::new(other)])
+    }
+
+    /// Fail the run if satisfaction takes more than `max_rounds` rounds.
+    fn within_budget(self, max_rounds: u64) -> WithinBudget<Self> {
+        within_budget(self, max_rounds)
+    }
+}
+
+impl<P: Program, M: Monitor<P> + Sized> MonitorExt<P> for M {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Ctx;
+    use crate::runtime::Config;
+
+    struct Idle;
+    impl Program for Idle {
+        type Msg = ();
+        fn step(&mut self, _ctx: &mut Ctx<'_, ()>) {}
+        fn is_quiescent(&self) -> bool {
+            true
+        }
+    }
+
+    fn rt2() -> Runtime<Idle> {
+        Runtime::new(Config::default(), (0..2u32).map(|i| (i, Idle)), [(0, 1)])
+    }
+
+    #[test]
+    fn goal_tracks_live_predicate() {
+        let rt = rt2();
+        let mut hits = 0;
+        let mut m = goal("every-other", move |_: &Runtime<Idle>| {
+            hits += 1;
+            hits == 2
+        });
+        assert_eq!(m.observe(&rt), Verdict::Pending);
+        assert_eq!(m.observe(&rt), Verdict::Satisfied);
+        assert_eq!(
+            m.observe(&rt),
+            Verdict::Pending,
+            "goals are not latched: re-broken conditions read Pending"
+        );
+    }
+
+    #[test]
+    fn invariant_violates_with_name() {
+        let rt = rt2();
+        let mut m = invariant("never", |_: &Runtime<Idle>| false);
+        match m.observe(&rt) {
+            Verdict::Violated(why) => assert!(why.contains("never")),
+            v => panic!("expected violation, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn all_of_waits_for_every_goal() {
+        let rt = rt2();
+        let mut m = all_of::<Idle>(vec![
+            Box::new(goal("a", |_: &Runtime<Idle>| true)),
+            Box::new(goal("b", |rt: &Runtime<Idle>| rt.round() >= 1)),
+            Box::new(PeakDegree::at_most(10)),
+        ]);
+        assert_eq!(m.observe(&rt), Verdict::Pending);
+        let mut rt = rt2();
+        rt.step();
+        assert_eq!(m.observe(&rt), Verdict::Satisfied);
+    }
+
+    #[test]
+    fn budget_combinator_trips() {
+        let rt = rt2();
+        let mut m = goal("never", |_: &Runtime<Idle>| false).within_budget(2);
+        assert_eq!(m.observe(&rt), Verdict::Pending); // pre-round observation
+        assert_eq!(m.observe(&rt), Verdict::Pending); // after round 1
+        let third = m.observe(&rt); // after round 2: the 2-round budget is blown
+        assert!(matches!(third, Verdict::Violated(_)));
+    }
+
+    #[test]
+    fn budget_combinator_allows_satisfaction_at_the_deadline() {
+        let mut rt = rt2();
+        let mut m = goal("two-rounds", |rt: &Runtime<Idle>| rt.round() >= 2).within_budget(2);
+        let out = rt.run_monitored(&mut m, 100);
+        assert_eq!(out.verdict, RunVerdict::Satisfied);
+        assert_eq!(out.rounds, 2);
+    }
+
+    #[test]
+    fn run_monitored_drives_to_goal() {
+        let mut rt = rt2();
+        let mut m = goal("three-rounds", |rt: &Runtime<Idle>| rt.round() >= 3);
+        let out = rt.run_monitored(&mut m, 100);
+        assert_eq!(out.verdict, RunVerdict::Satisfied);
+        assert_eq!(out.rounds, 3);
+        assert_eq!(out.rounds_if_satisfied(), Some(3));
+    }
+
+    #[test]
+    fn run_monitored_times_out() {
+        let mut rt = rt2();
+        let mut m = goal("never", |_: &Runtime<Idle>| false);
+        let out = rt.run_monitored(&mut m, 5);
+        assert_eq!(out.verdict, RunVerdict::Timeout);
+        assert_eq!(out.rounds, 5);
+        assert_eq!(out.rounds_if_satisfied(), None);
+    }
+
+    #[test]
+    fn run_monitored_aborts_on_violation() {
+        let mut rt = rt2();
+        let mut m = goal("never", |_: &Runtime<Idle>| false)
+            .and(MessageBudget::at_most(u64::MAX))
+            .and(PeakDegree::at_most(0));
+        let out = rt.run_monitored(&mut m, 100);
+        assert_eq!(out.verdict, RunVerdict::Violated);
+        assert!(out.reason.unwrap().contains("peak degree"));
+        assert_eq!(out.rounds, 0, "violation detected before any round");
+    }
+
+    #[test]
+    fn quiescence_on_idle_network() {
+        let mut rt = rt2();
+        let mut m = quiescence::<Idle>();
+        let out = rt.run_monitored(&mut m, 10);
+        assert_eq!(out.verdict, RunVerdict::Satisfied);
+        assert_eq!(out.rounds, 0);
+    }
+}

@@ -1,6 +1,11 @@
-//! The synchronous round engine.
+//! The synchronous round engine, including the dynamic-membership surface:
+//! hosts can [`Runtime::join`], [`Runtime::leave`], or [`Runtime::crash`]
+//! mid-run, so churn is a first-class schedulable perturbation (see
+//! [`crate::fault`] and [`crate::scenario`]) instead of something examples
+//! fake with edge rewires.
 
 use crate::metrics::{RoundMetrics, RunMetrics};
+use crate::monitor::{Monitor, MonitorOutcome, RunVerdict, Verdict};
 use crate::program::{Actions, Ctx, Program};
 use crate::topology::Topology;
 use crate::NodeId;
@@ -70,6 +75,9 @@ pub struct Runtime<P: Program> {
     inboxes: Vec<Vec<(NodeId, P::Msg)>>,
     round: u64,
     metrics: RunMetrics,
+    /// Builds programs for hosts that join mid-run (registered by protocol
+    /// runtime builders; required for spawning joins from faults/scenarios).
+    spawner: Option<Box<dyn FnMut(NodeId) -> P + Send>>,
 }
 
 impl<P: Program> Runtime<P> {
@@ -102,7 +110,27 @@ impl<P: Program> Runtime<P> {
             inboxes,
             round: 0,
             metrics,
+            spawner: None,
         }
+    }
+
+    /// Register the factory that builds programs for hosts joining mid-run
+    /// (used by [`Runtime::join_spawned`], membership faults, and scenario
+    /// joins). Protocol crates' runtime builders register one automatically.
+    pub fn set_spawner(&mut self, f: impl FnMut(NodeId) -> P + Send + 'static) {
+        self.spawner = Some(Box::new(f));
+    }
+
+    /// Builder-style [`Runtime::set_spawner`].
+    #[must_use]
+    pub fn with_spawner(mut self, f: impl FnMut(NodeId) -> P + Send + 'static) -> Self {
+        self.set_spawner(f);
+        self
+    }
+
+    /// True iff a join spawner is registered.
+    pub fn has_spawner(&self) -> bool {
+        self.spawner.is_some()
     }
 
     /// Current round number (number of completed rounds).
@@ -213,8 +241,7 @@ impl<P: Program> Runtime<P> {
                     .map(|&(x, y)| {
                         let me = self.ids[i];
                         let nb = self.topo.neighbors_by_index(i);
-                        let in_closed =
-                            |v: NodeId| v == me || nb.binary_search(&v).is_ok();
+                        let in_closed = |v: NodeId| v == me || nb.binary_search(&v).is_ok();
                         x != y && in_closed(x) && in_closed(y)
                     })
                     .collect()
@@ -309,6 +336,147 @@ impl<P: Program> Runtime<P> {
         }
     }
 
+    /// Run until `monitor` is satisfied or violated, or `max_rounds` elapse.
+    /// The monitor observes the runtime *before* the first round (a runtime
+    /// that already satisfies it executes 0 rounds) and after every round.
+    ///
+    /// This is the generic driver that replaces the per-protocol
+    /// `stabilize` free functions; see [`crate::monitor`] for composition.
+    pub fn run_monitored(
+        &mut self,
+        monitor: &mut (impl Monitor<P> + ?Sized),
+        max_rounds: u64,
+    ) -> MonitorOutcome {
+        let start = self.round;
+        loop {
+            let executed = self.round - start;
+            match monitor.observe(self) {
+                Verdict::Satisfied => {
+                    return MonitorOutcome {
+                        rounds: executed,
+                        verdict: RunVerdict::Satisfied,
+                        reason: None,
+                    }
+                }
+                Verdict::Violated(why) => {
+                    return MonitorOutcome {
+                        rounds: executed,
+                        verdict: RunVerdict::Violated,
+                        reason: Some(why),
+                    }
+                }
+                Verdict::Pending => {}
+            }
+            if executed == max_rounds {
+                return MonitorOutcome {
+                    rounds: executed,
+                    verdict: RunVerdict::Timeout,
+                    reason: None,
+                };
+            }
+            self.step();
+        }
+    }
+
+    // ---- dynamic membership ------------------------------------------------
+
+    /// A new host joins the running network, attached to the existing hosts
+    /// in `attach_to` (its bootstrap contacts). The attachment edges bypass
+    /// the introduction rule — joining is an environment action, like a
+    /// transient fault, not a protocol step. Unknown attach targets are
+    /// skipped (they may have left in an earlier event); a join whose
+    /// targets all vanished enters isolated, which monitors may then flag.
+    ///
+    /// The new node's PRNG is seeded exactly as at construction
+    /// (`seed ⊕ splitmix(id)`), so runs containing joins stay deterministic,
+    /// and a host that leaves and re-joins replays the same private stream.
+    ///
+    /// # Panics
+    /// Panics if `id` is already a member.
+    pub fn join(&mut self, id: NodeId, program: P, attach_to: &[NodeId]) {
+        assert!(
+            !self.index.contains_key(&id),
+            "join: node {id} is already a member"
+        );
+        self.index.insert(id, self.ids.len());
+        self.ids.push(id);
+        self.programs.push(program);
+        self.rngs.push(SmallRng::seed_from_u64(
+            self.cfg.seed ^ splitmix64(id as u64 + 1),
+        ));
+        self.inboxes.push(Vec::new());
+        self.topo.add_node(id);
+        for &v in attach_to {
+            if v != id && self.topo.contains(v) {
+                self.topo.add_edge(id, v);
+            }
+        }
+        self.metrics.joins += 1;
+        self.metrics.peak_degree = self.metrics.peak_degree.max(self.topo.max_degree());
+        debug_assert!(self.topo.check_invariants());
+    }
+
+    /// Like [`Runtime::join`], but the program comes from the registered
+    /// spawner — the form used by membership faults and scenario events.
+    ///
+    /// # Panics
+    /// Panics if no spawner is registered (see [`Runtime::set_spawner`]) or
+    /// `id` is already a member.
+    pub fn join_spawned(&mut self, id: NodeId, attach_to: &[NodeId]) {
+        let mut spawner = self
+            .spawner
+            .take()
+            .expect("join_spawned: no spawner registered (Runtime::set_spawner)");
+        let program = spawner(id);
+        self.spawner = Some(spawner);
+        self.join(id, program, attach_to);
+    }
+
+    /// A host leaves the network gracefully: it and its incident edges are
+    /// removed, undelivered messages to *and from* it are dropped (in the
+    /// synchronous model a message is received only if its channel — the
+    /// edge — still exists, and the channels died with the host). The final
+    /// program state is returned to the caller ("retired").
+    ///
+    /// Returns `None` if `id` is not a member.
+    pub fn leave(&mut self, id: NodeId) -> Option<P> {
+        let p = self.remove_member(id)?;
+        self.metrics.leaves += 1;
+        Some(p)
+    }
+
+    /// A host crashes: topologically identical to [`Runtime::leave`] today
+    /// (edges gone, in-flight messages in both directions lost), but counted
+    /// separately — scenarios distinguish polite departure from failure, and
+    /// protocols with departure hand-off would only see it on `leave`.
+    ///
+    /// Returns the crashed program state (for post-mortem inspection), or
+    /// `None` if `id` is not a member.
+    pub fn crash(&mut self, id: NodeId) -> Option<P> {
+        let p = self.remove_member(id)?;
+        self.metrics.crashes += 1;
+        Some(p)
+    }
+
+    fn remove_member(&mut self, id: NodeId) -> Option<P> {
+        let i = *self.index.get(&id)?;
+        self.topo.remove_node(id);
+        self.ids.remove(i);
+        self.index.remove(&id);
+        for (j, &v) in self.ids.iter().enumerate().skip(i) {
+            self.index.insert(v, j);
+        }
+        let program = self.programs.remove(i);
+        self.rngs.remove(i);
+        self.inboxes.remove(i);
+        // Messages the departed host sent last round die with its channels.
+        for inbox in &mut self.inboxes {
+            inbox.retain(|&(from, _)| from != id);
+        }
+        debug_assert!(self.topo.check_invariants());
+        Some(program)
+    }
+
     /// True iff no messages are in flight (next round delivers nothing).
     pub fn is_silent(&self) -> bool {
         self.inboxes.iter().all(Vec::is_empty)
@@ -362,10 +530,7 @@ mod tests {
     #[test]
     fn flood_takes_diameter_rounds() {
         let mut rt = line_runtime(10);
-        let done = rt.run_until(
-            |r| r.programs().all(|(_, p)| p.is_quiescent()),
-            100,
-        );
+        let done = rt.run_until(|r| r.programs().all(|(_, p)| p.is_quiescent()), 100);
         // Token starts at node 0 and is sent in round 0; 9 message hops mean
         // node 9 receives during round 9, i.e. after the 10th step.
         assert_eq!(done, Some(10));
@@ -492,5 +657,123 @@ mod tests {
             rt.metrics().total_messages
         };
         assert_eq!(go(), go());
+    }
+
+    #[test]
+    fn join_grows_network_and_flood_reaches_newcomer() {
+        let mut rt = line_runtime(4);
+        rt.run(2);
+        rt.join(
+            9,
+            Flood {
+                has: false,
+                announced: false,
+            },
+            &[3],
+        );
+        assert_eq!(rt.ids().len(), 5);
+        assert!(rt.topology().has_edge(3, 9));
+        assert_eq!(rt.metrics().joins, 1);
+        rt.run(10);
+        assert!(rt.program(9).has, "flood token must reach the joiner");
+    }
+
+    #[test]
+    #[should_panic(expected = "already a member")]
+    fn duplicate_join_panics() {
+        let mut rt = line_runtime(3);
+        rt.join(1, Flood::default(), &[0]);
+    }
+
+    #[test]
+    fn join_skips_vanished_attach_targets() {
+        let mut rt = line_runtime(3);
+        rt.leave(2);
+        rt.join(7, Flood::default(), &[2, 1]);
+        assert!(!rt.topology().contains(2));
+        assert!(rt.topology().has_edge(7, 1), "surviving target attached");
+    }
+
+    #[test]
+    fn leave_removes_node_edges_and_in_flight_messages() {
+        let mut rt = line_runtime(4);
+        rt.step(); // node 0 announces to 1; message (0 -> 1) in flight
+        assert!(!rt.is_silent());
+        let gone = rt.leave(0).expect("member leaves");
+        assert!(gone.has);
+        assert_eq!(rt.ids(), &[1, 2, 3]);
+        assert!(rt.is_silent(), "messages from the leaver die with it");
+        assert_eq!(rt.metrics().leaves, 1);
+        rt.run(5); // survivors keep stepping against the shrunk network
+        assert!(rt.topology().check_invariants());
+        assert!(!rt.program(1).has, "token left with node 0");
+    }
+
+    #[test]
+    fn crash_counts_separately() {
+        let mut rt = line_runtime(3);
+        assert!(rt.crash(1).is_some());
+        assert!(rt.crash(1).is_none(), "double crash is a no-op");
+        assert_eq!(rt.metrics().crashes, 1);
+        assert_eq!(rt.metrics().leaves, 0);
+        // Node 1 was the middle of the line: survivors are disconnected but
+        // the runtime stays well-formed and steppable.
+        assert!(!rt.topology().is_connected());
+        rt.run(3);
+        assert!(rt.topology().check_invariants());
+    }
+
+    #[test]
+    fn join_spawned_uses_registered_factory() {
+        let mut rt = line_runtime(3).with_spawner(|_id| Flood {
+            has: true,
+            announced: false,
+        });
+        assert!(rt.has_spawner());
+        rt.join_spawned(11, &[2]);
+        assert!(rt.program(11).has);
+        assert_eq!(rt.metrics().joins, 1);
+    }
+
+    #[test]
+    fn rejoin_replays_same_rng_stream() {
+        // Two fresh runtimes: one leaves+rejoins node 2 before stepping, one
+        // doesn't. Same seeds => same message totals.
+        let go = |churn: bool| {
+            let mut rt = line_runtime(8);
+            if churn {
+                rt.leave(2);
+                rt.join(2, Flood::default(), &[1, 3]);
+            }
+            rt.run(20);
+            rt.metrics().total_messages
+        };
+        assert_eq!(go(false), go(true));
+    }
+
+    #[test]
+    fn membership_preserves_parallel_equivalence() {
+        let run = |parallel: bool| {
+            let cfg = Config {
+                parallel,
+                ..Config::default()
+            };
+            let nodes = (0..16u32).map(|i| {
+                (
+                    i,
+                    Flood {
+                        has: i == 0,
+                        announced: false,
+                    },
+                )
+            });
+            let mut rt = Runtime::new(cfg, nodes, (0..15u32).map(|i| (i, i + 1)));
+            rt.run(3);
+            rt.leave(5);
+            rt.join(20, Flood::default(), &[4, 6]);
+            rt.run(30);
+            (rt.metrics().total_messages, rt.topology().edges())
+        };
+        assert_eq!(run(false), run(true));
     }
 }

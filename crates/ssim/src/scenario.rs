@@ -1,0 +1,447 @@
+//! Declarative perturbation schedules: a [`Scenario`] is a list of
+//! `(round, Event)` entries — faults, joins, leaves, crashes, state
+//! corruption — executed by one driver loop against any [`Runtime`], with a
+//! [`Monitor`] deciding when the system has (re-)converged and a
+//! JSON-serializable [`ScenarioReport`] capturing what happened.
+//!
+//! This is the workload layer the paper motivates ("overlay networks operate
+//! in fragile environments where faults that perturb the logical network
+//! topology are commonplace"): instead of each example hand-rolling
+//! `inject(..); stabilize(..)` loops, a scenario states the perturbation
+//! schedule once and any protocol/monitor pair can replay it
+//! deterministically.
+
+use crate::fault::{inject, Fault};
+use crate::monitor::{Monitor, RunVerdict, Verdict};
+use crate::program::Program;
+use crate::runtime::Runtime;
+use crate::NodeId;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// One scheduled perturbation.
+#[derive(Clone)]
+pub enum Event<P: Program> {
+    /// Inject a randomized fault (edge churn or random membership churn),
+    /// drawn from the scenario's seeded RNG.
+    Fault(Fault),
+    /// A specific host joins, attached to the given bootstrap contacts
+    /// (requires a spawner on the runtime).
+    Join {
+        /// Identifier of the joining host.
+        id: NodeId,
+        /// Bootstrap contacts (unknown ones are skipped).
+        attach: Vec<NodeId>,
+    },
+    /// A specific host leaves gracefully.
+    Leave(NodeId),
+    /// A specific host crashes.
+    Crash(NodeId),
+    /// Adversarially corrupt one host's program state.
+    Corrupt {
+        /// The victim.
+        id: NodeId,
+        /// Human-readable label for the report.
+        label: String,
+        /// The mutation (shared so events stay cloneable).
+        mutate: Arc<dyn Fn(&mut P) + Send + Sync>,
+    },
+}
+
+impl<P: Program> std::fmt::Debug for Event<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Event::Fault(fault) => write!(f, "Fault({fault:?})"),
+            Event::Join { id, attach } => write!(f, "Join({id} -> {attach:?})"),
+            Event::Leave(id) => write!(f, "Leave({id})"),
+            Event::Crash(id) => write!(f, "Crash({id})"),
+            Event::Corrupt { id, label, .. } => write!(f, "Corrupt({id}: {label})"),
+        }
+    }
+}
+
+/// A deterministic perturbation schedule. Rounds are relative to the round
+/// at which [`Scenario::run`] is called.
+pub struct Scenario<P: Program> {
+    name: String,
+    seed: u64,
+    events: Vec<(u64, Event<P>)>,
+}
+
+impl<P: Program> Scenario<P> {
+    /// An empty scenario. The RNG used by random faults defaults to a seed
+    /// derived from the name; see [`Scenario::seeded`].
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        let seed = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100000001b3)
+        });
+        Self {
+            name,
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Fix the seed of the scenario's private fault RNG.
+    #[must_use]
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Schedule `event` at `round` (relative to run start).
+    #[must_use]
+    pub fn at(mut self, round: u64, event: Event<P>) -> Self {
+        self.events.push((round, event));
+        self
+    }
+
+    /// Schedule a randomized fault.
+    #[must_use]
+    pub fn fault(self, round: u64, fault: Fault) -> Self {
+        self.at(round, Event::Fault(fault))
+    }
+
+    /// Schedule a deterministic join.
+    #[must_use]
+    pub fn join(self, round: u64, id: NodeId, attach: &[NodeId]) -> Self {
+        self.at(
+            round,
+            Event::Join {
+                id,
+                attach: attach.to_vec(),
+            },
+        )
+    }
+
+    /// Schedule a deterministic graceful leave.
+    #[must_use]
+    pub fn leave(self, round: u64, id: NodeId) -> Self {
+        self.at(round, Event::Leave(id))
+    }
+
+    /// Schedule a deterministic crash.
+    #[must_use]
+    pub fn crash(self, round: u64, id: NodeId) -> Self {
+        self.at(round, Event::Crash(id))
+    }
+
+    /// Schedule a state corruption of host `id`.
+    #[must_use]
+    pub fn corrupt(
+        self,
+        round: u64,
+        id: NodeId,
+        label: impl Into<String>,
+        mutate: impl Fn(&mut P) + Send + Sync + 'static,
+    ) -> Self {
+        self.at(
+            round,
+            Event::Corrupt {
+                id,
+                label: label.into(),
+                mutate: Arc::new(mutate),
+            },
+        )
+    }
+
+    /// The scheduled events, in schedule order.
+    pub fn events(&self) -> &[(u64, Event<P>)] {
+        &self.events
+    }
+
+    /// Execute the schedule against `rt`, driving with `monitor`.
+    ///
+    /// Every round the driver first applies the events due, then observes
+    /// the monitor. The run ends `Satisfied` at the first round where the
+    /// monitor is satisfied **and** no events remain (a satisfied monitor
+    /// mid-schedule — e.g. legality between two fault episodes — is recorded
+    /// but does not stop the run), ends `Violated` the moment any composed
+    /// invariant breaks, and ends `Timeout` after `max_rounds` rounds.
+    pub fn run(
+        &self,
+        rt: &mut Runtime<P>,
+        monitor: &mut (impl Monitor<P> + ?Sized),
+        max_rounds: u64,
+    ) -> ScenarioReport {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut pending: Vec<(u64, &Event<P>)> = self.events.iter().map(|(r, e)| (*r, e)).collect();
+        pending.sort_by_key(|&(r, _)| r); // stable: same-round order preserved
+        let mut pending = pending.into_iter().peekable();
+
+        let start = rt.round();
+        let mut records = Vec::new();
+        let mut satisfied_at: Option<u64> = None;
+        let node_count_start = rt.ids().len();
+
+        let (rounds, verdict, reason) = loop {
+            let now = rt.round() - start;
+            while pending.peek().is_some_and(|&(r, _)| r <= now) {
+                let (r, event) = pending.next().unwrap();
+                let changes = apply(rt, event, &mut rng);
+                records.push(EventRecord {
+                    round: r,
+                    event: format!("{event:?}"),
+                    changes,
+                });
+            }
+            match monitor.observe(rt) {
+                Verdict::Satisfied => {
+                    satisfied_at.get_or_insert(now);
+                    if pending.peek().is_none() {
+                        break (now, RunVerdict::Satisfied, None);
+                    }
+                }
+                Verdict::Pending => satisfied_at = None,
+                Verdict::Violated(why) => break (now, RunVerdict::Violated, Some(why)),
+            }
+            if now == max_rounds {
+                break (now, RunVerdict::Timeout, None);
+            }
+            rt.step();
+        };
+
+        let m = rt.metrics();
+        ScenarioReport {
+            scenario: self.name.clone(),
+            seed: self.seed,
+            verdict,
+            reason,
+            rounds,
+            satisfied_at,
+            events: records,
+            nodes_start: node_count_start,
+            nodes_final: rt.ids().len(),
+            final_edges: rt.topology().edge_count(),
+            final_max_degree: rt.topology().max_degree(),
+            peak_degree: m.peak_degree,
+            total_messages: m.total_messages,
+            joins: m.joins,
+            leaves: m.leaves,
+            crashes: m.crashes,
+        }
+    }
+}
+
+fn apply<P: Program>(rt: &mut Runtime<P>, event: &Event<P>, rng: &mut SmallRng) -> usize {
+    match event {
+        Event::Fault(fault) => inject(rt, fault, rng),
+        Event::Join { id, attach } => {
+            if rt.topology().contains(*id) {
+                0
+            } else {
+                rt.join_spawned(*id, attach);
+                1
+            }
+        }
+        Event::Leave(id) => rt.leave(*id).map_or(0, |_| 1),
+        Event::Crash(id) => rt.crash(*id).map_or(0, |_| 1),
+        Event::Corrupt { id, mutate, .. } => {
+            if rt.topology().contains(*id) {
+                rt.corrupt_node(*id, |p| mutate(p));
+                1
+            } else {
+                0
+            }
+        }
+    }
+}
+
+/// What one scheduled event did.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct EventRecord {
+    /// Scheduled round (relative to run start).
+    pub round: u64,
+    /// Debug rendering of the event.
+    pub event: String,
+    /// Changes it made (edges touched / members changed / states corrupted).
+    pub changes: usize,
+}
+
+/// Serializable outcome of a scenario run.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Seed of the scenario's fault RNG.
+    pub seed: u64,
+    /// How the run ended.
+    pub verdict: RunVerdict,
+    /// Violation reason, if any.
+    pub reason: Option<String>,
+    /// Rounds executed by the driver.
+    pub rounds: u64,
+    /// Round at which the monitor's satisfaction last began (for a satisfied
+    /// run: when convergence was reached, net of any later perturbations).
+    pub satisfied_at: Option<u64>,
+    /// Per-event application records.
+    pub events: Vec<EventRecord>,
+    /// Node count when the scenario started.
+    pub nodes_start: usize,
+    /// Node count when it ended (churn changes it).
+    pub nodes_final: usize,
+    /// Edges at the end.
+    pub final_edges: usize,
+    /// Maximum degree at the end.
+    pub final_max_degree: usize,
+    /// Peak degree over the whole run.
+    pub peak_degree: usize,
+    /// Total messages over the whole run.
+    pub total_messages: u64,
+    /// Join events absorbed by the runtime.
+    pub joins: u64,
+    /// Graceful leaves absorbed by the runtime.
+    pub leaves: u64,
+    /// Crashes absorbed by the runtime.
+    pub crashes: u64,
+}
+
+impl ScenarioReport {
+    /// Compact JSON encoding.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serialization is infallible")
+    }
+
+    /// True iff the run ended satisfied.
+    pub fn converged(&self) -> bool {
+        self.verdict == RunVerdict::Satisfied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor;
+    use crate::program::Ctx;
+    use crate::runtime::Config;
+
+    /// Counts how many distinct senders each node has heard.
+    #[derive(Default)]
+    struct Gossip {
+        heard: std::collections::BTreeSet<NodeId>,
+    }
+
+    impl Program for Gossip {
+        type Msg = ();
+
+        fn step(&mut self, ctx: &mut Ctx<'_, ()>) {
+            for &(from, _) in &ctx.inbox().to_vec() {
+                self.heard.insert(from);
+            }
+            for &v in &ctx.neighbors().to_vec() {
+                ctx.send(v, ());
+            }
+        }
+    }
+
+    fn ring(n: u32) -> Runtime<Gossip> {
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Runtime::new(
+            Config::default(),
+            (0..n).map(|i| (i, Gossip::default())),
+            edges,
+        )
+        .with_spawner(|_| Gossip::default())
+    }
+
+    #[test]
+    fn scripted_churn_changes_node_set_mid_run() {
+        let scenario = Scenario::new("churn")
+            .join(2, 100, &[0, 3])
+            .leave(4, 1)
+            .crash(6, 5)
+            .fault(8, Fault::Join { id: 101, attach: 2 });
+        let mut rt = ring(8);
+        let mut m = monitor::goal("ran-12", |rt: &Runtime<Gossip>| rt.round() >= 12);
+        let report = scenario.run(&mut rt, &mut m, 100);
+        assert!(report.converged());
+        assert_eq!(report.rounds, 12);
+        assert_eq!(report.nodes_start, 8);
+        assert_eq!(report.nodes_final, 8, "8 + 2 joins - 1 leave - 1 crash");
+        assert_eq!((report.joins, report.leaves, report.crashes), (2, 1, 1));
+        assert_eq!(report.events.len(), 4);
+        assert!(report.events.iter().all(|e| e.changes == 1));
+        // The joiner has been woven into the gossip.
+        assert!(!rt.program(100).heard.is_empty());
+    }
+
+    #[test]
+    fn satisfied_mid_schedule_does_not_stop_the_run() {
+        // Goal is satisfied from round 3 on, but an event is scheduled at
+        // round 10 — the driver must keep going until it fires.
+        let scenario = Scenario::<Gossip>::new("late-event").leave(10, 0);
+        let mut rt = ring(4);
+        let mut m = monitor::goal("past-3", |rt: &Runtime<Gossip>| rt.round() >= 3);
+        let report = scenario.run(&mut rt, &mut m, 50);
+        assert!(report.converged());
+        assert_eq!(report.rounds, 10);
+        assert_eq!(report.leaves, 1);
+        assert_eq!(report.satisfied_at, Some(3), "first satisfaction recorded");
+    }
+
+    #[test]
+    fn identical_scenarios_are_deterministic() {
+        let build = || {
+            Scenario::new("det")
+                .seeded(42)
+                .fault(1, Fault::Rewire { count: 2 })
+                .fault(
+                    3,
+                    Fault::Leave {
+                        id: None,
+                        keep_connected: true,
+                    },
+                )
+                .fault(5, Fault::Join { id: 77, attach: 2 })
+        };
+        let run = || {
+            let mut rt = ring(10);
+            let mut m = monitor::goal("r20", |rt: &Runtime<Gossip>| rt.round() >= 20);
+            let report = build().run(&mut rt, &mut m, 50);
+            (report.to_json(), rt.topology().edges())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn invariant_violation_aborts_mid_schedule() {
+        let scenario = Scenario::<Gossip>::new("overload")
+            .fault(2, Fault::AddRandomEdges { count: 20 })
+            .leave(40, 0);
+        let mut rt = ring(8);
+        let mut m = monitor::all_of(vec![
+            Box::new(monitor::goal("never", |_: &Runtime<Gossip>| false)),
+            Box::new(monitor::PeakDegree::at_most(4)),
+        ]);
+        let report = scenario.run(&mut rt, &mut m, 100);
+        assert_eq!(report.verdict, RunVerdict::Violated);
+        assert_eq!(report.rounds, 2, "aborts the round the fault lands");
+        assert!(report.reason.unwrap().contains("peak degree"));
+    }
+
+    #[test]
+    fn events_on_missing_members_record_zero_changes() {
+        let scenario = Scenario::<Gossip>::new("ghost")
+            .leave(0, 99)
+            .crash(1, 98)
+            .corrupt(2, 97, "poke", |_p| {});
+        let mut rt = ring(4);
+        let mut m = monitor::silence::<Gossip>();
+        let report = scenario.run(&mut rt, &mut m, 10);
+        assert!(report.events.iter().all(|e| e.changes == 0));
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let scenario = Scenario::<Gossip>::new("json").leave(1, 2);
+        let mut rt = ring(4);
+        let mut m = monitor::goal("r3", |rt: &Runtime<Gossip>| rt.round() >= 3);
+        let report = scenario.run(&mut rt, &mut m, 10);
+        let json = report.to_json();
+        assert!(json.contains("\"scenario\":\"json\""));
+        assert!(json.contains("\"verdict\":\"Satisfied\""));
+        assert!(json.contains("\"leaves\":1"));
+    }
+}

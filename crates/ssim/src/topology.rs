@@ -92,14 +92,56 @@ impl Topology {
         }
     }
 
+    /// Add a node with no incident edges. Returns false if `v` already
+    /// exists. Part of the dynamic-membership surface: hosts may join a
+    /// running network.
+    pub fn add_node(&mut self, v: NodeId) -> bool {
+        if self.index.contains_key(&v) {
+            return false;
+        }
+        self.index.insert(v, self.ids.len());
+        self.ids.push(v);
+        self.adj.push(Vec::new());
+        true
+    }
+
+    /// Remove a node and all its incident edges. Returns false if `v` is not
+    /// a node. Later nodes shift down one dense index (insertion order of
+    /// the survivors is preserved).
+    pub fn remove_node(&mut self, v: NodeId) -> bool {
+        let Some(&iv) = self.index.get(&v) else {
+            return false;
+        };
+        // Drop the back-edges from v's neighbors.
+        let neighbors = std::mem::take(&mut self.adj[iv]);
+        for b in neighbors {
+            let ib = self.index[&b];
+            let pb = self.adj[ib].binary_search(&v).unwrap();
+            self.adj[ib].remove(pb);
+        }
+        self.ids.remove(iv);
+        self.adj.remove(iv);
+        self.index.remove(&v);
+        for (i, &id) in self.ids.iter().enumerate().skip(iv) {
+            self.index.insert(id, i);
+        }
+        true
+    }
+
     /// Insert the undirected edge `(a, b)`. Returns true if it was new.
     ///
     /// # Panics
     /// Panics on self-loops or unknown endpoints.
     pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
         assert!(a != b, "self-loop at {a}");
-        let ia = *self.index.get(&a).unwrap_or_else(|| panic!("unknown node {a}"));
-        let ib = *self.index.get(&b).unwrap_or_else(|| panic!("unknown node {b}"));
+        let ia = *self
+            .index
+            .get(&a)
+            .unwrap_or_else(|| panic!("unknown node {a}"));
+        let ib = *self
+            .index
+            .get(&b)
+            .unwrap_or_else(|| panic!("unknown node {b}"));
         match self.adj[ia].binary_search(&b) {
             Ok(_) => false,
             Err(pa) => {
@@ -226,6 +268,25 @@ mod tests {
         assert_eq!(t.degree(0), 3);
         assert_eq!(t.degree(2), 1);
         assert_eq!(t.max_degree(), 3);
+    }
+
+    #[test]
+    fn add_and_remove_nodes() {
+        let mut t = Topology::new([1u32, 5, 9], [(1, 5), (5, 9), (1, 9)]);
+        assert!(t.add_node(7));
+        assert!(!t.add_node(7), "duplicate add_node is a no-op");
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.degree(7), 0);
+        t.add_edge(7, 5);
+        assert!(t.remove_node(5), "remove hub node");
+        assert!(!t.remove_node(5));
+        assert!(!t.contains(5));
+        assert_eq!(t.edge_count(), 1, "only (1,9) survives");
+        assert_eq!(t.neighbors(7), &[] as &[NodeId]);
+        assert!(t.check_invariants());
+        // Dense indices stay consistent after the shift.
+        assert_eq!(t.index_of(9), Some(1));
+        assert_eq!(t.index_of(7), Some(2));
     }
 
     #[test]

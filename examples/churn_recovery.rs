@@ -1,48 +1,100 @@
-//! IoT-style churn scenario: a stabilized overlay is repeatedly perturbed by
-//! transient faults — link rewires and host state corruption — and heals
-//! itself each time. This is the paper's motivating deployment: "overlay
-//! networks operate in fragile environments where faults that perturb the
-//! logical network topology are commonplace."
+//! IoT-style churn scenario — with *real* membership churn. A stabilized
+//! Avatar(Chord) overlay absorbs hosts joining, leaving gracefully, and
+//! crashing mid-run (the node set genuinely grows and shrinks), plus edge
+//! rewires and state corruption, all declared as one `Scenario` and driven
+//! by the legality monitor. This is the paper's motivating deployment:
+//! "overlay networks operate in fragile environments where faults that
+//! perturb the logical network topology are commonplace."
 //!
 //! ```text
 //! cargo run --release --example churn_recovery
 //! ```
 
 use chord_scaffolding::chord::{self, ChordTarget};
-use chord_scaffolding::sim::fault::{inject, Fault};
+use chord_scaffolding::sim::fault::Fault;
+use chord_scaffolding::sim::scenario::Scenario;
 use chord_scaffolding::sim::{init::Shape, Config};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn main() {
     let n_guests = 128;
     let hosts = 16;
     let target = ChordTarget::classic(n_guests);
-    let mut rng = SmallRng::seed_from_u64(2024);
 
     let mut rt = chord::runtime_from_shape(target, hosts, Shape::Star, Config::seeded(9));
-    let rounds = chord::stabilize(&mut rt, 200_000).expect("initial stabilization");
-    println!("initial stabilization: {rounds} rounds");
+    let out = rt.run_monitored(&mut chord::legality(), 200_000);
+    println!(
+        "initial stabilization: {} rounds over {} hosts",
+        out.rounds,
+        rt.ids().len()
+    );
+    assert!(out.rounds_if_satisfied().is_some(), "initial stabilization");
 
-    for episode in 1..=3 {
-        // Transient fault: rewire two edges (connectivity preserved) and
-        // corrupt one host's cluster state outright.
-        inject(&mut rt, &Fault::Rewire { count: 2 }, &mut rng);
-        let victim = rt.ids()[episode % hosts];
-        rt.corrupt_node(victim, |p| {
-            p.core.cbt.core.cid = 0xBAD;
-            p.core.cbt.core.range = (0, 1);
-        });
-        println!(
-            "episode {episode}: rewired 2 edges, corrupted host {victim}; legal = {}",
-            chord::runtime_is_legal(&rt)
-        );
+    // Fresh guest identifiers for the joiners: not hosted yet.
+    let taken: std::collections::HashSet<u32> = rt.ids().iter().copied().collect();
+    let mut fresh = (0..n_guests).filter(|v| !taken.contains(v));
+    let (a, b, c) = (
+        fresh.next().unwrap(),
+        fresh.next().unwrap(),
+        fresh.next().unwrap(),
+    );
+    let anchor = rt.ids()[0];
+    let victim = rt.ids()[hosts / 2];
 
-        let healed = chord::stabilize(&mut rt, 200_000).expect("self-healing");
-        println!(
-            "episode {episode}: healed in {healed} rounds (peak degree so far {})",
-            rt.metrics().peak_degree
-        );
+    // One epoch of breathing room between perturbation episodes.
+    let gap = chord_scaffolding::scaffold::Schedule::new(n_guests).epoch_len();
+    let scenario = Scenario::new("iot-churn")
+        .seeded(2024)
+        // Episode 1: two hosts join, one attached to a named anchor.
+        .join(0, a, &[anchor])
+        .fault(gap, Fault::Join { id: b, attach: 2 })
+        // Episode 2: a named host leaves; a random one crashes.
+        .leave(2 * gap, victim)
+        .fault(
+            3 * gap,
+            Fault::Crash {
+                id: None,
+                keep_connected: true,
+            },
+        )
+        // Episode 3: classic transient faults on top of the churn.
+        .fault(4 * gap, Fault::Rewire { count: 2 })
+        .corrupt(
+            4 * gap,
+            anchor,
+            "cluster-state corruption",
+            |p: &mut chord::ScaffoldProgram<ChordTarget>| {
+                p.core.cbt.core.cid = 0xBAD;
+                p.core.cbt.core.range = (0, 1);
+            },
+        )
+        // Episode 4: one more join at the end, for good measure.
+        .fault(5 * gap, Fault::Join { id: c, attach: 2 });
+
+    let nodes_before = rt.ids().len();
+    let report = scenario.run(&mut rt, &mut chord::legality(), 200_000);
+
+    for e in &report.events {
+        println!("round {:>4}: {} ({} changes)", e.round, e.event, e.changes);
     }
-    println!("✓ survived all churn episodes");
+    println!(
+        "verdict: {:?} after {} rounds (re-converged at {:?})",
+        report.verdict, report.rounds, report.satisfied_at
+    );
+    println!(
+        "hosts: {} -> {} ({} joins, {} leaves, {} crashes); peak degree {}",
+        nodes_before,
+        report.nodes_final,
+        report.joins,
+        report.leaves,
+        report.crashes,
+        report.peak_degree
+    );
+    assert!(
+        report.converged(),
+        "overlay must heal from membership churn"
+    );
+    assert_eq!(report.nodes_final, nodes_before + 3 - 2);
+    assert!(chord::runtime_is_legal(&rt));
+    println!("report: {}", report.to_json());
+    println!("✓ survived all churn episodes (node set changed mid-run)");
 }

@@ -27,8 +27,14 @@ fn main() {
     let target = ChordTarget::classic(n_guests);
 
     let mut rt = chord::runtime_from_shape(target, hosts, Shape::Ring, Config::seeded(77));
-    let rounds = chord::stabilize(&mut rt, 200_000).expect("stabilization");
-    println!("overlay ready after {rounds} rounds; hosts = {:?}", rt.ids());
+    let rounds = rt
+        .run_monitored(&mut chord::legality(), 200_000)
+        .rounds_if_satisfied()
+        .expect("stabilization");
+    println!(
+        "overlay ready after {rounds} rounds; hosts = {:?}",
+        rt.ids()
+    );
 
     let av = Avatar::new(n_guests, rt.ids().iter().copied());
     let ideal = Chord::classic(n_guests);

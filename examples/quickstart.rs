@@ -17,7 +17,10 @@ fn main() {
     let mut rt = chord::runtime_from_shape(target, hosts, Shape::Random, Config::seeded(42));
 
     let budget = 200_000;
-    let rounds = chord::stabilize(&mut rt, budget).expect("self-stabilization within budget");
+    let rounds = rt
+        .run_monitored(&mut chord::legality(), budget)
+        .rounds_if_satisfied()
+        .expect("self-stabilization within budget");
 
     println!("✓ stabilized in {rounds} rounds");
     println!("  hosts:            {:?}", rt.ids());
@@ -26,8 +29,7 @@ fn main() {
     println!("  peak degree:      {}", rt.metrics().peak_degree);
     println!(
         "  degree expansion: {:.2}",
-        rt.metrics()
-            .degree_expansion(rt.topology().max_degree())
+        rt.metrics().degree_expansion(rt.topology().max_degree())
     );
     println!("  total messages:   {}", rt.metrics().total_messages);
 

@@ -8,7 +8,7 @@
 //! ```
 
 use chord_scaffolding::chord::{
-    is_legal, InductiveTarget, ScaffoldProgram, TruncatedChordTarget,
+    legality_for, InductiveTarget, ScaffoldProgram, TruncatedChordTarget,
 };
 use chord_scaffolding::sim::{init, Config, Runtime};
 use rand::SeedableRng;
@@ -34,10 +34,8 @@ fn main() {
     let mut rt = Runtime::new(Config::seeded(31), nodes, edges);
 
     let rounds = rt
-        .run_until(
-            |r| is_legal(&target, r.topology(), r.programs().map(|(_, p)| p)),
-            200_000,
-        )
+        .run_monitored(&mut legality_for(target), 200_000)
+        .rounds_if_satisfied()
         .expect("pattern instance must stabilize");
 
     println!("✓ stabilized in {rounds} rounds");

@@ -4,7 +4,10 @@
 //! of the Chord Overlay Network"* (SPAA 2021). Re-exports the workspace
 //! crates under one roof for the examples and downstream users:
 //!
-//! * [`sim`] — the synchronous overlay-network simulator (model of §2).
+//! * [`sim`] — the synchronous overlay-network simulator (model of §2),
+//!   including **dynamic membership** (hosts join/leave/crash mid-run), the
+//!   [`sim::monitor`] observer API, and declarative [`sim::scenario`]
+//!   perturbation schedules.
 //! * [`topology`] — `Chord(N)`, `Cbt(N)`, the Avatar embedding, analytics.
 //! * [`scaffold`] — the self-stabilizing `Avatar(Cbt)` substrate (§3).
 //! * [`chord`] — the paper's contribution: self-stabilizing `Avatar(Chord)`
@@ -12,18 +15,41 @@
 //!   scaffolding pattern (§6).
 //! * [`baseline`] — TCF and the linear-scaffold comparison algorithms.
 //!
-//! ## Quickstart
+//! The three driver-facing layers compose as **Program → Monitor →
+//! Scenario** (see `ARCHITECTURE.md`): a [`sim::Program`] defines one
+//! node's round behavior, a [`sim::Monitor`] observes the global
+//! configuration and renders a verdict, and a [`sim::Scenario`] schedules
+//! perturbations — faults *and true membership churn* — against a running
+//! network.
+//!
+//! ## Quickstart: stabilize, then survive churn
 //!
 //! ```
 //! use chord_scaffolding::chord::{self, ChordTarget};
+//! use chord_scaffolding::sim::fault::Fault;
+//! use chord_scaffolding::sim::scenario::Scenario;
 //! use chord_scaffolding::sim::{init::Shape, Config};
 //!
 //! // 8 hosts with random ids in a guest space of 64, starting from a line.
 //! let target = ChordTarget::classic(64);
 //! let mut rt = chord::runtime_from_shape(target, 8, Shape::Line, Config::seeded(7));
-//! let rounds = chord::stabilize(&mut rt, 50_000).expect("self-stabilization");
-//! println!("stabilized in {rounds} rounds");
+//!
+//! // Drive to the legal configuration with the legality monitor.
+//! let out = rt.run_monitored(&mut chord::legality(), 50_000);
+//! println!("stabilized in {} rounds", out.rounds);
 //! assert!(chord::runtime_is_legal(&rt));
+//!
+//! // Now the fragile-environment workload: a host joins (the node set
+//! // really grows), another leaves, and the overlay must re-stabilize.
+//! let newcomer = (0..64).find(|v| !rt.ids().contains(v)).unwrap();
+//! let veteran = rt.ids()[3];
+//! let scenario = Scenario::new("churn")
+//!     .fault(0, Fault::Join { id: newcomer, attach: 2 })
+//!     .leave(5, veteran);
+//! let report = scenario.run(&mut rt, &mut chord::legality(), 50_000);
+//! assert!(report.converged(), "overlay healed around the churn");
+//! assert_eq!(report.nodes_final, 8, "8 - 1 + 1 hosts remain");
+//! println!("{}", report.to_json());
 //! ```
 
 #![forbid(unsafe_code)]

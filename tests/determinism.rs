@@ -5,7 +5,9 @@
 use chord_scaffolding::chord::{self, ChordTarget};
 use chord_scaffolding::sim::{init::Shape, Config};
 
-fn fingerprint(rt: &chord_scaffolding::sim::Runtime<chord::ScaffoldProgram>) -> (Vec<(u32, u32)>, u64, usize) {
+fn fingerprint(
+    rt: &chord_scaffolding::sim::Runtime<chord::ScaffoldProgram>,
+) -> (Vec<(u32, u32)>, u64, usize) {
     (
         rt.topology().edges(),
         rt.metrics().total_messages,
@@ -33,8 +35,7 @@ fn parallel_execution_matches_sequential() {
 fn same_seed_reproduces_run() {
     let run = || {
         let target = ChordTarget::classic(64);
-        let mut rt =
-            chord::runtime_from_shape(target, 8, Shape::Lollipop, Config::seeded(0xFACE));
+        let mut rt = chord::runtime_from_shape(target, 8, Shape::Lollipop, Config::seeded(0xFACE));
         rt.run(900);
         fingerprint(&rt)
     };

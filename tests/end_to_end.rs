@@ -3,13 +3,22 @@
 //! stabilized overlay provides to applications.
 
 use chord_scaffolding::chord::{self, ChordTarget, Phase};
-use chord_scaffolding::sim::{init::Shape, Config};
+use chord_scaffolding::sim::{init::Shape, Config, Runtime};
 use chord_scaffolding::topology::{Avatar, Cbt, Chord, Graph};
 
 fn budget(n: u32, hosts: usize) -> u64 {
     let e = chord_scaffolding::scaffold::Schedule::new(n).epoch_len();
     let logn = (usize::BITS - hosts.leading_zeros()) as u64;
     e * (8 * logn + 16)
+}
+
+/// Drive to Avatar(Chord) legality through the monitor API.
+fn stabilize(
+    rt: &mut Runtime<chord::ScaffoldProgram<ChordTarget>>,
+    max_rounds: u64,
+) -> Option<u64> {
+    rt.run_monitored(&mut chord::legality(), max_rounds)
+        .rounds_if_satisfied()
 }
 
 #[test]
@@ -20,7 +29,7 @@ fn stabilizes_from_every_shape_and_matches_projection() {
     for (i, shape) in Shape::ALL.into_iter().enumerate() {
         let mut rt =
             chord::runtime_from_shape(target, hosts, shape, Config::seeded(500 + i as u64));
-        chord::stabilize(&mut rt, budget(n, hosts))
+        stabilize(&mut rt, budget(n, hosts))
             .unwrap_or_else(|| panic!("{} failed to stabilize", shape.label()));
         // The final host topology realizes every guest Chord edge.
         let ids: Vec<u32> = rt.ids().to_vec();
@@ -54,7 +63,7 @@ fn stabilized_overlay_is_failure_robust() {
     let hosts = 32usize;
     let target = ChordTarget::classic(n);
     let mut rt = chord::runtime_from_shape(target, hosts, Shape::Random, Config::seeded(600));
-    chord::stabilize(&mut rt, budget(n, hosts)).expect("stabilization");
+    stabilize(&mut rt, budget(n, hosts)).expect("stabilization");
 
     let g = Graph::new(rt.ids().iter().copied(), rt.topology().edges());
     let mut rng = SmallRng::seed_from_u64(601);
@@ -73,11 +82,11 @@ fn repeated_faults_always_heal() {
     let hosts = 8usize;
     let target = ChordTarget::classic(n);
     let mut rt = chord::runtime_from_shape(target, hosts, Shape::Line, Config::seeded(700));
-    chord::stabilize(&mut rt, budget(n, hosts)).expect("initial");
+    stabilize(&mut rt, budget(n, hosts)).expect("initial");
     let mut rng = SmallRng::seed_from_u64(701);
     for episode in 0..3 {
         inject(&mut rt, &Fault::Rewire { count: 2 }, &mut rng);
-        chord::stabilize(&mut rt, budget(n, hosts))
+        stabilize(&mut rt, budget(n, hosts))
             .unwrap_or_else(|| panic!("episode {episode} failed to heal"));
     }
 }
@@ -88,14 +97,18 @@ fn every_host_ends_done_and_quiet() {
     let hosts = 16usize;
     let target = ChordTarget::classic(n);
     let mut rt = chord::runtime_from_shape(target, hosts, Shape::TwoCliques, Config::seeded(800));
-    chord::stabilize(&mut rt, budget(n, hosts)).expect("stabilization");
+    stabilize(&mut rt, budget(n, hosts)).expect("stabilization");
     for _ in 0..5 {
         rt.step();
     }
     assert!(rt.programs().all(|(_, p)| p.core.phase == Phase::Done));
     let before = rt.metrics().total_messages;
     rt.run(30);
-    assert_eq!(rt.metrics().total_messages, before, "network must be silent");
+    assert_eq!(
+        rt.metrics().total_messages,
+        before,
+        "network must be silent"
+    );
 }
 
 #[test]

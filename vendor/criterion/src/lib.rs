@@ -1,0 +1,171 @@
+//! Offline stand-in for `criterion`: the macro/group/bencher API surface the
+//! workspace's benches use, backed by plain wall-clock timing (median of a
+//! few batches) instead of criterion's statistical machinery.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Bench registry/driver (stub: prints one line per benchmark).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 12 }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&name.into(), self.sample_size, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id.0), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Close the group (stub: nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identify a case by its parameter value.
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        Self(p.to_string())
+    }
+
+    /// Identify a case by function name and parameter value.
+    pub fn new(func: impl Into<String>, p: impl std::fmt::Display) -> Self {
+        Self(format!("{}/{p}", func.into()))
+    }
+}
+
+/// Handed to each benchmark closure; `iter` times the workload.
+pub struct Bencher {
+    batch: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, running it enough times for a stable wall-clock reading.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup call, then time a batch sized to ~10ms or 1 call,
+        // whichever is larger.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let reps = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(f());
+        }
+        self.batch.push(start.elapsed() / reps);
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher { batch: Vec::new() };
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    if b.batch.is_empty() {
+        println!("bench {name:<40} (no iterations)");
+        return;
+    }
+    b.batch.sort_unstable();
+    let median = b.batch[b.batch.len() / 2];
+    println!("bench {name:<40} median {median:>12.3?}/iter ({samples} samples)");
+}
+
+/// Group benchmark functions under one callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut count = 0u64;
+        g.bench_function("inc", |b| b.iter(|| count += 1));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro with `pat in strategy` parameters, the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros, range / tuple /
+//! [`strategy::Just`] / `prop_flat_map` strategies, and
+//! [`collection::btree_set`]. Cases are sampled deterministically (seeded
+//! from the test name), **without shrinking** — a failing case prints its
+//! inputs via the assertion message instead.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+/// Number of sampled cases per property.
+pub const CASES: u64 = 96;
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// Deterministic per-test RNG stream: FNV-1a of the test name, mixed with
+/// the case index.
+pub fn case_rng(test_name: &str, case: u64) -> rand::rngs::SmallRng {
+    use rand::SeedableRng;
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    rand::rngs::SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9E3779B97F4A7C15))
+}
+
+/// Drive one property: panics on the first failing case.
+pub fn run_cases(
+    test_name: &str,
+    mut case: impl FnMut(&mut rand::rngs::SmallRng) -> Result<(), TestCaseError>,
+) {
+    let mut rejects = 0u64;
+    for i in 0..CASES {
+        let mut rng = case_rng(test_name, i);
+        match case(&mut rng) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject) => rejects += 1,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest case {i} of `{test_name}` failed: {msg}");
+            }
+        }
+    }
+    if rejects == CASES {
+        panic!("proptest `{test_name}`: every case was rejected by prop_assume!");
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+
+    /// Strategy for a `BTreeSet` with size drawn from `size`.
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        min: usize,
+        max: usize, // exclusive
+    }
+
+    /// Accepted size specifications (`a..b`, `a..=b`, exact).
+    pub trait IntoSizeRange {
+        /// Convert into `(min, max_exclusive)`.
+        fn into_size_range(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn into_size_range(self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn into_size_range(self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    /// `BTreeSet` strategy: `size` elements drawn from `elem` (best-effort —
+    /// if the element domain is small the set may saturate below `size`).
+    pub fn btree_set<S: Strategy>(elem: S, size: impl IntoSizeRange) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        let (min, max) = size.into_size_range();
+        assert!(min < max, "empty size range");
+        BTreeSetStrategy { elem, min, max }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut rand::rngs::SmallRng) -> Self::Value {
+            let want = rng.gen_range(self.min..self.max);
+            let mut out = BTreeSet::new();
+            // Cap attempts so tiny element domains cannot loop forever.
+            for _ in 0..want.saturating_mul(20).max(64) {
+                if out.len() >= want {
+                    break;
+                }
+                out.insert(self.elem.sample(rng));
+            }
+            out
+        }
+    }
+}
+
+/// The glob import the real crate recommends.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, TestCaseError};
+}
+
+/// Define property tests: `proptest! { #[test] fn name(x in strat, ...) { body } }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident ( $($p:pat in $s:expr),* $(,)? ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__proptest_rng| {
+                    $(let $p = $crate::strategy::Strategy::sample(&$s, __proptest_rng);)*
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Assert within a property body; failure reports the case instead of
+/// unwinding through the harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}: {}", stringify!($cond), format!($($fmt)*)
+            )));
+        }
+    };
+}
+
+/// Equality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a), stringify!($b), a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}): {}",
+                stringify!($a), stringify!($b), a, b, format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Reject inputs that don't satisfy a precondition (the case is skipped).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Sampled values stay in range and tuples compose.
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, (a, b) in (0u32..8, 10u32..20)) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(a < 8 && (10..20).contains(&b));
+        }
+
+        #[test]
+        fn flat_map_dependent(
+            (n, k) in (2u32..40).prop_flat_map(|n| (Just(n), 0..n)),
+        ) {
+            prop_assert!(k < n);
+        }
+
+        #[test]
+        fn btree_set_sizes(s in crate::collection::btree_set(0u32..1000, 2..9)) {
+            prop_assert!(s.len() >= 2 && s.len() < 9);
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert!(x != 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a: Vec<u64> = (0..5)
+            .map(|i| {
+                use rand::Rng;
+                crate::case_rng("t", i).gen::<u64>()
+            })
+            .collect();
+        let b: Vec<u64> = (0..5)
+            .map(|i| {
+                use rand::Rng;
+                crate::case_rng("t", i).gen::<u64>()
+            })
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failing_property_panics() {
+        crate::run_cases("always_fails", |_| {
+            Err(crate::TestCaseError::Fail("nope".into()))
+        });
+    }
+}

@@ -1,0 +1,91 @@
+//! Offline stand-in for `rayon`: the prelude's `par_iter`/`par_iter_mut`
+//! entry points return ordinary sequential std iterators, so downstream code
+//! written against rayon's indexed-parallel API (`zip`, `enumerate`, `map`,
+//! `collect`) compiles and runs unchanged — just without the parallelism.
+//!
+//! The simulator's parallel mode is engineered to be result-identical to
+//! sequential execution, so this substitution is observationally equivalent;
+//! the tests asserting parallel/sequential equality keep guarding the
+//! property for the day the real rayon is dropped back in.
+
+#![forbid(unsafe_code)]
+
+/// Traits imported by `use rayon::prelude::*`.
+pub mod prelude {
+    /// `&collection → "parallel" iterator` (sequential fallback).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type.
+        type Item: 'a;
+        /// Iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Sequential stand-in for rayon's `par_iter`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    /// `&mut collection → "parallel" iterator` (sequential fallback).
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// Element type.
+        type Item: 'a;
+        /// Iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Sequential stand-in for rayon's `par_iter_mut`.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = core::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = core::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = &'a mut T;
+        type Iter = core::slice::IterMut<'a, T>;
+
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = &'a mut T;
+        type Iter = core::slice::IterMut<'a, T>;
+
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Derive macros for the offline `serde` stub.
+//!
+//! Hand-rolled over `proc_macro` (no syn/quote available offline). Supports
+//! the two shapes this workspace serializes: structs with named fields and
+//! enums with unit variants. Anything else is a compile error, which is the
+//! correct failure mode for a stub.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the stub `serde::Serialize` (compact JSON).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    let (ty, generics) = item.self_ty();
+    let code = match item.kind {
+        Kind::Struct(fields) => {
+            let mut body = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n::serde::Serialize::serialize(&self.{f}, out);\n"
+                ));
+            }
+            body.push_str("out.push('}');");
+            format!(
+                "impl{generics} ::serde::Serialize for {ty} {{\n  fn serialize(&self, out: &mut String) {{\n{body}\n  }}\n}}"
+            )
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{}::{v} => ::serde::ser::write_json_str(\"{v}\", out),",
+                        item.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl{generics} ::serde::Serialize for {ty} {{\n  fn serialize(&self, out: &mut String) {{\n    match self {{\n      {}\n    }}\n  }}\n}}",
+                arms.join("\n      ")
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derive the stub `serde::Deserialize` (marker only — nothing in this
+/// workspace deserializes).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    let (ty, generics) = item.self_ty();
+    format!("impl{generics} ::serde::Deserialize for {ty} {{}}")
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+enum Kind {
+    Struct(Vec<String>),
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    /// Lifetime parameters, e.g. `["'a"]`. Type parameters are unsupported.
+    lifetimes: Vec<String>,
+    kind: Kind,
+}
+
+impl Item {
+    /// `(Self type, impl-generics)`, e.g. `("Doc<'a>", "<'a>")`.
+    fn self_ty(&self) -> (String, String) {
+        if self.lifetimes.is_empty() {
+            (self.name.clone(), String::new())
+        } else {
+            let params = self.lifetimes.join(", ");
+            (format!("{}<{params}>", self.name), format!("<{params}>"))
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    let mut keyword = None;
+    while let Some(t) = toks.next() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                toks.next(); // the [...] group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    keyword = Some(s);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let keyword = keyword.expect("derive input must be a struct or enum");
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    // Collect lifetime-only generics, then find the brace-delimited body.
+    // Type parameters would need bound propagation and are not supported.
+    let mut lifetimes = Vec::new();
+    let body = loop {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => loop {
+                match toks.next() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '>' => break,
+                        Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                            match toks.next() {
+                                Some(TokenTree::Ident(l)) => lifetimes.push(format!("'{l}")),
+                                other => panic!("serde stub derive: bad lifetime {other:?}"),
+                            }
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                        Some(other) => panic!(
+                            "serde stub derive: type parameter {other:?} on `{name}` not supported (lifetimes only)"
+                        ),
+                        None => panic!("serde stub derive: unclosed generics on `{name}`"),
+                    }
+            },
+            Some(_) => continue,
+            None => panic!(
+                "serde stub derive: `{name}` has no braced body (tuple/unit types unsupported)"
+            ),
+        }
+    };
+    let chunks = split_top_level_commas(body);
+    let kind = if keyword == "struct" {
+        Kind::Struct(chunks.iter().map(|c| field_name(c)).collect())
+    } else {
+        Kind::Enum(chunks.iter().map(|c| variant_name(c)).collect())
+    };
+    Item {
+        name,
+        lifetimes,
+        kind,
+    }
+}
+
+/// Split a body token stream on commas at angle-bracket depth 0. Groups
+/// (parens/brackets/braces) are single trees, so only `<`/`>` need tracking.
+fn split_top_level_commas(body: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    for t in body {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if !current.is_empty() {
+                    chunks.push(std::mem::take(&mut current));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        current.push(t);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// First identifier of a field chunk after attributes/visibility, which must
+/// be followed by `:`.
+fn field_name(chunk: &[TokenTree]) -> String {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attr
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                match chunk.get(i + 1) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => return id.to_string(),
+                    _ => panic!("serde stub derive: unsupported field shape near `{id}` (tuple structs unsupported)"),
+                }
+            }
+            other => panic!("serde stub derive: unexpected token {other:?} in field"),
+        }
+    }
+    panic!("serde stub derive: empty field chunk")
+}
+
+/// Variant name of an enum chunk; rejects payload-carrying variants.
+fn variant_name(chunk: &[TokenTree]) -> String {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attr
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                if let Some(TokenTree::Group(_)) = chunk.get(i + 1) {
+                    panic!("serde stub derive: variant `{name}` carries data (only unit variants supported)");
+                }
+                return name;
+            }
+            other => panic!("serde stub derive: unexpected token {other:?} in variant"),
+        }
+    }
+    panic!("serde stub derive: empty variant chunk")
+}

@@ -1,0 +1,166 @@
+//! Offline stand-in for `serde`: a [`Serialize`] trait that renders compact
+//! JSON directly (no intermediate data model), a [`Deserialize`] marker, and
+//! re-exported derive macros covering named-field structs and unit enums —
+//! the shapes this workspace serializes. `serde_json::to_string` consumes
+//! the same trait.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Render `self` as JSON. The stub collapses serde's serializer abstraction
+/// into direct string rendering; swap in the real serde to widen it.
+pub trait Serialize {
+    /// Append this value's compact JSON encoding to `out`.
+    fn serialize(&self, out: &mut String);
+
+    /// The value's compact JSON encoding.
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.serialize(&mut s);
+        s
+    }
+}
+
+/// Marker trait: nothing in this workspace deserializes, but types derive
+/// `Deserialize` so the real serde can be dropped back in.
+pub trait Deserialize {}
+
+/// Rendering helpers shared with the derive macros.
+pub mod ser {
+    /// Write `s` as a JSON string literal (quotes + escapes) into `out`.
+    pub fn write_json_str(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+macro_rules! impl_display_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_display_serialize!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+impl Serialize for f64 {
+    fn serialize(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&self.to_string());
+        } else {
+            out.push_str("null"); // JSON has no NaN/Inf
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, out: &mut String) {
+        (*self as f64).serialize(out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, out: &mut String) {
+        ser::write_json_str(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut String) {
+        ser::write_json_str(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, out: &mut String) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut String) {
+        self.as_slice().serialize(out);
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize(out);
+        out.push(',');
+        self.1.serialize(out);
+        out.push(']');
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize(out);
+        out.push(',');
+        self.1.serialize(out);
+        out.push(',');
+        self.2.serialize(out);
+        out.push(']');
+    }
+}
+
+// NOTE: the derive macros generate `::serde::` paths and therefore cannot be
+// exercised from inside this crate; their round-trip tests live in
+// vendor/serde_json, the first external consumer.
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    #[test]
+    fn escapes_and_primitives() {
+        assert_eq!("a\"b\n".to_json(), r#""a\"b\n""#);
+        assert_eq!(3u32.to_json(), "3");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(None::<u64>.to_json(), "null");
+        assert_eq!(Some(4u64).to_json(), "4");
+    }
+
+    #[test]
+    fn tuples_and_slices() {
+        assert_eq!((1u32, 2u32).to_json(), "[1,2]");
+        assert_eq!(vec![(1u32, 2u32)].to_json(), "[[1,2]]");
+    }
+}

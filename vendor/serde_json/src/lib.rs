@@ -1,0 +1,155 @@
+//! Offline stand-in for `serde_json`: `to_string` / `to_string_pretty` over
+//! the stub `serde::Serialize` trait (which renders JSON directly).
+
+#![forbid(unsafe_code)]
+
+use serde::Serialize;
+
+/// Serialization error. The stub renderer is infallible, but the signature
+/// mirrors serde_json so call sites keep their `?`/`unwrap` shape.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact JSON encoding of `value`.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json())
+}
+
+/// Pretty-printed JSON encoding of `value` (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(pretty(&value.to_json()))
+}
+
+/// Re-indent a compact JSON string. Operates on the already-escaped output,
+/// so it only needs to track string boundaries.
+fn pretty(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let newline = |out: &mut String, indent: usize| {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    };
+    for c in compact.chars() {
+        if in_str {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                indent += 1;
+                newline(&mut out, indent);
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                newline(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, indent);
+            }
+            ':' => out.push_str(": "),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Point {
+        x: u32,
+        label: String,
+        maybe: Option<u64>,
+        v: Vec<f64>,
+    }
+
+    #[derive(Serialize)]
+    enum Color {
+        Red,
+        DeepBlue,
+    }
+
+    #[derive(Serialize)]
+    struct Borrowed<'a> {
+        name: &'a str,
+        vals: &'a Vec<u32>,
+    }
+
+    #[test]
+    fn derived_struct_renders_as_object() {
+        let p = Point {
+            x: 3,
+            label: "a\"b".into(),
+            maybe: None,
+            v: vec![1.5, 2.0],
+        };
+        assert_eq!(
+            super::to_string(&p).unwrap(),
+            r#"{"x":3,"label":"a\"b","maybe":null,"v":[1.5,2]}"#
+        );
+    }
+
+    #[test]
+    fn derived_unit_enum_renders_as_string() {
+        assert_eq!(super::to_string(&Color::Red).unwrap(), "\"Red\"");
+        assert_eq!(super::to_string(&Color::DeepBlue).unwrap(), "\"DeepBlue\"");
+    }
+
+    #[test]
+    fn derived_borrowed_struct_renders() {
+        let vals = vec![7, 8];
+        let b = Borrowed {
+            name: "x",
+            vals: &vals,
+        };
+        assert_eq!(
+            super::to_string(&b).unwrap(),
+            r#"{"name":"x","vals":[7,8]}"#
+        );
+    }
+
+    #[test]
+    fn compact_roundtrip() {
+        assert_eq!(super::to_string(&vec![1u32, 2]).unwrap(), "[1,2]");
+    }
+
+    #[test]
+    fn pretty_indents() {
+        let p = super::to_string_pretty(&vec![1u32, 2]).unwrap();
+        assert_eq!(p, "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn pretty_ignores_braces_in_strings() {
+        let p = super::to_string_pretty(&"a{b").unwrap();
+        assert_eq!(p, "\"a{b\"");
+    }
+}
