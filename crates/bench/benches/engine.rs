@@ -1,0 +1,43 @@
+//! Criterion benches for the engine core itself: steady-state `step()`
+//! throughput and membership-event cost at several network sizes, over the
+//! same shared `Pulse` workload as `exp_engine_scale`. The full sweep (with
+//! the committed `BENCH_engine.json` baseline) lives in that binary; these
+//! benches are the quick local check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scaffold_bench::{pulse_churn_event, pulse_ring};
+
+fn bench_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_step");
+    g.sample_size(10);
+    for n in [1_000u32, 10_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rt = pulse_ring(n, 7);
+            rt.run(3); // reach steady-state buffer capacity
+            b.iter(|| rt.step())
+        });
+    }
+    g.finish();
+}
+
+fn bench_churn_event(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_churn_event");
+    g.sample_size(10);
+    for n in [1_000u32, 10_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rt = pulse_ring(n, 7);
+            rt.run(3);
+            let mut fresh = n;
+            let mut e = 0usize;
+            b.iter(|| {
+                pulse_churn_event(&mut rt, e, 7919, fresh);
+                fresh += 1;
+                e += 1;
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(engine, bench_step, bench_churn_event);
+criterion_main!(engine);

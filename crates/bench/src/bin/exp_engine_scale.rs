@@ -1,0 +1,123 @@
+//! E12 — engine-core scaling baseline: the slot-based runtime's raw costs,
+//! swept over node count × churn rate. This is the repo's first measured
+//! perf baseline (`BENCH_engine.json`); future engine PRs are judged
+//! against it.
+//!
+//! Three measurements per network size, all over the shared
+//! [`scaffold_bench::Pulse`] workload (the same one `benches/engine.rs`
+//! quick-checks):
+//!
+//! * **steady-state rounds** — ns/round and ns/message with every node
+//!   gossiping to all neighbors (zero-allocation round path);
+//! * **pure churn events** — ns per `leave` + re-`join` pair with no rounds
+//!   in between (the O(deg) membership path; per-event cost must be flat in
+//!   the network size — that is the whole point of the slot refactor);
+//! * **churn-heavy rounds** — rounds interleaved with `rate` membership
+//!   events per round, the production-shaped mixed workload.
+//!
+//! Usage: `exp_engine_scale [seed] [--json] [--smoke]`. `--json` emits the
+//! machine-readable document captured in `BENCH_engine.json`; `--smoke` is
+//! the tiny CI variant (seconds, small sizes).
+
+use scaffold_bench::{f2, pulse_churn_event, pulse_ring, Table};
+use std::time::Instant;
+
+struct Row {
+    n: u32,
+    rounds: u64,
+    ns_per_round: f64,
+    ns_per_msg: f64,
+    events: u64,
+    ns_per_event: f64,
+    churn_rate: u64,
+    ns_per_churny_round: f64,
+}
+
+/// One sweep point: steady rounds, pure events, and churn-heavy rounds.
+fn measure(n: u32, rounds: u64, events: u64, churn_rate: u64, seed: u64) -> Row {
+    let mut rt = pulse_ring(n, seed);
+    rt.run(3); // warm the recycled buffers to their steady-state capacity
+
+    let msgs_before = rt.metrics().total_messages;
+    let t0 = Instant::now();
+    rt.run(rounds);
+    let steady = t0.elapsed();
+    let msgs = rt.metrics().total_messages - msgs_before;
+
+    // Pure membership events, no rounds in between: each event pair retires
+    // one member and joins a fresh host, so the network size is invariant.
+    let mut fresh = n;
+    let t0 = Instant::now();
+    for e in 0..events {
+        pulse_churn_event(&mut rt, e as usize, 7919, fresh);
+        fresh += 1;
+    }
+    let churn = t0.elapsed();
+
+    // Churn-heavy rounds: `churn_rate` leave+join pairs before every round.
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        for e in 0..churn_rate {
+            pulse_churn_event(&mut rt, e as usize, 104_729, fresh);
+            fresh += 1;
+        }
+        rt.step();
+    }
+    let churny = t0.elapsed();
+
+    Row {
+        n,
+        rounds,
+        ns_per_round: steady.as_nanos() as f64 / rounds as f64,
+        ns_per_msg: steady.as_nanos() as f64 / msgs.max(1) as f64,
+        events,
+        // Each iteration is two membership events (leave + join).
+        ns_per_event: churn.as_nanos() as f64 / (2 * events) as f64,
+        churn_rate,
+        ns_per_churny_round: churny.as_nanos() as f64 / rounds as f64,
+    }
+}
+
+fn main() {
+    let args = scaffold_bench::exp_args();
+    let seed = args.count.unwrap_or(42);
+    let smoke = args.flag("smoke");
+    let (sizes, rounds, events): (&[u32], u64, u64) = if smoke {
+        (&[256, 1024], 5, 50)
+    } else {
+        (&[1_000, 10_000, 100_000], 20, 500)
+    };
+
+    let mut t = Table::new(&[
+        "n",
+        "rounds",
+        "ns/round",
+        "ns/msg",
+        "events",
+        "ns/event",
+        "churn_rate",
+        "ns/churny_round",
+    ]);
+    for &n in sizes {
+        let row = measure(n, rounds, events, 16, seed);
+        t.row(vec![
+            row.n.to_string(),
+            row.rounds.to_string(),
+            f2(row.ns_per_round),
+            f2(row.ns_per_msg),
+            row.events.to_string(),
+            f2(row.ns_per_event),
+            row.churn_rate.to_string(),
+            f2(row.ns_per_churny_round),
+        ]);
+    }
+    t.emit(
+        &args,
+        "E12: engine-core scaling (slot-based membership, zero-alloc rounds)",
+    );
+    if !args.json {
+        println!("\nExpected shape: ns/event flat in n (slot model: O(deg) churn, no");
+        println!("reindexing); ns/round and ns/churny_round linear in n (n programs run");
+        println!("per round); ns/msg roughly constant.");
+    }
+}

@@ -13,7 +13,7 @@
 use chord_scaffold::{ChordTarget, ScaffoldProgram};
 use serde::Serialize;
 use ssim::scenario::{Scenario, ScenarioReport};
-use ssim::{fault::Fault, init::Shape, Config, NodeId, Runtime};
+use ssim::{fault::Fault, init::Shape, Config, Ctx, NodeId, Program, Runtime};
 
 /// Outcome of one stabilization run.
 #[derive(Debug, Clone, Serialize)]
@@ -196,10 +196,50 @@ pub fn mean_std(xs: &[f64]) -> (f64, f64) {
     (mean, var.sqrt())
 }
 
+/// Minimal all-neighbor gossip: pure engine load (sends, inbox traffic,
+/// snapshot reads) with no protocol logic and no program-side allocation.
+/// The one engine-benchmark workload, shared by `benches/engine.rs` and the
+/// `exp_engine_scale` sweep so the criterion quick-check and the committed
+/// `BENCH_engine.json` baseline measure the identical thing.
+pub struct Pulse;
+
+impl Program for Pulse {
+    type Msg = u32;
+
+    fn step(&mut self, ctx: &mut Ctx<'_, u32>) {
+        for k in 0..ctx.neighbors().len() {
+            let v = ctx.neighbors()[k];
+            ctx.send(v, 1);
+        }
+    }
+}
+
+/// A ring of `n` [`Pulse`] nodes with a spawner registered and per-round
+/// metric rows disabled — the engine benches' standard fixture.
+pub fn pulse_ring(n: u32, seed: u64) -> Runtime<Pulse> {
+    let mut cfg = Config::seeded(seed);
+    cfg.record_rounds = false;
+    let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    Runtime::new(cfg, (0..n).map(|i| (i, Pulse)), edges).with_spawner(|_| Pulse)
+}
+
+/// One engine membership event pair: retire a pseudo-randomly chosen member
+/// (stride-indexed by event number `e`, O(1), no RNG in the timed loop) and
+/// join the fresh host id `fresh` on two contacts, keeping the network size
+/// invariant. Exercises the O(deg) leave and join paths exactly once each.
+pub fn pulse_churn_event(rt: &mut Runtime<Pulse>, e: usize, stride: usize, fresh: u32) {
+    let victim = rt.ids()[(e * stride) % rt.ids().len()];
+    let contacts = [rt.ids()[0], rt.ids()[rt.ids().len() / 2]];
+    rt.leave(victim).expect("victim is a member");
+    rt.join(fresh, Pulse, &contacts);
+}
+
 /// CLI options shared by every experiment binary.
 ///
 /// * `--json` — emit machine-readable JSON (one document per table) instead
 ///   of fixed-width tables, for the benchmark-trajectory tooling;
+/// * other `--flags` — kept verbatim; experiments query them with
+///   [`ExpArgs::flag`] (e.g. `exp_engine_scale --smoke`);
 /// * first numeric positional argument — override the seed/trial count
 ///   where the experiment takes one.
 #[derive(Debug, Clone, Default)]
@@ -208,6 +248,15 @@ pub struct ExpArgs {
     pub json: bool,
     /// Optional numeric positional (seeds / trials), experiment-specific.
     pub count: Option<u64>,
+    /// Remaining `--flag` arguments, for experiment-specific switches.
+    pub flags: Vec<String>,
+}
+
+impl ExpArgs {
+    /// True iff `--<name>` was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
 }
 
 /// Parse [`ExpArgs`] from `std::env::args`.
@@ -216,6 +265,8 @@ pub fn exp_args() -> ExpArgs {
     for a in std::env::args().skip(1) {
         if a == "--json" {
             out.json = true;
+        } else if let Some(flag) = a.strip_prefix("--") {
+            out.flags.push(flag.to_string());
         } else if out.count.is_none() {
             if let Ok(v) = a.parse() {
                 out.count = Some(v);

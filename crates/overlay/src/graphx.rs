@@ -16,6 +16,10 @@ pub struct Graph {
     ids: Vec<Id>,
     index: HashMap<Id, usize>,
     adj: Vec<Vec<usize>>,
+    /// Precomputed at construction (the graph is immutable), so repeated
+    /// analytics reads are O(1) — mirroring the engine's incremental
+    /// counters in `ssim::Topology`.
+    edge_count: usize,
 }
 
 /// Aggregate degree statistics of a graph.
@@ -55,7 +59,12 @@ impl Graph {
         for l in &mut adj {
             l.sort_unstable();
         }
-        Self { ids, index, adj }
+        Self {
+            ids,
+            index,
+            adj,
+            edge_count: seen.len(),
+        }
     }
 
     /// Number of nodes.
@@ -63,9 +72,9 @@ impl Graph {
         self.ids.len()
     }
 
-    /// Number of undirected edges.
+    /// Number of undirected edges — O(1), precomputed at construction.
     pub fn edge_count(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        self.edge_count
     }
 
     /// The node identifiers, in insertion order.

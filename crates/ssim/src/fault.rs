@@ -84,10 +84,30 @@ pub fn inject<P: Program>(rt: &mut Runtime<P>, fault: &Fault, rng: &mut impl Rng
             if rt.topology().contains(id) {
                 return 0;
             }
-            let mut pool = rt.ids().to_vec();
-            pool.shuffle(rng);
-            pool.truncate(attach.max(usize::from(!pool.is_empty())));
-            rt.join_spawned(id, &pool);
+            // Sample `attach` distinct contacts by rejection instead of
+            // cloning and shuffling the whole id list: O(attach) for the
+            // typical attach ≪ n, so join faults stay cheap at scale. Dense
+            // requests (a sizable fraction of the membership) fall back to
+            // the shuffle, where rejection would degrade to coupon
+            // collecting.
+            let pool = rt.ids();
+            let want = attach.max(usize::from(!pool.is_empty())).min(pool.len());
+            let picks: Vec<NodeId> = if want * 4 >= pool.len() {
+                let mut pool = pool.to_vec();
+                pool.shuffle(rng);
+                pool.truncate(want);
+                pool
+            } else {
+                let mut picks: Vec<NodeId> = Vec::with_capacity(want);
+                while picks.len() < want {
+                    let v = pool[rng.gen_range(0..pool.len())];
+                    if !picks.contains(&v) {
+                        picks.push(v);
+                    }
+                }
+                picks
+            };
+            rt.join_spawned(id, &picks);
             1
         }
         Fault::Leave { id, keep_connected } => depart(rt, id, keep_connected, rng, false),
@@ -102,21 +122,43 @@ fn depart<P: Program>(
     rng: &mut impl Rng,
     crash: bool,
 ) -> usize {
-    let mut candidates = match id {
-        Some(v) => vec![v],
-        None => rt.ids().to_vec(),
-    };
-    candidates.shuffle(rng);
-    for v in candidates {
-        if keep_connected && !survivors_connected(rt, v) {
-            continue;
-        }
+    fn depart_one<P: Program>(rt: &mut Runtime<P>, v: NodeId, crash: bool) -> usize {
         let removed = if crash { rt.crash(v) } else { rt.leave(v) };
-        if removed.is_some() {
-            return 1;
+        usize::from(removed.is_some())
+    }
+    match id {
+        Some(v) => {
+            if keep_connected && !survivors_connected(rt, v) {
+                return 0;
+            }
+            depart_one(rt, v, crash)
+        }
+        // Unguarded random victim: one O(1) draw, no id-list copy/shuffle.
+        None if !keep_connected => {
+            let ids = rt.ids();
+            if ids.is_empty() {
+                return 0;
+            }
+            let v = ids[rng.gen_range(0..ids.len())];
+            depart_one(rt, v, crash)
+        }
+        // Connectivity-guarded random victim: candidates are tried in a
+        // random order until one's departure keeps the survivors connected
+        // (the guard itself is O(n + m) per probe — inherent to the check).
+        None => {
+            let mut candidates = rt.ids().to_vec();
+            candidates.shuffle(rng);
+            for v in candidates {
+                if !survivors_connected(rt, v) {
+                    continue;
+                }
+                if depart_one(rt, v, crash) == 1 {
+                    return 1;
+                }
+            }
+            0
         }
     }
-    0
 }
 
 /// Would the network remain connected if `v` departed?

@@ -29,7 +29,15 @@
 //! Node programs implement [`Program`]; per-round execution of independent
 //! node programs is data-parallel (rayon) and fully deterministic: every node
 //! owns a PRNG seeded from `(run seed, node id)` and action application is
-//! sequenced in node-index order.
+//! sequenced in a deterministic member order.
+//!
+//! The engine core is **slot-based**: every member occupies a stable
+//! [`NodeSlot`] in the per-node storage for its whole lifetime, freed slots
+//! are recycled through a free list, and the id → slot map is consulted
+//! only at the membership boundary. Membership events are therefore O(deg)
+//! — no renumbering, no index rebuilds — and steady-state rounds allocate
+//! nothing: inboxes are double-buffered, action scratch is recycled, and
+//! edge/degree aggregates are tracked incrementally.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,7 +57,7 @@ pub use monitor::{Monitor, MonitorExt, MonitorOutcome, RunVerdict, Verdict};
 pub use program::{Actions, Ctx, Program};
 pub use runtime::{Config, Runtime};
 pub use scenario::{Event, Scenario, ScenarioReport};
-pub use topology::Topology;
+pub use topology::{NodeSlot, Topology};
 
 /// Identifier of a (host) node. Drawn from `[0, N)` for guest capacity `N`.
 pub type NodeId = u32;

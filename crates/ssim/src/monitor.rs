@@ -177,6 +177,7 @@ impl<P: Program> Monitor<P> for PeakDegree {
     fn observe(&mut self, rt: &Runtime<P>) -> Verdict {
         // Metrics absorb degree at round boundaries; also read the live
         // topology so a perturbation spike is caught the round it lands.
+        // Both reads are O(1) — the topology tracks degrees incrementally.
         let peak = rt.metrics().peak_degree.max(rt.topology().max_degree());
         if peak <= self.max {
             Verdict::Satisfied

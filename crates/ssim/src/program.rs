@@ -25,17 +25,27 @@ pub trait Program: Send {
 
 /// Actions a node emits during a round; applied by the runtime after all
 /// nodes have stepped (synchronous semantics).
+///
+/// The runtime keeps one `Actions` buffer per slot and **recycles** it
+/// round after round (cleared, never reallocated), so steady-state rounds
+/// perform no per-node heap allocation. Model-rule validation happens at
+/// emit time in [`Ctx`] against the round-start neighbor snapshot — illegal
+/// actions are never enqueued; in lenient mode they are counted in
+/// [`Actions::violations`].
 #[derive(Debug)]
 pub struct Actions<M> {
-    /// Messages to send: `(recipient, payload)`. Recipients must be
+    /// Messages to send: `(recipient, payload)`. Recipients are validated
     /// round-start neighbors.
     pub sends: Vec<(NodeId, M)>,
     /// Introductions: create edge `(a, b)` where both `a` and `b` are in the
     /// acting node's closed neighborhood (the overlay-model edge creation
-    /// rule).
+    /// rule, validated at emit time).
     pub links: Vec<(NodeId, NodeId)>,
     /// Deletions of incident edges: remove edge `(self, v)`.
     pub unlinks: Vec<NodeId>,
+    /// Model violations the node attempted this round (lenient mode only;
+    /// strict mode panics at the attempt).
+    pub violations: u64,
 }
 
 impl<M> Default for Actions<M> {
@@ -44,7 +54,18 @@ impl<M> Default for Actions<M> {
             sends: Vec::new(),
             links: Vec::new(),
             unlinks: Vec::new(),
+            violations: 0,
         }
+    }
+}
+
+impl<M> Actions<M> {
+    /// Empty the buffers for reuse, keeping their capacity.
+    pub fn clear(&mut self) {
+        self.sends.clear();
+        self.links.clear();
+        self.unlinks.clear();
+        self.violations = 0;
     }
 }
 
@@ -54,6 +75,7 @@ pub struct Ctx<'a, M> {
     pub id: NodeId,
     /// The current round number (starts at 0).
     pub round: u64,
+    strict: bool,
     neighbors: &'a [NodeId],
     inbox: &'a [(NodeId, M)],
     rng: &'a mut SmallRng,
@@ -64,6 +86,7 @@ impl<'a, M> Ctx<'a, M> {
     pub(crate) fn new(
         id: NodeId,
         round: u64,
+        strict: bool,
         neighbors: &'a [NodeId],
         inbox: &'a [(NodeId, M)],
         rng: &'a mut SmallRng,
@@ -72,6 +95,7 @@ impl<'a, M> Ctx<'a, M> {
         Self {
             id,
             round,
+            strict,
             neighbors,
             inbox,
             rng,
@@ -90,7 +114,7 @@ impl<'a, M> Ctx<'a, M> {
     }
 
     /// Messages received this round (sent by neighbors in the previous round),
-    /// as `(sender, payload)` pairs in deterministic (sender-index) order.
+    /// as `(sender, payload)` pairs in a deterministic sender order.
     pub fn inbox(&self) -> &[(NodeId, M)] {
         self.inbox
     }
@@ -101,15 +125,41 @@ impl<'a, M> Ctx<'a, M> {
     }
 
     /// Send `msg` to neighbor `to` (delivered next round). Sending to a
-    /// non-neighbor is a protocol bug (checked at application time).
+    /// non-neighbor is a protocol bug: it panics in strict mode and is
+    /// dropped (and counted) in lenient mode. Validation is against the
+    /// round-start snapshot, so it fuses into emission — the runtime applies
+    /// enqueued sends without re-checking.
     pub fn send(&mut self, to: NodeId, msg: M) {
+        if !self.is_neighbor(to) {
+            if self.strict {
+                panic!(
+                    "round {}: node {} sent to non-neighbor {to}",
+                    self.round, self.id
+                );
+            }
+            self.actions.violations += 1;
+            return;
+        }
         self.actions.sends.push((to, msg));
     }
 
     /// Introduce `a` and `b`: create the edge `(a, b)`. Both must be in this
     /// node's closed neighborhood `N(self) ∪ {self}` at round start — the
-    /// overlay-model edge-creation rule, enforced by the runtime.
+    /// overlay-model edge-creation rule. An illegal introduction panics in
+    /// strict mode and is dropped (and counted) in lenient mode.
     pub fn link(&mut self, a: NodeId, b: NodeId) {
+        let in_closed = |v: NodeId| v == self.id || self.neighbors.binary_search(&v).is_ok();
+        if a == b || !in_closed(a) || !in_closed(b) {
+            if self.strict {
+                panic!(
+                    "round {}: node {} attempted illegal link ({a}, {b}) \
+                     outside its closed neighborhood",
+                    self.round, self.id
+                );
+            }
+            self.actions.violations += 1;
+            return;
+        }
         self.actions.links.push((a, b));
     }
 

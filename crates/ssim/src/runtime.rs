@@ -3,16 +3,24 @@
 //! mid-run, so churn is a first-class schedulable perturbation (see
 //! [`crate::fault`] and [`crate::scenario`]) instead of something examples
 //! fake with edge rewires.
+//!
+//! Storage is slot-based (see [`crate::topology::NodeSlot`]): every host
+//! occupies a stable slot in the per-node arrays (program, RNG, inboxes,
+//! action scratch) for its whole lifetime, and departures free the slot for
+//! reuse. Membership events therefore cost O(deg) — no id shifting, no
+//! index rebuild — and steady-state rounds are allocation-free: inboxes are
+//! double-buffered and recycled, per-node [`Actions`] scratch is cleared
+//! (never dropped), and model-rule validation is fused into action emission
+//! against the round-start snapshot.
 
 use crate::metrics::{RoundMetrics, RunMetrics};
 use crate::monitor::{Monitor, MonitorOutcome, RunVerdict, Verdict};
 use crate::program::{Actions, Ctx, Program};
-use crate::topology::Topology;
+use crate::topology::{NodeSlot, Topology};
 use crate::NodeId;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use std::collections::HashMap;
 
 /// Runtime configuration.
 #[derive(Debug, Clone, Copy)]
@@ -21,7 +29,10 @@ pub struct Config {
     /// When false, violations are dropped and counted in the metrics.
     pub strict: bool,
     /// Execute node programs data-parallel with rayon. Results are identical
-    /// to sequential execution (actions are applied in node-index order).
+    /// to sequential execution (actions are applied in a deterministic
+    /// member order either way). Note: with the vendored rayon stub this
+    /// setting is sequential-only — real speedups require the crates.io
+    /// rayon (see vendor/README.md).
     pub parallel: bool,
     /// Seed for all node PRNGs (node `v` gets `seed ⊕ splitmix(v)`).
     pub seed: u64,
@@ -49,7 +60,8 @@ impl Config {
         }
     }
 
-    /// Enable rayon-parallel round execution (worth it from ~1k nodes).
+    /// Enable rayon-parallel round execution (worth it from ~1k nodes, with
+    /// the real rayon crate; the vendored stub stays sequential).
     pub fn parallel(mut self) -> Self {
         self.parallel = true;
         self
@@ -64,15 +76,32 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// The simulator: a set of node programs, the overlay topology, and mailboxes.
+///
+/// All per-node state lives in slot-parallel arrays addressed by the
+/// topology's [`NodeSlot`] assignment; the id → slot map is consulted only
+/// at the membership boundary (join/leave/crash, id-keyed accessors) and at
+/// message delivery.
 pub struct Runtime<P: Program> {
     cfg: Config,
     topo: Topology,
-    ids: Vec<NodeId>,
-    index: HashMap<NodeId, usize>,
-    programs: Vec<P>,
+    /// Per-slot program; `None` for free slots.
+    programs: Vec<Option<P>>,
+    /// Per-slot PRNG (stale for free slots; reseeded from `(seed, id)` at
+    /// join, so a re-joining host replays its private stream).
     rngs: Vec<SmallRng>,
     /// Messages to be delivered at the next `step` (sent last round).
     inboxes: Vec<Vec<(NodeId, P::Msg)>>,
+    /// Back buffer the next round's deliveries are written into; swapped
+    /// with `inboxes` at the end of each step and recycled, never dropped.
+    next_inboxes: Vec<Vec<(NodeId, P::Msg)>>,
+    /// Per-slot recycled action buffers (cleared each round, capacity kept).
+    scratch: Vec<Actions<P::Msg>>,
+    /// Per-slot destination slots of the most recent round's sends — lets a
+    /// departure purge its in-flight messages in O(out-degree) instead of
+    /// scanning every inbox.
+    sent_to: Vec<Vec<u32>>,
+    /// Messages currently in flight (sitting in `inboxes`).
+    inflight: u64,
     round: u64,
     metrics: RunMetrics,
     /// Builds programs for hosts that join mid-run (registered by protocol
@@ -91,23 +120,23 @@ impl<P: Program> Runtime<P> {
         edges: impl IntoIterator<Item = (NodeId, NodeId)>,
     ) -> Self {
         let (ids, programs): (Vec<NodeId>, Vec<P>) = nodes.into_iter().unzip();
-        let index: HashMap<NodeId, usize> = ids.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-        assert_eq!(index.len(), ids.len(), "duplicate node ids");
         let topo = Topology::new(ids.iter().copied(), edges);
         let rngs = ids
             .iter()
             .map(|&v| SmallRng::seed_from_u64(cfg.seed ^ splitmix64(v as u64 + 1)))
             .collect();
-        let inboxes = vec![Vec::new(); ids.len()];
+        let n = ids.len();
         let metrics = RunMetrics::new(topo.max_degree());
         Self {
             cfg,
             topo,
-            ids,
-            index,
-            programs,
+            programs: programs.into_iter().map(Some).collect(),
             rngs,
-            inboxes,
+            inboxes: std::iter::repeat_with(Vec::new).take(n).collect(),
+            next_inboxes: std::iter::repeat_with(Vec::new).take(n).collect(),
+            scratch: std::iter::repeat_with(Actions::default).take(n).collect(),
+            sent_to: std::iter::repeat_with(Vec::new).take(n).collect(),
+            inflight: 0,
             round: 0,
             metrics,
             spawner: None,
@@ -148,9 +177,11 @@ impl<P: Program> Runtime<P> {
         &self.metrics
     }
 
-    /// Node identifiers in construction order.
+    /// The live node identifiers, in unspecified (but deterministic) order —
+    /// insertion order until the first departure; sort a copy when a
+    /// canonical order matters.
     pub fn ids(&self) -> &[NodeId] {
-        &self.ids
+        self.topo.ids()
     }
 
     /// Immutable access to a node's program.
@@ -158,19 +189,28 @@ impl<P: Program> Runtime<P> {
     /// # Panics
     /// `v` must be a node.
     pub fn program(&self, v: NodeId) -> &P {
-        &self.programs[self.index[&v]]
+        let slot = self
+            .topo
+            .slot_of(v)
+            .unwrap_or_else(|| panic!("node {v} is not a member"));
+        self.programs[slot.index()].as_ref().expect("live slot")
     }
 
-    /// Iterate `(id, program)` pairs.
-    pub fn programs(&self) -> impl Iterator<Item = (NodeId, &P)> {
-        self.ids.iter().copied().zip(self.programs.iter())
+    /// Iterate `(id, program)` pairs in slot order.
+    pub fn programs(&self) -> impl Iterator<Item = (NodeId, &P)> + '_ {
+        self.topo
+            .live_slots()
+            .map(|(s, id)| (id, self.programs[s.index()].as_ref().expect("live slot")))
     }
 
     /// Mutate a node's program out-of-band — **adversarial state corruption**
     /// for fault-injection experiments; not part of the protocol.
     pub fn corrupt_node(&mut self, v: NodeId, f: impl FnOnce(&mut P)) {
-        let i = self.index[&v];
-        f(&mut self.programs[i]);
+        let slot = self
+            .topo
+            .slot_of(v)
+            .unwrap_or_else(|| panic!("node {v} is not a member"));
+        f(self.programs[slot.index()].as_mut().expect("live slot"));
     }
 
     /// Adversarially insert an edge, bypassing the introduction rule
@@ -184,123 +224,123 @@ impl<P: Program> Runtime<P> {
         self.topo.remove_edge(a, b)
     }
 
-    /// Execute one synchronous round.
+    /// Execute one synchronous round. Steady-state rounds perform no heap
+    /// allocation: action scratch and both inbox buffers are recycled, and
+    /// validation happens at emit time against the round-start snapshot
+    /// (no intermediate validity tables).
     pub fn step(&mut self) {
-        // Phase 1: deliver inboxes and run every program against the
-        // round-start topology snapshot.
-        let inboxes = std::mem::take(&mut self.inboxes);
+        // Phase 1: deliver inboxes and run every live program against the
+        // round-start topology snapshot. Illegal sends/links are rejected at
+        // emission (see `Ctx`), so everything enqueued below is valid.
         let round = self.round;
+        let strict = self.cfg.strict;
         let topo = &self.topo;
-        let ids = &self.ids;
+        let inboxes = &self.inboxes;
 
-        let run_one = |i: usize, prog: &mut P, rng: &mut SmallRng, inbox: &[(NodeId, P::Msg)]| {
-            let mut actions = Actions::default();
-            let neighbors = topo.neighbors_by_index(i);
-            let mut ctx = Ctx::new(ids[i], round, neighbors, inbox, rng, &mut actions);
-            prog.step(&mut ctx);
-            actions
-        };
+        // This zip walks the full storage width (peak membership) because
+        // the slot-parallel arrays are what rayon can split; free slots cost
+        // one branch each. Everything after phase 1 walks live members only.
+        let run_one =
+            |i: usize, prog: &mut Option<P>, rng: &mut SmallRng, acts: &mut Actions<P::Msg>| {
+                let Some(prog) = prog.as_mut() else { return };
+                // Free-slot scratch is left clear at departure, so clearing
+                // only live scratch here keeps every buffer clean.
+                acts.clear();
+                let slot = NodeSlot::new(i);
+                let id = topo.id_at(slot).expect("program in a live slot");
+                let mut ctx = Ctx::new(
+                    id,
+                    round,
+                    strict,
+                    topo.neighbors_at(slot),
+                    &inboxes[i],
+                    rng,
+                    acts,
+                );
+                prog.step(&mut ctx);
+            };
 
-        let actions: Vec<Actions<P::Msg>> = if self.cfg.parallel {
+        if self.cfg.parallel {
             self.programs
                 .par_iter_mut()
                 .zip(self.rngs.par_iter_mut())
-                .zip(inboxes.par_iter())
+                .zip(self.scratch.par_iter_mut())
                 .enumerate()
-                .map(|(i, ((prog, rng), inbox))| run_one(i, prog, rng, inbox))
-                .collect()
+                .for_each(|(i, ((prog, rng), acts))| run_one(i, prog, rng, acts));
         } else {
             self.programs
                 .iter_mut()
                 .zip(self.rngs.iter_mut())
-                .zip(inboxes.iter())
+                .zip(self.scratch.iter_mut())
                 .enumerate()
-                .map(|(i, ((prog, rng), inbox))| run_one(i, prog, rng, inbox))
-                .collect()
-        };
+                .for_each(|(i, ((prog, rng), acts))| run_one(i, prog, rng, acts));
+        }
 
-        // Phase 2: apply actions in node-index order against the round-start
-        // snapshot semantics. Unlinks first, then links (an edge both removed
-        // and introduced in the same round ends up present), then sends
-        // (validated against round-START adjacency).
+        // Phase 2: apply actions in deterministic member (`ids()`) order
+        // with round-start snapshot semantics. Unlinks first, then links (an
+        // edge both removed and introduced in the same round ends up
+        // present), then sends (already validated against round-START
+        // adjacency at emission). These loops — and the buffer clears below
+        // — walk live members only, so a network that shrank long ago does
+        // not keep paying for its peak size (free-slot buffers are left
+        // empty at departure, see `remove_member`).
         let mut row = RoundMetrics {
             round,
             ..RoundMetrics::default()
         };
-        let mut new_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); self.ids.len()];
-
-        // Snapshot adjacency checks must use round-start state; capture the
-        // closed neighborhoods needed for link validation before mutating.
-        // (Cheap: only for nodes that emitted links.)
-        let link_ok: Vec<Vec<bool>> = actions
-            .iter()
-            .enumerate()
-            .map(|(i, a)| {
-                a.links
-                    .iter()
-                    .map(|&(x, y)| {
-                        let me = self.ids[i];
-                        let nb = self.topo.neighbors_by_index(i);
-                        let in_closed = |v: NodeId| v == me || nb.binary_search(&v).is_ok();
-                        x != y && in_closed(x) && in_closed(y)
-                    })
-                    .collect()
-            })
-            .collect();
-        let send_ok: Vec<Vec<bool>> = actions
-            .iter()
-            .enumerate()
-            .map(|(i, a)| {
-                let nb = self.topo.neighbors_by_index(i);
-                a.sends
-                    .iter()
-                    .map(|&(to, _)| nb.binary_search(&to).is_ok())
-                    .collect()
-            })
-            .collect();
-
-        for (i, a) in actions.iter().enumerate() {
-            let me = self.ids[i];
-            for &v in &a.unlinks {
+        let live = self.topo.node_count();
+        for k in 0..live {
+            let (me, slot) = self.topo.live_entry(k);
+            let i = slot.index();
+            row.violations += self.scratch[i].violations;
+            for j in 0..self.scratch[i].unlinks.len() {
+                let v = self.scratch[i].unlinks[j];
                 if self.topo.remove_edge(me, v) {
                     row.links_removed += 1;
                 }
             }
         }
-        for (i, a) in actions.iter().enumerate() {
-            let me = self.ids[i];
-            for (j, &(x, y)) in a.links.iter().enumerate() {
-                if !link_ok[i][j] {
-                    row.violations += 1;
-                    if self.cfg.strict {
-                        panic!(
-                            "round {round}: node {me} attempted illegal link ({x}, {y}) \
-                             outside its closed neighborhood"
-                        );
-                    }
-                    continue;
-                }
+        for k in 0..live {
+            let (_, slot) = self.topo.live_entry(k);
+            let i = slot.index();
+            for j in 0..self.scratch[i].links.len() {
+                let (x, y) = self.scratch[i].links[j];
                 if self.topo.add_edge(x, y) {
                     row.links_added += 1;
                 }
             }
         }
-        for (i, a) in actions.into_iter().enumerate() {
-            let me = self.ids[i];
-            for (j, (to, msg)) in a.sends.into_iter().enumerate() {
-                if !send_ok[i][j] {
-                    row.violations += 1;
-                    if self.cfg.strict {
-                        panic!("round {round}: node {me} sent to non-neighbor {to}");
-                    }
-                    continue;
-                }
+        for k in 0..live {
+            let (me, slot) = self.topo.live_entry(k);
+            let i = slot.index();
+            self.sent_to[i].clear();
+            let a = &mut self.scratch[i];
+            if a.sends.is_empty() {
+                continue;
+            }
+            for (to, msg) in a.sends.drain(..) {
+                let ts = self
+                    .topo
+                    .slot_of(to)
+                    .expect("round-start neighbor is a member")
+                    .index();
+                self.next_inboxes[ts].push((me, msg));
+                self.sent_to[i].push(ts as u32);
                 row.messages += 1;
-                new_inboxes[self.index[&to]].push((me, msg));
             }
         }
 
-        self.inboxes = new_inboxes;
+        // Swap the double buffer: this round's deliveries become next
+        // round's inboxes; the consumed buffers are cleared for reuse.
+        // Live-only clearing suffices: deliveries only ever target live
+        // slots, and a departure clears its own buffers.
+        std::mem::swap(&mut self.inboxes, &mut self.next_inboxes);
+        for k in 0..live {
+            let (_, slot) = self.topo.live_entry(k);
+            self.next_inboxes[slot.index()].clear();
+        }
+        self.inflight = row.messages;
+
         self.round += 1;
         row.max_degree = self.topo.max_degree();
         row.total_edges = self.topo.edge_count();
@@ -309,24 +349,25 @@ impl<P: Program> Runtime<P> {
     }
 
     /// Run until `legal(self)` holds (checked *before* each round, so a
-    /// runtime already in a legal state returns 0) or `max_rounds` elapse.
-    /// Returns the number of rounds executed on success, `None` on timeout.
+    /// runtime already in a legal state returns 0) or `max_rounds` rounds
+    /// elapse. Returns the number of rounds executed on success, `None` on
+    /// timeout (after executing exactly `max_rounds` rounds).
     pub fn run_until(
         &mut self,
         mut legal: impl FnMut(&Self) -> bool,
         max_rounds: u64,
     ) -> Option<u64> {
         let start = self.round;
-        for _ in 0..=max_rounds {
+        loop {
+            let executed = self.round - start;
             if legal(self) {
-                return Some(self.round - start);
+                return Some(executed);
             }
-            if self.round - start == max_rounds {
-                break;
+            if executed == max_rounds {
+                return None;
             }
             self.step();
         }
-        None
     }
 
     /// Run a fixed number of rounds.
@@ -387,25 +428,37 @@ impl<P: Program> Runtime<P> {
     /// skipped (they may have left in an earlier event); a join whose
     /// targets all vanished enters isolated, which monitors may then flag.
     ///
-    /// The new node's PRNG is seeded exactly as at construction
-    /// (`seed ⊕ splitmix(id)`), so runs containing joins stay deterministic,
-    /// and a host that leaves and re-joins replays the same private stream.
+    /// The joiner lands in a recycled slot when one is free (O(deg): no
+    /// existing member's slot changes). Its PRNG is seeded exactly as at
+    /// construction (`seed ⊕ splitmix(id)`), so runs containing joins stay
+    /// deterministic, and a host that leaves and re-joins replays the same
+    /// private stream.
     ///
     /// # Panics
     /// Panics if `id` is already a member.
     pub fn join(&mut self, id: NodeId, program: P, attach_to: &[NodeId]) {
         assert!(
-            !self.index.contains_key(&id),
+            !self.topo.contains(id),
             "join: node {id} is already a member"
         );
-        self.index.insert(id, self.ids.len());
-        self.ids.push(id);
-        self.programs.push(program);
-        self.rngs.push(SmallRng::seed_from_u64(
-            self.cfg.seed ^ splitmix64(id as u64 + 1),
-        ));
-        self.inboxes.push(Vec::new());
         self.topo.add_node(id);
+        let slot = self.topo.slot_of(id).expect("just added").index();
+        let rng = SmallRng::seed_from_u64(self.cfg.seed ^ splitmix64(id as u64 + 1));
+        if slot == self.programs.len() {
+            // Fresh slot: grow the slot-parallel arrays in lockstep.
+            self.programs.push(Some(program));
+            self.rngs.push(rng);
+            self.inboxes.push(Vec::new());
+            self.next_inboxes.push(Vec::new());
+            self.scratch.push(Actions::default());
+            self.sent_to.push(Vec::new());
+        } else {
+            // Recycled slot: the departure left the buffers empty.
+            debug_assert!(self.programs[slot].is_none());
+            debug_assert!(self.inboxes[slot].is_empty());
+            self.programs[slot] = Some(program);
+            self.rngs[slot] = rng;
+        }
         for &v in attach_to {
             if v != id && self.topo.contains(v) {
                 self.topo.add_edge(id, v);
@@ -438,6 +491,9 @@ impl<P: Program> Runtime<P> {
     /// edge — still exists, and the channels died with the host). The final
     /// program state is returned to the caller ("retired").
     ///
+    /// O(deg + in-flight traffic of the host): the slot is pushed on the
+    /// free list, nothing shifts, no index is rebuilt.
+    ///
     /// Returns `None` if `id` is not a member.
     pub fn leave(&mut self, id: NodeId) -> Option<P> {
         let p = self.remove_member(id)?;
@@ -459,27 +515,36 @@ impl<P: Program> Runtime<P> {
     }
 
     fn remove_member(&mut self, id: NodeId) -> Option<P> {
-        let i = *self.index.get(&id)?;
+        let slot = self.topo.slot_of(id)?.index();
         self.topo.remove_node(id);
-        self.ids.remove(i);
-        self.index.remove(&id);
-        for (j, &v) in self.ids.iter().enumerate().skip(i) {
-            self.index.insert(v, j);
+        let program = self.programs[slot].take().expect("live slot");
+        // Messages addressed to the departed host die in its mailbox…
+        self.inflight -= self.inboxes[slot].len() as u64;
+        self.inboxes[slot].clear();
+        self.next_inboxes[slot].clear();
+        // …and messages it sent last round die in their targets' mailboxes.
+        // `sent_to` names exactly the slots it delivered to, so the purge is
+        // O(out-degree), not a scan of every inbox.
+        for k in 0..self.sent_to[slot].len() {
+            let t = self.sent_to[slot][k] as usize;
+            let before = self.inboxes[t].len();
+            self.inboxes[t].retain(|&(from, _)| from != id);
+            self.inflight -= (before - self.inboxes[t].len()) as u64;
         }
-        let program = self.programs.remove(i);
-        self.rngs.remove(i);
-        self.inboxes.remove(i);
-        // Messages the departed host sent last round die with its channels.
-        for inbox in &mut self.inboxes {
-            inbox.retain(|&(from, _)| from != id);
-        }
+        self.sent_to[slot].clear();
+        self.scratch[slot].clear();
         debug_assert!(self.topo.check_invariants());
+        debug_assert_eq!(
+            self.inflight as usize,
+            self.inboxes.iter().map(Vec::len).sum::<usize>()
+        );
         Some(program)
     }
 
     /// True iff no messages are in flight (next round delivers nothing).
+    /// O(1): the in-flight count is tracked incrementally.
     pub fn is_silent(&self) -> bool {
-        self.inboxes.iter().all(Vec::is_empty)
+        self.inflight == 0
     }
 }
 
@@ -547,6 +612,29 @@ mod tests {
         let mut rt = line_runtime(4);
         assert_eq!(rt.run_until(|_| false, 5), None);
         assert_eq!(rt.round(), 5);
+    }
+
+    /// Regression pin for the `run_until` contract: the predicate is checked
+    /// *before* the first round and after every round (`max_rounds + 1`
+    /// checks on timeout), and a timeout executes exactly `max_rounds` steps.
+    #[test]
+    fn run_until_checks_before_each_round_and_steps_exactly_max() {
+        let mut rt = line_runtime(4);
+        let mut checks = 0u64;
+        let out = rt.run_until(
+            |_| {
+                checks += 1;
+                false
+            },
+            3,
+        );
+        assert_eq!(out, None);
+        assert_eq!(rt.round(), 3, "timeout executes exactly max_rounds steps");
+        assert_eq!(checks, 4, "checked before round 0 and after each round");
+
+        // Satisfaction at the deadline still counts (no off-by-one).
+        let mut rt = line_runtime(4);
+        assert_eq!(rt.run_until(|r| r.round() >= 2, 2), Some(2));
     }
 
     /// Program that introduces its two smallest neighbors each round.
@@ -701,12 +789,23 @@ mod tests {
         assert!(!rt.is_silent());
         let gone = rt.leave(0).expect("member leaves");
         assert!(gone.has);
-        assert_eq!(rt.ids(), &[1, 2, 3]);
+        let mut ids = rt.ids().to_vec();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3]);
         assert!(rt.is_silent(), "messages from the leaver die with it");
         assert_eq!(rt.metrics().leaves, 1);
         rt.run(5); // survivors keep stepping against the shrunk network
         assert!(rt.topology().check_invariants());
         assert!(!rt.program(1).has, "token left with node 0");
+    }
+
+    #[test]
+    fn leaver_inbox_messages_are_dropped_too() {
+        let mut rt = line_runtime(4);
+        rt.step(); // (0 -> 1) in flight
+        assert!(!rt.is_silent());
+        rt.leave(1).expect("receiver leaves");
+        assert!(rt.is_silent(), "messages to the leaver die in its mailbox");
     }
 
     #[test]
@@ -733,6 +832,23 @@ mod tests {
         rt.join_spawned(11, &[2]);
         assert!(rt.program(11).has);
         assert_eq!(rt.metrics().joins, 1);
+    }
+
+    #[test]
+    fn rejoin_lands_in_the_recycled_slot() {
+        let mut rt = line_runtime(6);
+        let old = rt.topology().slot_of(2).expect("member");
+        rt.leave(2);
+        rt.join(2, Flood::default(), &[1, 3]);
+        assert_eq!(
+            rt.topology().slot_of(2),
+            Some(old),
+            "freed slot is recycled (LIFO), nothing shifts"
+        );
+        // Fresh joiners drain the free list before growing storage.
+        rt.leave(4);
+        rt.join(100, Flood::default(), &[3]);
+        assert_eq!(rt.topology().slot_count(), 6, "no storage growth");
     }
 
     #[test]

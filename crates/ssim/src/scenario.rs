@@ -203,6 +203,8 @@ impl<P: Program> Scenario<P> {
             rt.step();
         };
 
+        // Final-state fields read the topology's incremental counters: O(1)
+        // regardless of network size.
         let m = rt.metrics();
         ScenarioReport {
             scenario: self.name.clone(),

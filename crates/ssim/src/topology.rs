@@ -1,20 +1,83 @@
 //! The mutable overlay topology: an undirected graph over node identifiers
 //! with sorted adjacency lists and O(log deg) edge queries.
+//!
+//! Storage is **slot-based**: every node occupies a stable [`NodeSlot`] for
+//! its whole lifetime, and slots freed by [`Topology::remove_node`] are
+//! recycled (LIFO) by later [`Topology::add_node`] calls. Nothing ever
+//! shifts, so membership changes cost O(deg) — no id renumbering, no index
+//! rebuild — and slot-parallel storage elsewhere (the runtime's programs,
+//! RNGs and mailboxes) stays aligned for free. The id → slot map is
+//! consulted only at the membership boundary and for id-keyed queries;
+//! round-hot paths address storage by slot.
+//!
+//! Edge count, maximum degree and the degree histogram are tracked
+//! incrementally, so the per-round metric reads are O(1) instead of a full
+//! adjacency scan ([`Topology::check_invariants`] re-verifies the counters
+//! against a ground-truth scan).
 
 use crate::NodeId;
 use std::collections::HashMap;
+
+/// A stable storage slot for one node. Assigned at insertion, fixed for the
+/// node's lifetime, recycled (most-recently-freed first) after removal.
+///
+/// Slots are the engine's dense index space: the runtime's per-node storage
+/// (programs, RNGs, inboxes, action scratch) is addressed by slot, and only
+/// the membership boundary translates ids to slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeSlot(u32);
+
+impl NodeSlot {
+    /// Build a slot from a dense index.
+    #[inline]
+    pub(crate) fn new(i: usize) -> Self {
+        Self(i as u32)
+    }
+
+    /// The dense index this slot addresses in slot-parallel storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
 
 /// Undirected graph over sparse node identifiers. Edges are symmetric by
 /// construction; self-loops are forbidden.
 #[derive(Debug, Clone, Default)]
 pub struct Topology {
-    ids: Vec<NodeId>,
-    index: HashMap<NodeId, usize>,
-    adj: Vec<Vec<NodeId>>, // sorted neighbor identifiers
+    /// Per-slot occupant id; `None` marks a free slot.
+    slots: Vec<Option<NodeId>>,
+    /// Per-slot sorted neighbor identifiers (empty for free slots).
+    adj: Vec<Vec<NodeId>>,
+    /// id → slot; the membership boundary only.
+    index: HashMap<NodeId, NodeSlot>,
+    /// Freed slots awaiting reuse, most recently freed last (LIFO).
+    free: Vec<NodeSlot>,
+    /// Dense mirror of the live ids, in unspecified (but deterministic)
+    /// order, so `ids()` stays a cheap slice.
+    dense: Vec<NodeId>,
+    /// Slot of each `dense` entry (parallel array), so live-node iteration
+    /// is O(live nodes) — not O(allocated slots) — with no hashing.
+    dense_slot: Vec<u32>,
+    /// Per-slot position of the occupant in `dense` (stale for free slots).
+    dense_pos: Vec<u32>,
+    /// Incrementally tracked number of undirected edges.
+    edge_count: usize,
+    /// `degree_hist[d]` = number of live nodes with degree `d`.
+    degree_hist: Vec<usize>,
+    /// Incrementally tracked maximum degree over live nodes.
+    max_degree: usize,
 }
 
 impl Topology {
     /// Build a topology over `ids` with the given initial undirected edges.
+    /// Slots are assigned in iteration order (node *k* gets slot *k*).
     ///
     /// # Panics
     /// Panics on duplicate ids, unknown edge endpoints, or self-loops.
@@ -22,38 +85,68 @@ impl Topology {
         ids: impl IntoIterator<Item = NodeId>,
         edges: impl IntoIterator<Item = (NodeId, NodeId)>,
     ) -> Self {
-        let ids: Vec<NodeId> = ids.into_iter().collect();
-        let index: HashMap<NodeId, usize> = ids.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-        assert_eq!(index.len(), ids.len(), "duplicate node ids");
-        let mut t = Self {
-            adj: vec![Vec::new(); ids.len()],
-            ids,
-            index,
-        };
+        let mut t = Self::default();
+        for v in ids {
+            assert!(t.add_node(v), "duplicate node id {v}");
+        }
         for (a, b) in edges {
             t.add_edge(a, b);
         }
         t
     }
 
-    /// Node identifiers in insertion order.
+    /// The live node identifiers, in unspecified (but deterministic) order.
+    /// The order is stable across identical runs — it changes only at
+    /// membership events — but is *not* insertion order once nodes have been
+    /// removed; sort a copy when a canonical order matters.
     pub fn ids(&self) -> &[NodeId] {
-        &self.ids
+        &self.dense
     }
 
-    /// Number of nodes.
+    /// Number of live nodes.
     pub fn node_count(&self) -> usize {
-        self.ids.len()
+        self.dense.len()
     }
 
-    /// Number of undirected edges.
+    /// Number of slots ever allocated (live + free). Slot-parallel storage
+    /// must be at least this long.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of undirected edges — O(1), tracked incrementally.
     pub fn edge_count(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        self.edge_count
     }
 
-    /// Dense index of a node id, if present.
-    pub fn index_of(&self, v: NodeId) -> Option<usize> {
+    /// The slot of node `v`, if present.
+    pub fn slot_of(&self, v: NodeId) -> Option<NodeSlot> {
         self.index.get(&v).copied()
+    }
+
+    /// The occupant of `slot`, or `None` for a free (or out-of-range) slot.
+    pub fn id_at(&self, slot: NodeSlot) -> Option<NodeId> {
+        self.slots.get(slot.index()).copied().flatten()
+    }
+
+    /// Iterate the live `(slot, id)` pairs, in the same unspecified (but
+    /// deterministic) order as [`Topology::ids`]. O(live nodes), not
+    /// O(allocated slots).
+    pub fn live_slots(&self) -> impl Iterator<Item = (NodeSlot, NodeId)> + '_ {
+        self.dense_slot
+            .iter()
+            .zip(self.dense.iter())
+            .map(|(&s, &v)| (NodeSlot::new(s as usize), v))
+    }
+
+    /// The `k`-th live `(id, slot)` pair in [`Topology::ids`] order — O(1)
+    /// indexed access for callers that must interleave iteration with edge
+    /// mutation (membership must not change while `k` is reused).
+    ///
+    /// # Panics
+    /// `k` must be below `node_count()`.
+    pub fn live_entry(&self, k: usize) -> (NodeId, NodeSlot) {
+        (self.dense[k], NodeSlot::new(self.dense_slot[k] as usize))
     }
 
     /// True iff `v` is a node of the topology.
@@ -66,12 +159,13 @@ impl Topology {
     /// # Panics
     /// `v` must be a node.
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.adj[self.index[&v]]
+        &self.adj[self.index[&v].index()]
     }
 
-    /// Sorted neighbor identifiers by dense index (hot path for the runtime).
-    pub(crate) fn neighbors_by_index(&self, i: usize) -> &[NodeId] {
-        &self.adj[i]
+    /// Sorted neighbor identifiers by slot (the runtime's hot path — no id
+    /// lookup). Empty for free slots.
+    pub fn neighbors_at(&self, slot: NodeSlot) -> &[NodeId] {
+        &self.adj[slot.index()]
     }
 
     /// Degree of node `v`.
@@ -79,52 +173,102 @@ impl Topology {
         self.neighbors(v).len()
     }
 
-    /// Maximum degree over all nodes.
+    /// Maximum degree over all nodes — O(1), tracked incrementally.
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        self.max_degree
+    }
+
+    /// The degree histogram: entry `d` counts live nodes of degree `d`.
+    /// Entries past `max_degree()` are zero.
+    pub fn degree_histogram(&self) -> &[usize] {
+        &self.degree_hist[..(self.max_degree + 1).min(self.degree_hist.len())]
     }
 
     /// True iff the edge `(a, b)` exists.
     pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
         match self.index.get(&a) {
-            Some(&i) => self.adj[i].binary_search(&b).is_ok(),
+            Some(&s) => self.adj[s.index()].binary_search(&b).is_ok(),
             None => false,
         }
     }
 
-    /// Add a node with no incident edges. Returns false if `v` already
-    /// exists. Part of the dynamic-membership surface: hosts may join a
-    /// running network.
+    /// Record that a node moved from degree `old` to degree `new`.
+    fn degree_changed(&mut self, old: usize, new: usize) {
+        self.degree_hist[old] -= 1;
+        if new >= self.degree_hist.len() {
+            self.degree_hist.resize(new + 1, 0);
+        }
+        self.degree_hist[new] += 1;
+        if new > self.max_degree {
+            self.max_degree = new;
+        } else {
+            // Amortized O(1): the walk down is paid for by earlier walks up.
+            while self.max_degree > 0 && self.degree_hist[self.max_degree] == 0 {
+                self.max_degree -= 1;
+            }
+        }
+    }
+
+    /// Add a node with no incident edges, recycling a freed slot when one is
+    /// available. Returns false if `v` already exists. Part of the
+    /// dynamic-membership surface: hosts may join a running network.
     pub fn add_node(&mut self, v: NodeId) -> bool {
         if self.index.contains_key(&v) {
             return false;
         }
-        self.index.insert(v, self.ids.len());
-        self.ids.push(v);
-        self.adj.push(Vec::new());
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s.index()] = Some(v);
+                s
+            }
+            None => {
+                let s = NodeSlot::new(self.slots.len());
+                self.slots.push(Some(v));
+                self.adj.push(Vec::new());
+                self.dense_pos.push(0);
+                s
+            }
+        };
+        self.index.insert(v, slot);
+        self.dense_pos[slot.index()] = self.dense.len() as u32;
+        self.dense.push(v);
+        self.dense_slot.push(slot.index() as u32);
+        if self.degree_hist.is_empty() {
+            self.degree_hist.push(0);
+        }
+        self.degree_hist[0] += 1;
         true
     }
 
-    /// Remove a node and all its incident edges. Returns false if `v` is not
-    /// a node. Later nodes shift down one dense index (insertion order of
-    /// the survivors is preserved).
+    /// Remove a node and all its incident edges; its slot goes onto the free
+    /// list for reuse. Returns false if `v` is not a node. O(deg): no other
+    /// node's slot changes.
     pub fn remove_node(&mut self, v: NodeId) -> bool {
-        let Some(&iv) = self.index.get(&v) else {
+        let Some(&slot) = self.index.get(&v) else {
             return false;
         };
         // Drop the back-edges from v's neighbors.
-        let neighbors = std::mem::take(&mut self.adj[iv]);
-        for b in neighbors {
-            let ib = self.index[&b];
-            let pb = self.adj[ib].binary_search(&v).unwrap();
-            self.adj[ib].remove(pb);
+        let neighbors = std::mem::take(&mut self.adj[slot.index()]);
+        for b in &neighbors {
+            let sb = self.index[b].index();
+            let pb = self.adj[sb].binary_search(&v).unwrap();
+            let deg = self.adj[sb].len();
+            self.adj[sb].remove(pb);
+            self.degree_changed(deg, deg - 1);
         }
-        self.ids.remove(iv);
-        self.adj.remove(iv);
+        self.edge_count -= neighbors.len();
+        self.degree_changed(neighbors.len(), 0);
+        self.degree_hist[0] -= 1;
+        // Unhook from the dense mirror (swap-remove; order is unspecified).
+        let pos = self.dense_pos[slot.index()] as usize;
+        self.dense.swap_remove(pos);
+        self.dense_slot.swap_remove(pos);
+        if let Some(&moved_slot) = self.dense_slot.get(pos) {
+            self.dense_pos[moved_slot as usize] = pos as u32;
+        }
+        self.slots[slot.index()] = None;
         self.index.remove(&v);
-        for (i, &id) in self.ids.iter().enumerate().skip(iv) {
-            self.index.insert(id, i);
-        }
+        self.free.push(slot);
         true
     }
 
@@ -134,20 +278,25 @@ impl Topology {
     /// Panics on self-loops or unknown endpoints.
     pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
         assert!(a != b, "self-loop at {a}");
-        let ia = *self
+        let sa = self
             .index
             .get(&a)
-            .unwrap_or_else(|| panic!("unknown node {a}"));
-        let ib = *self
+            .unwrap_or_else(|| panic!("unknown node {a}"))
+            .index();
+        let sb = self
             .index
             .get(&b)
-            .unwrap_or_else(|| panic!("unknown node {b}"));
-        match self.adj[ia].binary_search(&b) {
+            .unwrap_or_else(|| panic!("unknown node {b}"))
+            .index();
+        match self.adj[sa].binary_search(&b) {
             Ok(_) => false,
             Err(pa) => {
-                self.adj[ia].insert(pa, b);
-                let pb = self.adj[ib].binary_search(&a).unwrap_err();
-                self.adj[ib].insert(pb, a);
+                self.adj[sa].insert(pa, b);
+                let pb = self.adj[sb].binary_search(&a).unwrap_err();
+                self.adj[sb].insert(pb, a);
+                self.edge_count += 1;
+                self.degree_changed(self.adj[sa].len() - 1, self.adj[sa].len());
+                self.degree_changed(self.adj[sb].len() - 1, self.adj[sb].len());
                 true
             }
         }
@@ -155,26 +304,30 @@ impl Topology {
 
     /// Remove the undirected edge `(a, b)`. Returns true if it existed.
     pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
-        let (Some(&ia), Some(&ib)) = (self.index.get(&a), self.index.get(&b)) else {
+        let (Some(&sa), Some(&sb)) = (self.index.get(&a), self.index.get(&b)) else {
             return false;
         };
-        match self.adj[ia].binary_search(&b) {
+        let (sa, sb) = (sa.index(), sb.index());
+        match self.adj[sa].binary_search(&b) {
             Ok(pa) => {
-                self.adj[ia].remove(pa);
-                let pb = self.adj[ib].binary_search(&a).unwrap();
-                self.adj[ib].remove(pb);
+                self.adj[sa].remove(pa);
+                let pb = self.adj[sb].binary_search(&a).unwrap();
+                self.adj[sb].remove(pb);
+                self.edge_count -= 1;
+                self.degree_changed(self.adj[sa].len() + 1, self.adj[sa].len());
+                self.degree_changed(self.adj[sb].len() + 1, self.adj[sb].len());
                 true
             }
             Err(_) => false,
         }
     }
 
-    /// The undirected edge list, each edge once as `(a, b)` with `a < b`.
+    /// The undirected edge list, sorted, each edge once as `(a, b)` with
+    /// `a < b`.
     pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
-        let mut out = Vec::with_capacity(self.edge_count());
-        for (i, l) in self.adj.iter().enumerate() {
-            let a = self.ids[i];
-            for &b in l {
+        let mut out = Vec::with_capacity(self.edge_count);
+        for (slot, a) in self.live_slots() {
+            for &b in &self.adj[slot.index()] {
                 if a < b {
                     out.push((a, b));
                 }
@@ -186,45 +339,87 @@ impl Topology {
 
     /// True iff the graph is weakly connected (trivially true for ≤ 1 node).
     pub fn is_connected(&self) -> bool {
-        if self.ids.is_empty() {
+        let Some(&start) = self.dense.first() else {
             return true;
-        }
-        let n = self.ids.len();
-        let mut seen = vec![false; n];
-        let mut queue = std::collections::VecDeque::from([0usize]);
-        seen[0] = true;
+        };
+        let mut seen = vec![false; self.slots.len()];
+        let s0 = self.index[&start].index();
+        let mut queue = std::collections::VecDeque::from([s0]);
+        seen[s0] = true;
         let mut count = 1usize;
-        while let Some(v) = queue.pop_front() {
-            for &w in &self.adj[v] {
-                let wi = self.index[&w];
-                if !seen[wi] {
-                    seen[wi] = true;
+        while let Some(s) = queue.pop_front() {
+            for w in &self.adj[s] {
+                let ws = self.index[w].index();
+                if !seen[ws] {
+                    seen[ws] = true;
                     count += 1;
-                    queue.push_back(wi);
+                    queue.push_back(ws);
                 }
             }
         }
-        count == n
+        count == self.dense.len()
     }
 
-    /// Verify adjacency symmetry and sortedness — an internal invariant
-    /// exposed for property tests.
+    /// Verify the internal invariants — adjacency symmetry and sortedness,
+    /// slot/index/dense-mirror consistency, and the incremental edge/degree
+    /// counters against a ground-truth scan. Exposed for property tests.
     pub fn check_invariants(&self) -> bool {
-        for (i, l) in self.adj.iter().enumerate() {
-            let a = self.ids[i];
+        let mut edges = 0usize;
+        let mut hist = vec![0usize; self.degree_hist.len().max(1)];
+        let mut live = 0usize;
+        for (i, occupant) in self.slots.iter().enumerate() {
+            let l = &self.adj[i];
+            let Some(a) = *occupant else {
+                // Free slots carry no adjacency and sit on the free list.
+                if !l.is_empty() || !self.free.contains(&NodeSlot::new(i)) {
+                    return false;
+                }
+                continue;
+            };
+            live += 1;
+            // id → slot → id round-trip and dense-mirror consistency.
+            if self.index.get(&a) != Some(&NodeSlot::new(i)) {
+                return false;
+            }
+            let pos = self.dense_pos[i] as usize;
+            if self.dense.get(pos) != Some(&a) || self.dense_slot.get(pos) != Some(&(i as u32)) {
+                return false;
+            }
+            // Sortedness, no self-loops, symmetry.
             if l.windows(2).any(|w| w[0] >= w[1]) {
                 return false;
             }
+            edges += l.len();
+            if l.len() >= hist.len() {
+                hist.resize(l.len() + 1, 0);
+            }
+            hist[l.len()] += 1;
             for &b in l {
                 if b == a {
                     return false;
                 }
-                let Some(&ib) = self.index.get(&b) else {
+                let Some(&sb) = self.index.get(&b) else {
                     return false;
                 };
-                if self.adj[ib].binary_search(&a).is_err() {
+                if self.adj[sb.index()].binary_search(&a).is_err() {
                     return false;
                 }
+            }
+        }
+        // Incremental counters match the ground truth.
+        let scanned_max = hist.iter().rposition(|&c| c > 0).unwrap_or(0);
+        if self.edge_count != edges / 2
+            || self.max_degree != scanned_max
+            || live != self.dense.len()
+            || self.dense_slot.len() != self.dense.len()
+            || self.index.len() != live
+        {
+            return false;
+        }
+        for d in 0..hist.len().max(self.degree_hist.len()) {
+            let counted = self.degree_hist.get(d).copied().unwrap_or(0);
+            if hist.get(d).copied().unwrap_or(0) != counted {
+                return false;
             }
         }
         true
@@ -268,6 +463,21 @@ mod tests {
         assert_eq!(t.degree(0), 3);
         assert_eq!(t.degree(2), 1);
         assert_eq!(t.max_degree(), 3);
+        assert_eq!(t.degree_histogram(), &[0, 3, 0, 1]);
+    }
+
+    #[test]
+    fn max_degree_tracks_removals() {
+        let mut t = Topology::new(0..4u32, [(0, 1), (0, 2), (0, 3), (1, 2)]);
+        assert_eq!(t.max_degree(), 3);
+        t.remove_edge(0, 3);
+        assert_eq!(t.max_degree(), 2);
+        t.remove_node(0);
+        assert_eq!(t.max_degree(), 1, "only (1,2) left");
+        t.remove_edge(1, 2);
+        assert_eq!(t.max_degree(), 0);
+        assert_eq!(t.edge_count(), 0);
+        assert!(t.check_invariants());
     }
 
     #[test]
@@ -284,14 +494,61 @@ mod tests {
         assert_eq!(t.edge_count(), 1, "only (1,9) survives");
         assert_eq!(t.neighbors(7), &[] as &[NodeId]);
         assert!(t.check_invariants());
-        // Dense indices stay consistent after the shift.
-        assert_eq!(t.index_of(9), Some(1));
-        assert_eq!(t.index_of(7), Some(2));
+        // Survivors keep their slots; nothing shifted.
+        assert_eq!(t.slot_of(9), Some(NodeSlot::new(2)));
+        assert_eq!(t.slot_of(7), Some(NodeSlot::new(3)));
+        assert_eq!(t.id_at(NodeSlot::new(1)), None, "5's slot is free");
+    }
+
+    #[test]
+    fn slots_are_recycled_lifo() {
+        let mut t = Topology::new(0..4u32, [(0, 1), (1, 2), (2, 3)]);
+        t.remove_node(1); // frees slot 1
+        t.remove_node(3); // frees slot 3
+        assert_eq!(t.slot_count(), 4);
+        t.add_node(100);
+        assert_eq!(t.slot_of(100), Some(NodeSlot::new(3)), "most recent first");
+        t.add_node(101);
+        assert_eq!(t.slot_of(101), Some(NodeSlot::new(1)));
+        t.add_node(102);
+        assert_eq!(t.slot_of(102), Some(NodeSlot::new(4)), "free list drained");
+        assert_eq!(t.slot_count(), 5);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn ids_track_membership_as_a_set() {
+        let mut t = Topology::new(0..5u32, [(0, 1)]);
+        t.remove_node(0);
+        t.add_node(9);
+        let mut ids = t.ids().to_vec();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3, 4, 9]);
+        assert_eq!(t.node_count(), 5);
     }
 
     #[test]
     fn edges_sorted_unique() {
         let t = Topology::new([7u32, 3, 5], [(7, 3), (3, 5)]);
         assert_eq!(t.edges(), vec![(3, 5), (3, 7)]);
+    }
+
+    #[test]
+    fn counters_survive_churn_storm() {
+        let mut t = Topology::new(0..8u32, (0..8u32).map(|i| (i, (i + 1) % 8)));
+        for round in 0..20u32 {
+            let victim = round % 8;
+            if t.contains(victim) {
+                t.remove_node(victim);
+            } else {
+                t.add_node(victim);
+                for other in 0..8u32 {
+                    if other != victim && t.contains(other) && (other + round) % 3 == 0 {
+                        t.add_edge(victim, other);
+                    }
+                }
+            }
+            assert!(t.check_invariants(), "round {round}");
+        }
     }
 }
