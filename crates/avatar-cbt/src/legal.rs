@@ -103,17 +103,6 @@ pub fn runtime_from_shape(n: u32, count: usize, shape: Shape, cfg: Config) -> Ru
     runtime(n, &ids, edges, cfg)
 }
 
-/// Run a CBT runtime to legality. Returns rounds taken, or `None` on
-/// timeout.
-#[deprecated(
-    since = "0.2.0",
-    note = "drive with `rt.run_monitored(&mut avatar_cbt::legality(), budget)` instead"
-)]
-pub fn stabilize(rt: &mut Runtime<CbtProgram>, max_rounds: u64) -> Option<u64> {
-    rt.run_monitored(&mut legality(), max_rounds)
-        .rounds_if_satisfied()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

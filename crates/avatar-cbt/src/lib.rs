@@ -48,8 +48,6 @@ pub mod scratch;
 pub mod state;
 
 pub use io::{CtxIo, NetIo};
-#[allow(deprecated)]
-pub use legal::stabilize;
 pub use legal::{is_legal_cbt, legality, runtime, runtime_from_shape, runtime_is_legal};
 pub use msg::{Beacon, CbtMsg};
 pub use program::CbtProgram;

@@ -149,11 +149,10 @@ fn composed_monitor_enforces_degree_budget_while_stabilizing() {
 }
 
 #[test]
-fn deprecated_stabilize_shim_still_works() {
-    #[allow(deprecated)]
-    let rounds = {
-        let mut rt = runtime(16, &[3, 9], vec![(3, 9)], Config::seeded(1));
-        avatar_cbt::legal::stabilize(&mut rt, budget(16, 2))
-    };
+fn rounds_if_satisfied_gives_the_classic_option_shape() {
+    let mut rt = runtime(16, &[3, 9], vec![(3, 9)], Config::seeded(1));
+    let rounds = rt
+        .run_monitored(&mut legality(), budget(16, 2))
+        .rounds_if_satisfied();
     assert!(rounds.is_some());
 }

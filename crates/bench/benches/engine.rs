@@ -5,7 +5,7 @@
 //! benches are the quick local check.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use scaffold_bench::{pulse_churn_event, pulse_ring};
+use scaffold_bench::{crunch_ring, pulse_churn_event, pulse_ring};
 
 fn bench_step(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine_step");
@@ -39,5 +39,25 @@ fn bench_churn_event(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(engine, bench_step, bench_churn_event);
+fn bench_step_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_step_parallel");
+    g.sample_size(10);
+    // Compute-weighted workload at a fixed size across thread counts; the
+    // full sweep (with speedup columns and the committed baseline) is
+    // `exp_engine_scale`'s E12b table.
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let mut rt = crunch_ring(10_000, 7, 256, threads);
+                rt.run(3);
+                b.iter(|| rt.step())
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(engine, bench_step, bench_churn_event, bench_step_parallel);
 criterion_main!(engine);

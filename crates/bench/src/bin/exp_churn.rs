@@ -6,13 +6,16 @@
 //!
 //! Each row is one `ssim::Scenario` run; under `--json` the full
 //! `ScenarioReport` documents are emitted (one per line) after the table
-//! document, for the benchmark-trajectory tooling.
+//! document, for the benchmark-trajectory tooling. `--threads N` runs the
+//! rounds on the engine's thread pool — the reports are identical at any
+//! thread count (engine determinism guarantee), only faster at scale.
 
-use scaffold_bench::{measure_churn, Table};
+use scaffold_bench::{measure_churn_threads, Table};
 
 fn main() {
     let args = scaffold_bench::exp_args();
     let episodes = args.count.unwrap_or(6) as usize;
+    let threads = args.threads.unwrap_or(1);
     let mut t = Table::new(&[
         "N",
         "hosts",
@@ -27,7 +30,7 @@ fn main() {
     let mut reports = Vec::new();
     for n in [64u32, 128, 256, 512] {
         let hosts = (n / 8) as usize;
-        let report = measure_churn(n, hosts, episodes, 12_000 + n as u64);
+        let report = measure_churn_threads(n, hosts, episodes, 12_000 + n as u64, threads);
         t.row(vec![
             n.to_string(),
             hosts.to_string(),

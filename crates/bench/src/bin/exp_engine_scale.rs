@@ -1,11 +1,11 @@
 //! E12 — engine-core scaling baseline: the slot-based runtime's raw costs,
-//! swept over node count × churn rate. This is the repo's first measured
-//! perf baseline (`BENCH_engine.json`); future engine PRs are judged
-//! against it.
+//! swept over node count × churn rate × thread count. The `--json` output
+//! is the committed perf baseline (`BENCH_engine.json`); future engine PRs
+//! are judged against it.
 //!
-//! Three measurements per network size, all over the shared
+//! Four measurements, the first three over the shared
 //! [`scaffold_bench::Pulse`] workload (the same one `benches/engine.rs`
-//! quick-checks):
+//! quick-checks), per network size:
 //!
 //! * **steady-state rounds** — ns/round and ns/message with every node
 //!   gossiping to all neighbors (zero-allocation round path);
@@ -13,13 +13,24 @@
 //!   in between (the O(deg) membership path; per-event cost must be flat in
 //!   the network size — that is the whole point of the slot refactor);
 //! * **churn-heavy rounds** — rounds interleaved with `rate` membership
-//!   events per round, the production-shaped mixed workload.
+//!   events per round, the production-shaped mixed workload;
+//! * **thread sweep** — steady-state ns/round across round-execution thread
+//!   counts, for both the send-bound `Pulse` and the compute-weighted
+//!   [`scaffold_bench::Crunch`] workload, with speedup relative to the
+//!   single-thread run of the same workload and size. Results are
+//!   bit-identical across thread counts (the engine guarantees it); only
+//!   wall-clock time changes, and only when the machine has cores to use —
+//!   the sweep records `available_parallelism` so a baseline from a
+//!   single-core CI container is not mistaken for a scaling regression.
 //!
-//! Usage: `exp_engine_scale [seed] [--json] [--smoke]`. `--json` emits the
-//! machine-readable document captured in `BENCH_engine.json`; `--smoke` is
-//! the tiny CI variant (seconds, small sizes).
+//! Usage: `exp_engine_scale [seed] [--json] [--smoke] [--threads T]`.
+//! `--json` emits the machine-readable documents captured in
+//! `BENCH_engine.json` (one JSON document per table, newline-separated);
+//! `--smoke` is the tiny CI variant (seconds, small sizes); `--threads T`
+//! narrows the sweep to `{1, T}`.
 
-use scaffold_bench::{f2, pulse_churn_event, pulse_ring, Table};
+use scaffold_bench::{crunch_ring, f2, pulse_churn_event, pulse_ring_threads, Table};
+use ssim::{Program, Runtime};
 use std::time::Instant;
 
 struct Row {
@@ -33,9 +44,17 @@ struct Row {
     ns_per_churny_round: f64,
 }
 
+/// Warm a runtime's recycled buffers, then time `rounds` steps (ns/round).
+fn ns_per_round<P: Program>(rt: &mut Runtime<P>, rounds: u64) -> f64 {
+    rt.run(3); // reach steady-state buffer capacity
+    let t0 = Instant::now();
+    rt.run(rounds);
+    t0.elapsed().as_nanos() as f64 / rounds as f64
+}
+
 /// One sweep point: steady rounds, pure events, and churn-heavy rounds.
 fn measure(n: u32, rounds: u64, events: u64, churn_rate: u64, seed: u64) -> Row {
-    let mut rt = pulse_ring(n, seed);
+    let mut rt = pulse_ring_threads(n, seed, 1);
     rt.run(3); // warm the recycled buffers to their steady-state capacity
 
     let msgs_before = rt.metrics().total_messages;
@@ -87,6 +106,13 @@ fn main() {
     } else {
         (&[1_000, 10_000, 100_000], 20, 500)
     };
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let thread_counts: Vec<usize> = match args.threads {
+        Some(t) if t > 1 => vec![1, t],
+        Some(0) => vec![1, cores], // `0` = available parallelism, like Config
+        Some(_) => vec![1],
+        None => vec![1, 2, 4],
+    };
 
     let mut t = Table::new(&[
         "n",
@@ -115,9 +141,48 @@ fn main() {
         &args,
         "E12: engine-core scaling (slot-based membership, zero-alloc rounds)",
     );
+
+    // Thread sweep: the same steady-state rounds across thread counts, for
+    // the send-bound Pulse and the compute-weighted Crunch workload.
+    let mut sweep = Table::new(&[
+        "workload", "n", "threads", "cores", "rounds", "ns/round", "speedup",
+    ]);
+    const SPINS: u32 = 256;
+    for &n in sizes {
+        for workload in ["pulse", "crunch"] {
+            let mut base = f64::NAN;
+            for &threads in &thread_counts {
+                let ns = match workload {
+                    "pulse" => ns_per_round(&mut pulse_ring_threads(n, seed, threads), rounds),
+                    _ => ns_per_round(&mut crunch_ring(n, seed, SPINS, threads), rounds),
+                };
+                if threads == 1 {
+                    base = ns;
+                }
+                sweep.row(vec![
+                    workload.to_string(),
+                    n.to_string(),
+                    threads.to_string(),
+                    cores.to_string(),
+                    rounds.to_string(),
+                    f2(ns),
+                    f2(base / ns),
+                ]);
+            }
+        }
+    }
+    sweep.emit(
+        &args,
+        "E12b: thread sweep (deterministic parallel rounds, ssim::par pool)",
+    );
+
     if !args.json {
         println!("\nExpected shape: ns/event flat in n (slot model: O(deg) churn, no");
         println!("reindexing); ns/round and ns/churny_round linear in n (n programs run");
-        println!("per round); ns/msg roughly constant.");
+        println!("per round); ns/msg roughly constant. Thread-sweep speedup grows with");
+        println!("threads up to the core count (recorded in the `cores` column) once");
+        println!("rounds are big enough to amortize the pool wakeup — compute-heavy");
+        println!("workloads (crunch) scale closer to linearly than send-bound ones");
+        println!("(pulse), whose apply phase stays on the driving thread.");
     }
 }

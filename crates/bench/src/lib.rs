@@ -84,8 +84,21 @@ pub fn measure_cbt(n_guests: u32, hosts: usize, shape: Shape, seed: u64) -> Outc
 /// leaves, and crashes, one event per scaffold epoch — and measure the
 /// re-convergence through the scenario driver.
 pub fn measure_churn(n_guests: u32, hosts: usize, episodes: usize, seed: u64) -> ScenarioReport {
+    measure_churn_threads(n_guests, hosts, episodes, seed, 1)
+}
+
+/// [`measure_churn`] on `threads` round-execution threads (the `--threads`
+/// path of `exp_churn`). The report is identical at any thread count — the
+/// engine's determinism guarantee — so this only changes wall-clock time.
+pub fn measure_churn_threads(
+    n_guests: u32,
+    hosts: usize,
+    episodes: usize,
+    seed: u64,
+    threads: usize,
+) -> ScenarioReport {
     let target = ChordTarget::classic(n_guests);
-    let mut cfg = Config::seeded(seed);
+    let mut cfg = Config::seeded(seed).threads(threads);
     cfg.record_rounds = false;
     let mut rt = chord_scaffold::runtime_from_shape(target, hosts, Shape::Random, cfg);
     let baseline = rt.run_monitored(&mut chord_scaffold::legality(), budget(n_guests, hosts));
@@ -217,10 +230,66 @@ impl Program for Pulse {
 /// A ring of `n` [`Pulse`] nodes with a spawner registered and per-round
 /// metric rows disabled — the engine benches' standard fixture.
 pub fn pulse_ring(n: u32, seed: u64) -> Runtime<Pulse> {
-    let mut cfg = Config::seeded(seed);
+    pulse_ring_threads(n, seed, 1)
+}
+
+/// [`pulse_ring`] on `threads` round-execution threads (1 = sequential) —
+/// the thread-sweep fixture. Results are bit-identical across thread counts
+/// by the engine's determinism guarantee; only wall-clock time may differ.
+pub fn pulse_ring_threads(n: u32, seed: u64, threads: usize) -> Runtime<Pulse> {
+    let mut cfg = Config::seeded(seed).threads(threads);
     cfg.record_rounds = false;
     let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
     Runtime::new(cfg, (0..n).map(|i| (i, Pulse)), edges).with_spawner(|_| Pulse)
+}
+
+/// Gossip with a tunable per-node compute kernel: like [`Pulse`] but each
+/// node first runs `spins` rounds of a splitmix-style mixer over private
+/// state. Real protocol programs (detectors, cluster bookkeeping, finger
+/// maintenance) do orders of magnitude more per-node work than `Pulse`'s
+/// bare sends, so this is the workload the thread sweep uses to measure how
+/// round execution scales when the emit phase actually dominates.
+pub struct Crunch {
+    /// Mixer iterations per round — the per-node compute weight.
+    pub spins: u32,
+    acc: u64,
+}
+
+impl Crunch {
+    /// A node with the given per-round compute weight.
+    pub fn new(spins: u32) -> Self {
+        Self { spins, acc: 0 }
+    }
+}
+
+impl Program for Crunch {
+    type Msg = u32;
+
+    fn step(&mut self, ctx: &mut Ctx<'_, u32>) {
+        for &(_, v) in ctx.inbox() {
+            self.acc = self.acc.wrapping_add(v as u64);
+        }
+        let mut x = self.acc ^ ctx.id as u64;
+        for _ in 0..self.spins {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            x ^= x >> 27;
+        }
+        self.acc = x;
+        for k in 0..ctx.neighbors().len() {
+            let v = ctx.neighbors()[k];
+            ctx.send(v, x as u32);
+        }
+    }
+}
+
+/// A ring of `n` [`Crunch`] nodes on `threads` round-execution threads.
+pub fn crunch_ring(n: u32, seed: u64, spins: u32, threads: usize) -> Runtime<Crunch> {
+    let mut cfg = Config::seeded(seed).threads(threads);
+    cfg.record_rounds = false;
+    let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    Runtime::new(cfg, (0..n).map(|i| (i, Crunch::new(spins))), edges)
+        .with_spawner(move |_| Crunch::new(spins))
 }
 
 /// One engine membership event pair: retire a pseudo-randomly chosen member
@@ -238,6 +307,9 @@ pub fn pulse_churn_event(rt: &mut Runtime<Pulse>, e: usize, stride: usize, fresh
 ///
 /// * `--json` — emit machine-readable JSON (one document per table) instead
 ///   of fixed-width tables, for the benchmark-trajectory tooling;
+/// * `--threads N` (or `--threads=N`) — round-execution thread count for
+///   experiments that build runtimes; `0` means available parallelism, `1`
+///   sequential. Thread count never changes results, only wall-clock time;
 /// * other `--flags` — kept verbatim; experiments query them with
 ///   [`ExpArgs::flag`] (e.g. `exp_engine_scale --smoke`);
 /// * first numeric positional argument — override the seed/trial count
@@ -248,6 +320,8 @@ pub struct ExpArgs {
     pub json: bool,
     /// Optional numeric positional (seeds / trials), experiment-specific.
     pub count: Option<u64>,
+    /// `--threads N`: round-execution thread count (see [`ExpArgs::config`]).
+    pub threads: Option<usize>,
     /// Remaining `--flag` arguments, for experiment-specific switches.
     pub flags: Vec<String>,
 }
@@ -257,14 +331,44 @@ impl ExpArgs {
     pub fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
     }
+
+    /// Apply the `--threads` option (when given) to a runtime config.
+    pub fn config(&self, cfg: Config) -> Config {
+        match self.threads {
+            Some(t) => cfg.threads(t),
+            None => cfg,
+        }
+    }
 }
 
 /// Parse [`ExpArgs`] from `std::env::args`.
 pub fn exp_args() -> ExpArgs {
+    parse_exp_args(std::env::args().skip(1))
+}
+
+fn parse_exp_args(args: impl IntoIterator<Item = String>) -> ExpArgs {
     let mut out = ExpArgs::default();
-    for a in std::env::args().skip(1) {
+    let mut args = args.into_iter().peekable();
+    while let Some(a) = args.next() {
         if a == "--json" {
             out.json = true;
+        } else if a == "--threads" {
+            // Consume the next argument only if it is a valid count, so
+            // `--threads --json` fails loudly instead of eating `--json`.
+            match args.peek().map(|v| v.parse::<usize>()) {
+                Some(Ok(t)) => {
+                    out.threads = Some(t);
+                    args.next();
+                }
+                _ => {
+                    eprintln!("--threads needs a numeric value (e.g. --threads 4); ignoring");
+                }
+            }
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            match v.parse() {
+                Ok(t) => out.threads = Some(t),
+                Err(_) => eprintln!("--threads needs a numeric value (got {v:?}); ignoring"),
+            }
         } else if let Some(flag) = a.strip_prefix("--") {
             out.flags.push(flag.to_string());
         } else if out.count.is_none() {
@@ -360,6 +464,34 @@ pub fn f2(x: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn exp_args_parse_threads_and_flags() {
+        let args = |v: &[&str]| parse_exp_args(v.iter().map(|s| s.to_string()));
+        let a = args(&["--json", "--threads", "4", "--smoke", "7"]);
+        assert!(a.json && a.flag("smoke"));
+        assert_eq!(a.threads, Some(4));
+        assert_eq!(a.count, Some(7));
+        assert_eq!(args(&["--threads=2"]).threads, Some(2));
+        assert_eq!(args(&[]).threads, None);
+        assert_eq!(a.config(Config::seeded(1)).effective_threads(), 4);
+        // A missing/invalid value must not eat the following argument.
+        let bad = args(&["--threads", "--json"]);
+        assert!(bad.json && bad.threads.is_none());
+        assert_eq!(args(&["--threads=x", "--json"]).threads, None);
+    }
+
+    #[test]
+    fn crunch_ring_is_thread_count_invariant() {
+        let fingerprint = |threads: usize| {
+            let mut rt = crunch_ring(64, 9, 32, threads);
+            rt.run(12);
+            serde_json::to_string(rt.metrics()).expect("metrics serialize")
+        };
+        let seq = fingerprint(1);
+        assert_eq!(seq, fingerprint(2));
+        assert_eq!(seq, fingerprint(4));
+    }
 
     #[test]
     fn mean_std_basics() {

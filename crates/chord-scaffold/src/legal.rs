@@ -121,16 +121,6 @@ pub fn runtime_from_shape(
     runtime(target, &ids, edges, cfg)
 }
 
-/// Run to legality; returns rounds taken or `None` on timeout.
-#[deprecated(
-    since = "0.2.0",
-    note = "drive with `rt.run_monitored(&mut chord_scaffold::legality(), budget)` instead"
-)]
-pub fn stabilize(rt: &mut Runtime<ScaffoldProgram<ChordTarget>>, max_rounds: u64) -> Option<u64> {
-    rt.run_monitored(&mut legality(), max_rounds)
-        .rounds_if_satisfied()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,8 +35,6 @@ pub mod program;
 pub mod protocol;
 pub mod target;
 
-#[allow(deprecated)]
-pub use legal::stabilize;
 pub use legal::{
     expected_edges, is_legal, legality, legality_for, runtime, runtime_from_shape, runtime_is_legal,
 };

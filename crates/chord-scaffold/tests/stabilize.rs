@@ -102,10 +102,11 @@ fn wakes_and_rebuilds_after_perturbation() {
 }
 
 #[test]
-fn deprecated_stabilize_shim_still_works() {
+fn rounds_if_satisfied_gives_the_classic_option_shape() {
     let t = ChordTarget::classic(16);
     let mut rt = runtime(t, &[3, 9], vec![(3, 9)], Config::seeded(2));
-    #[allow(deprecated)]
-    let rounds = chord_scaffold::stabilize(&mut rt, budget(16, 2));
+    let rounds = rt
+        .run_monitored(&mut legality(), budget(16, 2))
+        .rounds_if_satisfied();
     assert!(rounds.is_some());
 }

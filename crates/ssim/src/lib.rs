@@ -27,9 +27,11 @@
 //!   reports.
 //!
 //! Node programs implement [`Program`]; per-round execution of independent
-//! node programs is data-parallel (rayon) and fully deterministic: every node
-//! owns a PRNG seeded from `(run seed, node id)` and action application is
-//! sequenced in a deterministic member order.
+//! node programs is data-parallel on an `std::thread` worker pool (see
+//! [`par`] and [`Config::parallel`]) and fully deterministic at any thread
+//! count: every node owns a PRNG seeded from `(run seed, node id)`, the
+//! emit phase reads only the round-start snapshot, and action application
+//! is sequenced in slot order on the driving thread.
 //!
 //! The engine core is **slot-based**: every member occupies a stable
 //! [`NodeSlot`] in the per-node storage for its whole lifetime, freed slots
@@ -39,13 +41,17 @@
 //! nothing: inboxes are double-buffered, action scratch is recycled, and
 //! edge/degree aggregates are tracked incrementally.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the small,
+// heavily documented chunk-splitting core of `par`, which opts back in with
+// a module-local `allow`. Everything else in the crate stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fault;
 pub mod init;
 pub mod metrics;
 pub mod monitor;
+pub mod par;
 pub mod program;
 pub mod runtime;
 pub mod scenario;

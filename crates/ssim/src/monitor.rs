@@ -1,8 +1,10 @@
 //! Observer API for driving simulations: a [`Monitor`] inspects the runtime
 //! between rounds and renders a [`Verdict`]. One generic driver —
-//! [`crate::Runtime::run_monitored`] — replaces the per-protocol
-//! `stabilize`/`runtime_is_legal` free functions that each crate used to
-//! re-invent.
+//! [`crate::Runtime::run_monitored`] — serves every protocol, replacing the
+//! run-to-legality free functions each crate used to re-invent. Monitors
+//! observe the runtime only *between* rounds, on the driving thread, so they
+//! are oblivious to whether rounds execute sequentially or on the
+//! [`crate::par`] pool.
 //!
 //! Two monitor species compose under [`all_of`]:
 //!
@@ -65,8 +67,9 @@ pub struct MonitorOutcome {
 }
 
 impl MonitorOutcome {
-    /// `Some(rounds)` when satisfied — the shape the old `stabilize`
-    /// functions returned, for drop-in migration.
+    /// `Some(rounds)` when satisfied, `None` otherwise — the classic
+    /// "rounds to convergence or timeout" `Option` shape most experiment
+    /// tables want.
     pub fn rounds_if_satisfied(&self) -> Option<u64> {
         match self.verdict {
             RunVerdict::Satisfied => Some(self.rounds),

@@ -1,0 +1,380 @@
+//! A minimal deterministic thread pool for round execution.
+//!
+//! [`ThreadPool`] is a *persistent broadcast pool*: `threads - 1` worker
+//! threads are spawned once (the calling thread acts as the last worker) and
+//! then reused for every round, parked on a condvar between calls. A
+//! [`ThreadPool::broadcast`] wakes every worker, hands each one the same
+//! borrowed closure, and blocks until all of them have finished — so the
+//! closure's borrows provably outlive every use, and a steady-state round
+//! performs **zero heap allocation and zero thread spawns** (the job is
+//! passed as a two-word raw pointer through pre-existing shared state, not a
+//! boxed task queue).
+//!
+//! [`for_each_mut3`] is the safe entry point the runtime uses: it splits
+//! three equal-length slot-parallel slices into one contiguous chunk per
+//! thread and runs a per-element closure over each chunk. Chunks are
+//! disjoint by construction, which is the whole safety argument for the
+//! small amount of `unsafe` below — see the `SAFETY` comments. Determinism
+//! is by design: threads only ever write to their own chunk (per-slot
+//! programs, RNGs, and action scratch), so the round's outcome is
+//! independent of scheduling; ordering decisions all happen in the
+//! caller's slot-ordered apply phase.
+//!
+//! Panics raised inside a broadcast (e.g. a strict-mode model violation on a
+//! worker's chunk) are caught, carried back, and re-raised on the calling
+//! thread with their original payload, so `#[should_panic(expected = ...)]`
+//! tests behave identically in sequential and parallel mode.
+#![allow(unsafe_code)] // confined to this module; see SAFETY comments
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Type-erased pointer to the borrowed broadcast job. Stored in the shared
+/// state only for the duration of one `broadcast` call.
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (so `&`-calls from any thread are fine) and
+// `broadcast` does not return until every worker has finished calling it,
+// so the pointer never outlives the borrow it was created from.
+unsafe impl Send for Job {}
+
+/// Shared pool state, updated under one mutex.
+struct State {
+    /// Monotonic broadcast counter; a bump is the "new job" signal.
+    generation: u64,
+    /// The current job (only `Some` while a broadcast is in flight).
+    job: Option<Job>,
+    /// Workers still running the current generation.
+    active: usize,
+    /// Lowest-indexed worker panic of the current generation, carried to
+    /// the caller. Keeping the *lowest thread index* (not the first in
+    /// wall-clock) makes the surfaced panic deterministic: chunks are
+    /// ascending slot ranges and each chunk runs its slots in order, so the
+    /// lowest panicking thread holds the panic of the globally lowest
+    /// violating slot — exactly the panic a sequential run raises.
+    panic: Option<(usize, Box<dyn std::any::Any + Send>)>,
+    /// Tells workers to exit (set on drop).
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for a generation bump.
+    work_cv: Condvar,
+    /// The broadcasting thread waits here for `active` to reach zero.
+    done_cv: Condvar,
+}
+
+/// Persistent worker pool; see the module docs for the execution model.
+///
+/// Created once per [`crate::Runtime`] (when [`crate::Config::parallel`] is
+/// set and the effective thread count is ≥ 2) and reused for every round.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Build a pool that runs broadcasts on `threads` threads total: the
+    /// broadcasting thread itself plus `threads - 1` spawned workers.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "ThreadPool::new: need at least one thread");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                generation: 0,
+                job: None,
+                active: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..threads - 1)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ssim-par-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// Total number of threads that participate in a broadcast (including
+    /// the calling thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f(thread_index)` once for every index in `0..self.threads()`,
+    /// concurrently, and return only when all calls have finished. The
+    /// calling thread executes the last index itself. If any calls panic,
+    /// the payload of the **lowest-indexed** panicking thread is re-raised
+    /// here after every thread is done — a deterministic choice that, for
+    /// ascending-chunk workloads like [`for_each_mut3`], surfaces the same
+    /// panic a sequential run of `f(0); f(1); …` would.
+    pub fn broadcast(&self, f: &(dyn Fn(usize) + Sync)) {
+        let workers = self.threads - 1;
+        if workers > 0 {
+            // SAFETY: pure lifetime erasure of a fat reference so it can sit
+            // in the shared state. `broadcast` blocks below until every
+            // worker has finished its call, so no use outlives the borrow.
+            let erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+            let mut st = self.shared.state.lock().expect("pool lock");
+            st.job = Some(Job(erased as *const _));
+            st.generation += 1;
+            st.active = workers;
+            drop(st);
+            self.shared.work_cv.notify_all();
+        }
+
+        // The caller is worker `threads - 1`; catch its panic so we still
+        // wait for the others (their borrows of `f` must end first).
+        let mine = catch_unwind(AssertUnwindSafe(|| f(self.threads - 1)));
+
+        let worker_panic = if workers > 0 {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            while st.active > 0 {
+                st = self.shared.done_cv.wait(st).expect("pool lock");
+            }
+            st.job = None;
+            st.panic.take()
+        } else {
+            None
+        };
+
+        // The caller is the highest thread index, so any worker panic wins.
+        if let Some((_, payload)) = worker_panic {
+            resume_unwind(payload);
+        }
+        if let Err(payload) = mine {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut seen = 0u64;
+    loop {
+        let (job, generation) = {
+            let mut st = shared.state.lock().expect("pool lock");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen {
+                    break;
+                }
+                st = shared.work_cv.wait(st).expect("pool lock");
+            }
+            let Job(ptr) = *st.job.as_ref().expect("job set with generation");
+            (Job(ptr), st.generation)
+        };
+        seen = generation;
+        // SAFETY: `broadcast` keeps the closure borrowed (blocked on
+        // `done_cv`) until this worker decrements `active` below, which
+        // happens strictly after the call returns.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(index) }));
+        let mut st = shared.state.lock().expect("pool lock");
+        if let Err(payload) = result {
+            if st.panic.as_ref().is_none_or(|&(i, _)| index < i) {
+                st.panic = Some((index, payload));
+            }
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+/// Raw-pointer wrapper that lets disjoint chunks of a slice be written from
+/// different threads.
+struct SendPtr<T>(*mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: `SendPtr` is only used by `for_each_mut3`, where every thread
+// derives element pointers for a range disjoint from every other thread's,
+// and `T: Send` bounds the element transfer.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// The `i`-th element pointer. Going through a method (rather than the
+    /// `.0` field) makes closures capture the whole `Send + Sync` wrapper,
+    /// not the bare raw pointer.
+    ///
+    /// # Safety
+    /// `i` must be in bounds of the allocation, and the caller must hold
+    /// exclusive access to that element.
+    unsafe fn at(self, i: usize) -> *mut T {
+        // SAFETY: forwarded to the caller's contract.
+        unsafe { self.0.add(i) }
+    }
+}
+
+/// Run `f(i, &mut a[i], &mut b[i], &mut c[i])` for every index of three
+/// equal-length slices, splitting the index range into one contiguous chunk
+/// per pool thread. The chunk boundaries depend only on the slice length and
+/// the thread count — never on scheduling — and `f` is given disjoint
+/// elements, so results are deterministic for any interleaving.
+///
+/// # Panics
+/// Panics if the slices differ in length, and re-raises the first panic from
+/// `f` (after all threads finish).
+pub fn for_each_mut3<A, B, C, F>(pool: &ThreadPool, a: &mut [A], b: &mut [B], c: &mut [C], f: F)
+where
+    A: Send,
+    B: Send,
+    C: Send,
+    F: Fn(usize, &mut A, &mut B, &mut C) + Sync,
+{
+    let len = a.len();
+    assert_eq!(len, b.len(), "for_each_mut3: slice lengths differ");
+    assert_eq!(len, c.len(), "for_each_mut3: slice lengths differ");
+    let threads = pool.threads();
+    let chunk = len.div_ceil(threads).max(1);
+    let (pa, pb, pc) = (
+        SendPtr(a.as_mut_ptr()),
+        SendPtr(b.as_mut_ptr()),
+        SendPtr(c.as_mut_ptr()),
+    );
+    pool.broadcast(&move |t| {
+        let lo = (t * chunk).min(len);
+        let hi = ((t + 1) * chunk).min(len);
+        for i in lo..hi {
+            // SAFETY: thread `t` owns exactly the index range
+            // `[t·chunk, (t+1)·chunk) ∩ [0, len)`; ranges for distinct `t`
+            // are disjoint and in bounds, so each `&mut` is unique, and
+            // `broadcast` guarantees the slices outlive every access.
+            unsafe { f(i, &mut *pa.at(i), &mut *pb.at(i), &mut *pc.at(i)) }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_runs_every_index_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<Mutex<u32>> = (0..4).map(|_| Mutex::new(0)).collect();
+        for _ in 0..100 {
+            pool.broadcast(&|t| *hits[t].lock().unwrap() += 1);
+        }
+        for h in &hits {
+            assert_eq!(*h.lock().unwrap(), 100);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let mut seen = Mutex::new(false);
+        pool.broadcast(&|t| {
+            assert_eq!(t, 0);
+            *seen.lock().unwrap() = true;
+        });
+        assert!(*seen.get_mut().unwrap());
+    }
+
+    #[test]
+    fn for_each_mut3_covers_all_elements_for_any_thread_count() {
+        for threads in 1..=6 {
+            let pool = ThreadPool::new(threads);
+            for len in [0usize, 1, 2, 5, 16, 33] {
+                let mut a = vec![0u32; len];
+                let mut b = vec![0u64; len];
+                let mut c = vec![0u8; len];
+                for_each_mut3(&pool, &mut a, &mut b, &mut c, |i, x, y, z| {
+                    *x += i as u32 + 1;
+                    *y += 2;
+                    *z += 3;
+                });
+                assert_eq!(a, (0..len).map(|i| i as u32 + 1).collect::<Vec<_>>());
+                assert!(b.iter().all(|&y| y == 2) && c.iter().all(|&z| z == 3));
+            }
+        }
+    }
+
+    #[test]
+    fn pool_survives_and_panic_payload_is_preserved() {
+        let pool = ThreadPool::new(3);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(&|t| {
+                if t == 0 {
+                    panic!("round 7: node 3 sent to non-neighbor 9");
+                }
+            });
+        }));
+        let payload = caught.expect_err("broadcast must propagate the panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        assert!(msg.contains("non-neighbor"), "original payload kept: {msg}");
+        // The pool is still usable after a panicking broadcast.
+        let ok = Mutex::new(0u32);
+        pool.broadcast(&|_| *ok.lock().unwrap() += 1);
+        assert_eq!(*ok.lock().unwrap(), 3);
+    }
+
+    /// When several threads panic in one broadcast, the surfaced payload is
+    /// the lowest-indexed thread's — deterministic, and (for ascending
+    /// chunks) the same panic sequential execution raises.
+    #[test]
+    fn lowest_indexed_panic_wins() {
+        let pool = ThreadPool::new(4);
+        for _ in 0..50 {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                pool.broadcast(&|t| panic!("thread {t} violated"));
+            }));
+            let payload = caught.expect_err("must panic");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert_eq!(msg, "thread 0 violated");
+        }
+    }
+}

@@ -15,25 +15,34 @@
 
 use crate::metrics::{RoundMetrics, RunMetrics};
 use crate::monitor::{Monitor, MonitorOutcome, RunVerdict, Verdict};
+use crate::par::{self, ThreadPool};
 use crate::program::{Actions, Ctx, Program};
 use crate::topology::{NodeSlot, Topology};
 use crate::NodeId;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use rayon::prelude::*;
 
-/// Runtime configuration.
+/// Runtime configuration: model strictness, determinism seed, metrics
+/// granularity, and the parallel execution switch.
+///
+/// A `Config` is plain data (`Copy`); build one with [`Config::default`] or
+/// [`Config::seeded`] and refine it with the builder methods. The doctest on
+/// [`Config::threads`] shows the `--threads N`-style parallel setup.
 #[derive(Debug, Clone, Copy)]
 pub struct Config {
     /// Panic on model violations (illegal links, sends to non-neighbors).
     /// When false, violations are dropped and counted in the metrics.
     pub strict: bool,
-    /// Execute node programs data-parallel with rayon. Results are identical
-    /// to sequential execution (actions are applied in a deterministic
-    /// member order either way). Note: with the vendored rayon stub this
-    /// setting is sequential-only — real speedups require the crates.io
-    /// rayon (see vendor/README.md).
+    /// Execute the emit phase of each round on a [`crate::par::ThreadPool`]
+    /// owned by the runtime. Results are **bit-identical** to sequential
+    /// execution at any thread count: programs read only the round-start
+    /// snapshot and write only their own slot's scratch, and actions are
+    /// applied in slot order on the driving thread either way.
     pub parallel: bool,
+    /// Worker threads for parallel execution; `0` means "use
+    /// [`std::thread::available_parallelism`]". Ignored unless
+    /// [`Config::parallel`] is set. See [`Config::effective_threads`].
+    pub threads: usize,
     /// Seed for all node PRNGs (node `v` gets `seed ⊕ splitmix(v)`).
     pub seed: u64,
     /// Record per-round metric rows (otherwise only aggregates are kept).
@@ -45,6 +54,7 @@ impl Default for Config {
         Self {
             strict: true,
             parallel: false,
+            threads: 0,
             seed: 0xC0FFEE,
             record_rounds: true,
         }
@@ -60,11 +70,69 @@ impl Config {
         }
     }
 
-    /// Enable rayon-parallel round execution (worth it from ~1k nodes, with
-    /// the real rayon crate; the vendored stub stays sequential).
+    /// Enable parallel round execution with the default thread count
+    /// (available parallelism). Worth it from roughly 1k nodes; tiny
+    /// networks are faster sequentially because a round is cheaper than a
+    /// pool wakeup.
     pub fn parallel(mut self) -> Self {
         self.parallel = true;
         self
+    }
+
+    /// Set the thread count for parallel execution, enabling it when
+    /// `n != 1` (`n == 0` means "available parallelism", `n == 1` is plain
+    /// sequential execution). The choice never changes results — only
+    /// wall-clock time — so experiments may sweep it freely.
+    ///
+    /// ```
+    /// use ssim::{Config, Ctx, Program, Runtime};
+    ///
+    /// struct Gossip;
+    /// impl Program for Gossip {
+    ///     type Msg = u32;
+    ///     fn step(&mut self, ctx: &mut Ctx<'_, u32>) {
+    ///         for k in 0..ctx.neighbors().len() {
+    ///             let v = ctx.neighbors()[k];
+    ///             ctx.send(v, 1);
+    ///         }
+    ///     }
+    /// }
+    ///
+    /// let ring = |cfg: Config| {
+    ///     let mut rt = Runtime::new(
+    ///         cfg,
+    ///         (0..32u32).map(|i| (i, Gossip)),
+    ///         (0..32u32).map(|i| (i, (i + 1) % 32)),
+    ///     );
+    ///     rt.run(8);
+    ///     rt.metrics().total_messages
+    /// };
+    ///
+    /// // `--threads 2`-style setup: a two-thread pool per runtime …
+    /// let parallel = ring(Config::seeded(7).threads(2));
+    /// // … is bit-identical to the sequential run.
+    /// assert_eq!(parallel, ring(Config::seeded(7)));
+    /// ```
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self.parallel = n != 1;
+        self
+    }
+
+    /// The thread count a runtime built from this config will actually use:
+    /// `1` when parallel execution is off, the detected available
+    /// parallelism when [`Config::threads`] is `0`, the configured count
+    /// otherwise.
+    pub fn effective_threads(&self) -> usize {
+        if !self.parallel {
+            1
+        } else if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
     }
 }
 
@@ -81,6 +149,12 @@ fn splitmix64(mut x: u64) -> u64 {
 /// topology's [`NodeSlot`] assignment; the id → slot map is consulted only
 /// at the membership boundary (join/leave/crash, id-keyed accessors) and at
 /// message delivery.
+///
+/// With [`Config::parallel`], the runtime owns a persistent
+/// [`crate::par::ThreadPool`] (created once, reused every round) that
+/// executes the emit phase of each [`Runtime::step`] in per-thread slot
+/// chunks; the apply phase stays slot-ordered on the driving thread, so
+/// results are bit-identical to sequential execution at any thread count.
 pub struct Runtime<P: Program> {
     cfg: Config,
     topo: Topology,
@@ -107,6 +181,10 @@ pub struct Runtime<P: Program> {
     /// Builds programs for hosts that join mid-run (registered by protocol
     /// runtime builders; required for spawning joins from faults/scenarios).
     spawner: Option<Box<dyn FnMut(NodeId) -> P + Send>>,
+    /// The persistent worker pool for parallel rounds; `None` runs
+    /// sequentially. Created once at construction (per [`Config`]) and
+    /// reused by every `step`, so parallel rounds spawn no threads.
+    pool: Option<ThreadPool>,
 }
 
 impl<P: Program> Runtime<P> {
@@ -127,6 +205,8 @@ impl<P: Program> Runtime<P> {
             .collect();
         let n = ids.len();
         let metrics = RunMetrics::new(topo.max_degree());
+        let threads = cfg.effective_threads();
+        let pool = (threads > 1).then(|| ThreadPool::new(threads));
         Self {
             cfg,
             topo,
@@ -140,7 +220,14 @@ impl<P: Program> Runtime<P> {
             round: 0,
             metrics,
             spawner: None,
+            pool,
         }
+    }
+
+    /// Number of threads executing each round's emit phase (`1` when
+    /// sequential).
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, ThreadPool::threads)
     }
 
     /// Register the factory that builds programs for hosts joining mid-run
@@ -227,7 +314,11 @@ impl<P: Program> Runtime<P> {
     /// Execute one synchronous round. Steady-state rounds perform no heap
     /// allocation: action scratch and both inbox buffers are recycled, and
     /// validation happens at emit time against the round-start snapshot
-    /// (no intermediate validity tables).
+    /// (no intermediate validity tables). In parallel mode the emit phase
+    /// runs chunked on the runtime's persistent pool (still allocation- and
+    /// spawn-free — workers are woken, not created); the apply phase is
+    /// always slot-ordered on this thread, which is why results never
+    /// depend on the thread count.
     pub fn step(&mut self) {
         // Phase 1: deliver inboxes and run every live program against the
         // round-start topology snapshot. Illegal sends/links are rejected at
@@ -237,9 +328,10 @@ impl<P: Program> Runtime<P> {
         let topo = &self.topo;
         let inboxes = &self.inboxes;
 
-        // This zip walks the full storage width (peak membership) because
-        // the slot-parallel arrays are what rayon can split; free slots cost
-        // one branch each. Everything after phase 1 walks live members only.
+        // This walk covers the full storage width (peak membership) because
+        // the slot-parallel arrays are what the pool splits into contiguous
+        // per-thread chunks; free slots cost one branch each. Everything
+        // after phase 1 walks live members only.
         let run_one =
             |i: usize, prog: &mut Option<P>, rng: &mut SmallRng, acts: &mut Actions<P::Msg>| {
                 let Some(prog) = prog.as_mut() else { return };
@@ -260,13 +352,19 @@ impl<P: Program> Runtime<P> {
                 prog.step(&mut ctx);
             };
 
-        if self.cfg.parallel {
-            self.programs
-                .par_iter_mut()
-                .zip(self.rngs.par_iter_mut())
-                .zip(self.scratch.par_iter_mut())
-                .enumerate()
-                .for_each(|(i, ((prog, rng), acts))| run_one(i, prog, rng, acts));
+        if let Some(pool) = &self.pool {
+            // Emit in parallel: reads go only to the shared round-start
+            // snapshot (`topo`, `inboxes`), writes go only to the thread's
+            // own slots, so any schedule produces the same per-slot scratch
+            // and the slot-ordered apply phase below makes the whole round
+            // bit-identical to sequential execution.
+            par::for_each_mut3(
+                pool,
+                &mut self.programs,
+                &mut self.rngs,
+                &mut self.scratch,
+                run_one,
+            );
         } else {
             self.programs
                 .iter_mut()
@@ -381,8 +479,8 @@ impl<P: Program> Runtime<P> {
     /// The monitor observes the runtime *before* the first round (a runtime
     /// that already satisfies it executes 0 rounds) and after every round.
     ///
-    /// This is the generic driver that replaces the per-protocol
-    /// `stabilize` free functions; see [`crate::monitor`] for composition.
+    /// This is the one generic run-to-convergence driver, shared by every
+    /// protocol crate; see [`crate::monitor`] for composition.
     pub fn run_monitored(
         &mut self,
         monitor: &mut (impl Monitor<P> + ?Sized),
@@ -697,11 +795,8 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let run = |parallel: bool| {
-            let cfg = Config {
-                parallel,
-                ..Config::default()
-            };
+        let run = |threads: usize| {
+            let cfg = Config::default().threads(threads);
             let nodes = (0..64u32).map(|i| {
                 (
                     i,
@@ -712,10 +807,23 @@ mod tests {
                 )
             });
             let mut rt = Runtime::new(cfg, nodes, (0..63u32).map(|i| (i, i + 1)));
+            assert_eq!(rt.threads(), threads);
             rt.run(70);
             (rt.metrics().total_messages, rt.topology().edges())
         };
-        assert_eq!(run(false), run(true));
+        assert_eq!(run(1), run(2));
+        assert_eq!(run(1), run(4));
+    }
+
+    /// A strict-mode violation on a pool worker must surface on the driving
+    /// thread with its original message, exactly like in sequential mode.
+    #[test]
+    #[should_panic(expected = "illegal link")]
+    fn illegal_link_panics_identically_in_parallel_mode() {
+        let nodes = (0..8u32).map(|i| (i, Cheater));
+        let cfg = Config::default().threads(4);
+        let mut rt = Runtime::new(cfg, nodes, (0..7u32).map(|i| (i, i + 1)));
+        rt.step();
     }
 
     #[test]
@@ -869,11 +977,8 @@ mod tests {
 
     #[test]
     fn membership_preserves_parallel_equivalence() {
-        let run = |parallel: bool| {
-            let cfg = Config {
-                parallel,
-                ..Config::default()
-            };
+        let run = |threads: usize| {
+            let cfg = Config::default().threads(threads);
             let nodes = (0..16u32).map(|i| {
                 (
                     i,
@@ -890,6 +995,7 @@ mod tests {
             rt.run(30);
             (rt.metrics().total_messages, rt.topology().edges())
         };
-        assert_eq!(run(false), run(true));
+        assert_eq!(run(1), run(2));
+        assert_eq!(run(1), run(3));
     }
 }

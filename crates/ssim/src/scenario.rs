@@ -6,10 +6,11 @@
 //!
 //! This is the workload layer the paper motivates ("overlay networks operate
 //! in fragile environments where faults that perturb the logical network
-//! topology are commonplace"): instead of each example hand-rolling
-//! `inject(..); stabilize(..)` loops, a scenario states the perturbation
-//! schedule once and any protocol/monitor pair can replay it
-//! deterministically.
+//! topology are commonplace"): instead of each example hand-rolling its own
+//! inject-then-drive loop, a scenario states the perturbation schedule once
+//! and any protocol/monitor pair can replay it deterministically — including
+//! across thread counts, since parallel round execution is bit-identical to
+//! sequential (see [`crate::Config::parallel`]).
 
 use crate::fault::{inject, Fault};
 use crate::monitor::{Monitor, RunVerdict, Verdict};

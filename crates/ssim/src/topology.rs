@@ -23,7 +23,11 @@ use std::collections::HashMap;
 ///
 /// Slots are the engine's dense index space: the runtime's per-node storage
 /// (programs, RNGs, inboxes, action scratch) is addressed by slot, and only
-/// the membership boundary translates ids to slots.
+/// the membership boundary translates ids to slots. Slot order is also the
+/// engine's canonical *determinism order* — parallel rounds split the slot
+/// range into per-thread chunks for the emit phase and apply the resulting
+/// actions in ascending slot order, which is what makes thread count
+/// invisible in the results.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeSlot(u32);
 

@@ -40,9 +40,13 @@ impl Program for Mixer {
 }
 
 fn ring_runtime(n: u32, seed: u64) -> Runtime<Mixer> {
+    ring_runtime_threads(n, seed, 1)
+}
+
+fn ring_runtime_threads(n: u32, seed: u64, threads: usize) -> Runtime<Mixer> {
     let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
     Runtime::new(
-        Config::seeded(seed),
+        Config::seeded(seed).threads(threads),
         (0..n).map(|i| (i, Mixer::default())),
         edges,
     )
@@ -53,7 +57,20 @@ fn ring_runtime(n: u32, seed: u64) -> Runtime<Mixer> {
 /// one seeded RNG, checking topology invariants after every event. Returns
 /// the run's metrics as JSON (bit-identical across replays).
 fn churn_storm(n: u32, events: usize, seed: u64, check_each: bool) -> String {
-    let mut rt = ring_runtime(n, seed);
+    churn_storm_threads(n, events, seed, check_each, 1)
+}
+
+/// [`churn_storm`] on a pool of `threads` round-execution threads — the
+/// parallel/sequential equivalence harness: the metrics JSON must be
+/// byte-for-byte the same at any thread count.
+fn churn_storm_threads(
+    n: u32,
+    events: usize,
+    seed: u64,
+    check_each: bool,
+    threads: usize,
+) -> String {
+    let mut rt = ring_runtime_threads(n, seed, threads);
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1CE);
     let mut next_fresh = n; // ids ≥ n are fresh joiners
     for e in 0..events {
@@ -115,6 +132,24 @@ fn hundreds_of_events_keep_invariants_and_stay_deterministic() {
     }
 }
 
+/// Parallel/sequential equivalence under churn: a 300-event storm must
+/// produce byte-identical metrics JSON on 1, 2, and 4 round-execution
+/// threads — membership events resize the slot arrays mid-run, so this also
+/// pins the pool's chunking against a width that changes between rounds.
+#[test]
+fn storm_metrics_are_bit_identical_across_thread_counts() {
+    for seed in [3u64, 42] {
+        let sequential = churn_storm_threads(24, 300, seed, true, 1);
+        for threads in [2usize, 4] {
+            let parallel = churn_storm_threads(24, 300, seed, false, threads);
+            assert_eq!(
+                sequential, parallel,
+                "seed {seed}: {threads}-thread storm diverged from sequential"
+            );
+        }
+    }
+}
+
 proptest! {
     /// Property form: any seeded interleaving of join/leave/crash/edge
     /// faults replays to bit-identical metrics, with invariants (including
@@ -124,6 +159,20 @@ proptest! {
         let a = churn_storm(n, 60, seed, true);
         let b = churn_storm(n, 60, seed, false);
         prop_assert_eq!(a, b);
+    }
+
+    /// Property form of parallel equivalence: any seeded churn interleaving,
+    /// at any sampled network size and thread count, replays to the same
+    /// metrics JSON as its sequential run.
+    #[test]
+    fn churn_interleavings_are_thread_count_invariant(
+        seed in 0u64..3000,
+        n in 8u32..32,
+        threads in 2usize..5,
+    ) {
+        let sequential = churn_storm_threads(n, 60, seed, false, 1);
+        let parallel = churn_storm_threads(n, 60, seed, true, threads);
+        prop_assert_eq!(sequential, parallel);
     }
 
     /// Slot recycling: after a leave, a re-join of the same host lands in

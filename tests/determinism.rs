@@ -1,6 +1,7 @@
-//! Determinism and parallel-equivalence of the full protocol stack: the
-//! rayon-parallel round execution must be bit-identical to sequential
-//! execution, and identical seeds must reproduce identical runs.
+//! Determinism and parallel-equivalence of the full protocol stack:
+//! thread-pool round execution (`ssim::par`) must be bit-identical to
+//! sequential execution at every thread count, and identical seeds must
+//! reproduce identical runs.
 
 use chord_scaffolding::chord::{self, ChordTarget};
 use chord_scaffolding::sim::{init::Shape, Config};
@@ -19,16 +20,17 @@ fn fingerprint(
 fn parallel_execution_matches_sequential() {
     let n = 128u32;
     let hosts = 12usize;
-    let run = |parallel: bool| {
+    let run = |threads: usize| {
         let target = ChordTarget::classic(n);
-        let mut cfg = Config::seeded(0xD00D);
-        cfg.parallel = parallel;
+        let mut cfg = Config::seeded(0xD00D).threads(threads);
         cfg.record_rounds = false;
         let mut rt = chord::runtime_from_shape(target, hosts, Shape::Random, cfg);
         rt.run(1500);
         fingerprint(&rt)
     };
-    assert_eq!(run(false), run(true));
+    let sequential = run(1);
+    assert_eq!(sequential, run(2));
+    assert_eq!(sequential, run(4));
 }
 
 #[test]
