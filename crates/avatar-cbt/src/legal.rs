@@ -86,8 +86,15 @@ pub fn runtime(
         .map(|&v| (v, CbtProgram::new(v, n, join_nonce(seed, v))));
     // Hosts joining mid-run (scenario churn) boot exactly like constructed
     // hosts: fresh singleton clusters with the seed-derived nonce.
-    Runtime::new(cfg, nodes, edges)
-        .with_spawner(move |v| CbtProgram::new(v, n, join_nonce(seed, v)))
+    let mut rt = Runtime::new(cfg, nodes, edges)
+        .with_spawner(move |v| CbtProgram::new(v, n, join_nonce(seed, v)));
+    // Debug builds continuously audit the quiescence contract: if an
+    // equivalence-claiming scheduler ever skips a host whose step is not a
+    // no-op, the run panics (see `Runtime::enable_shadow_check`).
+    if cfg!(debug_assertions) {
+        rt.enable_shadow_check();
+    }
+    rt
 }
 
 fn join_nonce(seed: u64, v: NodeId) -> u64 {

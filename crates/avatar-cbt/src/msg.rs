@@ -38,6 +38,12 @@ pub enum WalkKind {
 pub enum CbtMsg {
     /// Per-round state exchange.
     Beacon(Beacon),
+    /// Quiesce wave (standalone Avatar(CBT) runs only, see
+    /// [`crate::protocol::CbtCore::sleep_on_clean`]): the cluster root
+    /// observed a fully clean feedback wave — the scaffold is built — and
+    /// orders its subtree to stop beaconing and go dormant until a message
+    /// or a neighborhood change wakes it.
+    Sleep,
     /// Role poll, propagated root-to-leaves down the host tree.
     Poll {
         /// Epoch of the poll.

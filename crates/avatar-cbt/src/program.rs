@@ -17,10 +17,15 @@ pub struct CbtProgram {
 }
 
 impl CbtProgram {
-    /// A host starting as a singleton cluster.
+    /// A host starting as a singleton cluster. Standalone hosts opt into
+    /// the quiesce wave ([`CbtCore::sleep_on_clean`]): once the root
+    /// observes the network clean, the whole (legal) network goes dormant
+    /// and costs nothing under activity-driven scheduling.
     pub fn new(id: NodeId, n: u32, nonce: u64) -> Self {
+        let mut core = CbtCore::new(id, n, nonce);
+        core.sleep_on_clean = true;
         Self {
-            core: CbtCore::new(id, n, nonce),
+            core,
             last_events: StepEvents::default(),
         }
     }
@@ -35,7 +40,11 @@ impl Program for CbtProgram {
         self.last_events = self.core.step(&mut io, &inbox);
     }
 
+    /// The engine's quiescence contract: only a *dormant* host (asleep via
+    /// the quiesce wave, grace drained, neighbor baseline cached) has a
+    /// guaranteed-no-op next step. An awake host beacons every round even
+    /// when its cluster looks clean, so it must keep being scheduled.
     fn is_quiescent(&self) -> bool {
-        self.core.scratch.observed_clean
+        self.core.is_dormant()
     }
 }

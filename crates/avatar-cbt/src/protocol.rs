@@ -47,9 +47,34 @@ pub struct CbtCore {
     pub resets: u64,
     /// Number of merges committed (statistic).
     pub merges: u64,
-    /// Suppress beacon traffic (used by the scaffolding layer once the
-    /// target network is complete — the network is then *silent*).
+    /// Suppress beacon traffic (set while dormant; the network is then
+    /// *silent*).
     pub beacons_enabled: bool,
+    /// Opt into the quiesce wave: when the root observes a fully clean
+    /// feedback wave it broadcasts [`CbtMsg::Sleep`] down the host tree and
+    /// the whole (now legal) network goes dormant — no beacons, no epoch
+    /// machinery — until a message or a neighborhood change wakes it.
+    /// Standalone Avatar(CBT) runs enable this
+    /// ([`crate::CbtProgram::new`] does); the scaffolding layer keeps it
+    /// off because it has its own CBT→CHORD phase switch at cleanliness.
+    pub sleep_on_clean: bool,
+    /// Dormant flag (see [`CbtCore::sleep_on_clean`]). While set, `step`
+    /// is a no-op apart from the wake checks, so dormant hosts satisfy the
+    /// engine's quiescence contract and activity-driven scheduling skips
+    /// them entirely.
+    pub asleep: bool,
+    /// Rounds of residual traffic still tolerated while falling asleep
+    /// (the Sleep wave needs a tree descent before the last beacons drain).
+    pub sleep_grace: u8,
+    /// Neighbor list cached at sleep time; any deviation is a wake-up.
+    pub sleep_neighbors: Option<Vec<NodeId>>,
+    /// Rounds after a wake-up during which beacon lookups are
+    /// stale-tolerant: sleeping neighbors' states are frozen, so their last
+    /// beacons are still accurate while everyone re-awakens and resumes
+    /// beaconing.
+    pub stale_grace: u8,
+    /// Number of times this host fell asleep (statistic).
+    pub sleeps: u64,
 }
 
 impl CbtCore {
@@ -67,6 +92,12 @@ impl CbtCore {
             resets: 0,
             merges: 0,
             beacons_enabled: true,
+            sleep_on_clean: false,
+            asleep: false,
+            sleep_grace: 0,
+            sleep_neighbors: None,
+            stale_grace: 0,
+            sleeps: 0,
         }
     }
 
@@ -93,12 +124,87 @@ impl CbtCore {
         self.scratch = Scratch::new(self.scratch.epoch);
         self.grace = 3;
         self.resets += 1;
+        // A reset host is wide awake and beaconing.
+        self.asleep = false;
+        self.sleep_neighbors = None;
+        self.beacons_enabled = true;
+        self.stale_grace = 0;
+    }
+
+    /// True iff the host is dormant with the grace window drained and the
+    /// neighbor baseline cached — i.e. its next `step` is a guaranteed
+    /// no-op absent external input (the engine's quiescence contract).
+    pub fn is_dormant(&self) -> bool {
+        self.asleep && self.sleep_grace == 0 && self.sleep_neighbors.is_some()
+    }
+
+    /// Enter the dormant state and propagate the Sleep wave.
+    ///
+    /// The wave floods over **all** incident edges, not just tree children:
+    /// a node must fall asleep within one round of its first sleeping
+    /// neighbor or its detector would see that neighbor's beacons go stale
+    /// (TTL 3) before a tree-path descent reaches it — non-tree neighbors
+    /// (the successor line, range-crossing edges) would reset and wake the
+    /// whole network again. Flooding keeps the gap at one round, strictly
+    /// inside the TTL.
+    fn begin_sleep(&mut self, io: &mut impl NetIo, neighbors: &[NodeId]) {
+        for &v in neighbors {
+            io.send(v, CbtMsg::Sleep);
+        }
+        self.asleep = true;
+        self.beacons_enabled = false;
+        // Neighbor baseline is cached on the next step. Residual traffic
+        // keeps arriving until the wave has flooded the whole network and
+        // the last beacons have drained — tolerate it for a grace window.
+        self.sleep_neighbors = None;
+        self.sleep_grace = (2 * (self.sched.height() + 1) + 8).min(u8::MAX as u64) as u8;
+        self.sleeps += 1;
+    }
+
+    /// Leave the dormant state: resume beaconing and, for a few rounds,
+    /// trust stale beacons — sleeping neighbors' cluster states are frozen,
+    /// so their last beacons are accurate while the wake-up ripples out and
+    /// fresh beacons return.
+    fn wake(&mut self) {
+        self.asleep = false;
+        self.beacons_enabled = true;
+        self.sleep_neighbors = None;
+        self.sleep_grace = 0;
+        self.stale_grace = 6;
+        self.grace = self.grace.max(2);
     }
 
     /// Execute one synchronous round.
     pub fn step(&mut self, io: &mut impl NetIo, inbox: &[(NodeId, CbtMsg)]) -> StepEvents {
         let mut ev = StepEvents::default();
         let round = io.round();
+
+        // ---- Dormant fast path (standalone runs after the quiesce wave):
+        // wake on any neighborhood change or, once the fall-asleep grace
+        // has drained, on any message; otherwise the step is a strict
+        // no-op — no scratch wipes, no beacons, no PRNG draws — so a
+        // dormant network costs nothing under activity-driven scheduling.
+        if self.asleep {
+            let neighbors = io.neighbors();
+            match &self.sleep_neighbors {
+                None => self.sleep_neighbors = Some(neighbors.to_vec()),
+                Some(cache) => {
+                    if cache.as_slice() != neighbors {
+                        self.wake();
+                        return ev; // resume the full protocol next round
+                    }
+                }
+            }
+            if self.sleep_grace > 0 {
+                self.sleep_grace -= 1;
+                return ev; // residual traffic of the descending wave
+            }
+            if !inbox.is_empty() {
+                self.wake();
+            }
+            return ev;
+        }
+        self.stale_grace = self.stale_grace.saturating_sub(1);
         let (epoch, offset) = self.sched.locate(round);
 
         // ---- Epoch boundary: wipe scratch. Note that the protocol never
@@ -120,16 +226,32 @@ impl CbtCore {
         self.view.retain_neighbors(&neighbors);
 
         // ---- Local fault detection (every round, grace-gated extras rule).
-        let fault = detector::check(
-            self.id,
-            self.n,
-            &self.cbt,
-            &self.core,
-            &self.view,
-            round,
-            &neighbors,
-            self.grace > 0,
-        );
+        // Shortly after a wake-up the freshness rule is relaxed: still-
+        // sleeping neighbors' last beacons describe frozen state and remain
+        // trustworthy until the wake ripple restores live beaconing.
+        let fault = if self.stale_grace > 0 {
+            detector::check_stale_tolerant(
+                self.id,
+                self.n,
+                &self.cbt,
+                &self.core,
+                &self.view,
+                round,
+                &neighbors,
+                self.grace > 0,
+            )
+        } else {
+            detector::check(
+                self.id,
+                self.n,
+                &self.cbt,
+                &self.core,
+                &self.view,
+                round,
+                &neighbors,
+                self.grace > 0,
+            )
+        };
         self.grace = self.grace.saturating_sub(1);
         if fault.is_some() {
             self.reset(io);
@@ -208,6 +330,15 @@ impl CbtCore {
         let round = io.round();
         match m {
             CbtMsg::Beacon(_) => {} // ingested earlier
+            CbtMsg::Sleep => {
+                // Quiesce order from my (clean) parent. Only meaningful in
+                // standalone runs, and never while a merge is in flight —
+                // a clean cluster has none, so a Sleep that arrives mid-
+                // merge is stale and dropped.
+                if self.sleep_on_clean && !self.asleep && self.scratch.merge.is_none() {
+                    self.begin_sleep(io, neighbors);
+                }
+            }
             CbtMsg::Poll { epoch: e, role } => {
                 if *e == epoch && self.scratch.role.is_none() {
                     self.scratch.role = Some(*role);
@@ -375,6 +506,12 @@ impl CbtCore {
             if clean {
                 self.scratch.observed_clean = true;
                 ev.cluster_clean = true;
+                // Standalone runs: the scaffold is built and the network is
+                // legal — quiesce it. (The scaffolding layer reacts to
+                // `cluster_clean` with its own CBT→CHORD switch instead.)
+                if self.sleep_on_clean && !self.asleep {
+                    self.begin_sleep(io, neighbors);
+                }
             }
             if self.scratch.role == Some(Role::Follower) {
                 self.scratch.cand_child = if self.scratch.self_candidate {

@@ -80,6 +80,13 @@ impl Program for LinearProgram {
     type Msg = LinMsg;
 
     fn step(&mut self, ctx: &mut Ctx<'_, LinMsg>) {
+        // Quiescence contract: a host whose own walk is finished has no
+        // round-scheduled work left — with an empty inbox its step is a
+        // strict no-op (it only ever acts again to extend someone else's
+        // walk, which arrives as a message and re-activates it).
+        if self.walk_done && ctx.inbox().is_empty() {
+            return;
+        }
         let me = ctx.id;
         let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
         let (pred, succ) = Self::pred_succ(me, &neighbors);

@@ -97,10 +97,33 @@ pub fn measure_churn_threads(
     seed: u64,
     threads: usize,
 ) -> ScenarioReport {
+    measure_churn_args(
+        n_guests,
+        hosts,
+        episodes,
+        seed,
+        &ExpArgs {
+            threads: Some(threads),
+            ..ExpArgs::default()
+        },
+    )
+}
+
+/// [`measure_churn`] honoring the shared experiment options: `--threads`
+/// (wall-clock only) and `--sched` (the daemon — which, unlike threads,
+/// may legitimately change the report: that is the point of sweeping it).
+pub fn measure_churn_args(
+    n_guests: u32,
+    hosts: usize,
+    episodes: usize,
+    seed: u64,
+    args: &ExpArgs,
+) -> ScenarioReport {
     let target = ChordTarget::classic(n_guests);
-    let mut cfg = Config::seeded(seed).threads(threads);
+    let mut cfg = args.config(Config::seeded(seed));
     cfg.record_rounds = false;
     let mut rt = chord_scaffold::runtime_from_shape(target, hosts, Shape::Random, cfg);
+    args.apply_sched(&mut rt, seed);
     let baseline = rt.run_monitored(&mut chord_scaffold::legality(), budget(n_guests, hosts));
     assert!(
         baseline.rounds_if_satisfied().is_some(),
@@ -176,6 +199,67 @@ pub fn legal_cbt_runtime(
     cfg.record_rounds = false;
     let mut rt = chord_scaffold::runtime(target, &ids, edges, cfg);
     install_legal_cbt_state(&mut rt, n_guests, &ids);
+    rt
+}
+
+/// Build a **standalone** Avatar(CBT) runtime already in the legal
+/// configuration: single cluster, correct responsible ranges, exactly the
+/// legal edge set. The E12d post-convergence fixture — from-scratch
+/// stabilization at 10k hosts takes hours (epochs-to-converge grows
+/// super-logarithmically in this implementation; E12c measures that at
+/// feasible sizes), while the post-convergence *window* E12d measures only
+/// needs a converged network, however obtained. The first epochs still run
+/// the real machinery: the root observes the clean feedback wave and the
+/// quiesce wave puts the network to sleep exactly as in a natural run.
+pub fn legal_cbt_standalone(
+    n_guests: u32,
+    hosts: usize,
+    seed: u64,
+) -> Runtime<avatar_cbt::CbtProgram> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
+    let ids = ssim::init::random_ids(hosts, n_guests, &mut rng);
+    let edges = avatar_cbt::legal::expected_edges(n_guests, &ids);
+    let mut cfg = Config::seeded(seed);
+    cfg.record_rounds = false;
+    let mut rt = avatar_cbt::legal::runtime(n_guests, &ids, edges, cfg);
+    let av = overlay::Avatar::new(n_guests, ids.iter().copied());
+    let min = *ids.iter().min().unwrap();
+    for &v in &ids {
+        let r = av.range_of(v);
+        rt.corrupt_node(v, |p| {
+            p.core.core.cid = 0xFEED_F00D;
+            p.core.core.range = (r.lo, r.hi);
+            p.core.core.cluster_min = min;
+        });
+    }
+    // Warm the beacon views: the detector demands *fresh* same-cluster
+    // beacons covering every crossing edge, and at round 0 no beacon has
+    // flowed yet — without this, every host fires MissingCover and the
+    // "legal" network resets itself to singletons on the spot. The
+    // installed beacons describe exactly the state real round-0 beacons
+    // will carry, so the warm-up is indistinguishable from having run one
+    // round earlier.
+    for &v in &ids {
+        let neighbors: Vec<ssim::NodeId> = rt.topology().neighbors(v).to_vec();
+        for u in neighbors {
+            let ru = av.range_of(u);
+            rt.corrupt_node(v, |p| {
+                p.core.view.record(
+                    u,
+                    0,
+                    avatar_cbt::Beacon {
+                        cid: 0xFEED_F00D,
+                        range: (ru.lo, ru.hi),
+                        cluster_min: min,
+                        role: None,
+                        epoch: 0,
+                    },
+                );
+            });
+        }
+    }
+    debug_assert!(avatar_cbt::runtime_is_legal(&rt));
     rt
 }
 
@@ -310,6 +394,10 @@ pub fn pulse_churn_event(rt: &mut Runtime<Pulse>, e: usize, stride: usize, fresh
 /// * `--threads N` (or `--threads=N`) — round-execution thread count for
 ///   experiments that build runtimes; `0` means available parallelism, `1`
 ///   sequential. Thread count never changes results, only wall-clock time;
+/// * `--sched SPEC` (or `--sched=SPEC`) — the daemon driving the rounds:
+///   `sync` (default), `activity`, `random:<p>`, or `rr:<k>` (see
+///   [`ssim::sched::from_spec`]). Unlike threads, the daemon may change
+///   results — that is the point of sweeping it;
 /// * other `--flags` — kept verbatim; experiments query them with
 ///   [`ExpArgs::flag`] (e.g. `exp_engine_scale --smoke`);
 /// * first numeric positional argument — override the seed/trial count
@@ -322,6 +410,8 @@ pub struct ExpArgs {
     pub count: Option<u64>,
     /// `--threads N`: round-execution thread count (see [`ExpArgs::config`]).
     pub threads: Option<usize>,
+    /// `--sched SPEC`: scheduler spec (see [`ExpArgs::scheduler`]).
+    pub sched: Option<String>,
     /// Remaining `--flag` arguments, for experiment-specific switches.
     pub flags: Vec<String>,
 }
@@ -337,6 +427,29 @@ impl ExpArgs {
         match self.threads {
             Some(t) => cfg.threads(t),
             None => cfg,
+        }
+    }
+
+    /// Build the `--sched` scheduler, seeding randomized daemons with
+    /// `seed`. `None` when the flag is absent (keep the runtime's default)
+    /// or unparseable (reported to stderr by [`exp_args`] parsing rules:
+    /// an invalid spec is kept verbatim and rejected here).
+    pub fn scheduler(&self, seed: u64) -> Option<Box<dyn ssim::sched::Scheduler>> {
+        let spec = self.sched.as_deref()?;
+        let s = ssim::sched::from_spec(spec, seed);
+        if s.is_none() {
+            eprintln!(
+                "--sched {spec:?} not recognized (want sync | activity | random:<p> | rr:<k>); \
+                 keeping the default scheduler"
+            );
+        }
+        s
+    }
+
+    /// Install the `--sched` scheduler (when given and valid) on a runtime.
+    pub fn apply_sched<P: ssim::Program>(&self, rt: &mut ssim::Runtime<P>, seed: u64) {
+        if let Some(s) = self.scheduler(seed) {
+            rt.set_scheduler(s);
         }
     }
 }
@@ -369,6 +482,16 @@ fn parse_exp_args(args: impl IntoIterator<Item = String>) -> ExpArgs {
                 Ok(t) => out.threads = Some(t),
                 Err(_) => eprintln!("--threads needs a numeric value (got {v:?}); ignoring"),
             }
+        } else if a == "--sched" {
+            match args.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    out.sched = Some(v.clone());
+                    args.next();
+                }
+                _ => eprintln!("--sched needs a value (e.g. --sched activity); ignoring"),
+            }
+        } else if let Some(v) = a.strip_prefix("--sched=") {
+            out.sched = Some(v.to_string());
         } else if let Some(flag) = a.strip_prefix("--") {
             out.flags.push(flag.to_string());
         } else if out.count.is_none() {
@@ -479,6 +602,29 @@ mod tests {
         let bad = args(&["--threads", "--json"]);
         assert!(bad.json && bad.threads.is_none());
         assert_eq!(args(&["--threads=x", "--json"]).threads, None);
+    }
+
+    #[test]
+    fn exp_args_parse_scheduler_spec() {
+        let args = |v: &[&str]| parse_exp_args(v.iter().map(|s| s.to_string()));
+        let a = args(&["--sched", "activity", "--json"]);
+        assert_eq!(a.sched.as_deref(), Some("activity"));
+        assert_eq!(a.scheduler(1).unwrap().name(), "activity-driven");
+        assert_eq!(
+            args(&["--sched=random:0.25"]).scheduler(7).unwrap().name(),
+            "random-subset"
+        );
+        assert!(
+            args(&[]).scheduler(1).is_none(),
+            "absent flag: keep default"
+        );
+        assert!(
+            args(&["--sched", "bogus"]).scheduler(1).is_none(),
+            "unknown spec rejected"
+        );
+        // A missing value must not eat the following flag.
+        let bad = args(&["--sched", "--json"]);
+        assert!(bad.json && bad.sched.is_none());
     }
 
     #[test]

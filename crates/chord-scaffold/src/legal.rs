@@ -98,8 +98,15 @@ pub fn runtime(
         .map(|&v| (v, ScaffoldProgram::new(v, target, join_nonce(seed, v))));
     // Hosts joining mid-run boot exactly like constructed hosts: CBT phase,
     // singleton cluster, seed-derived nonce.
-    Runtime::new(cfg, nodes, edges)
-        .with_spawner(move |v| ScaffoldProgram::new(v, target, join_nonce(seed, v)))
+    let mut rt = Runtime::new(cfg, nodes, edges)
+        .with_spawner(move |v| ScaffoldProgram::new(v, target, join_nonce(seed, v)));
+    // Debug builds continuously audit the quiescence contract (a settled
+    // DONE host's step must be a strict no-op) whenever an equivalence-
+    // claiming scheduler skips anyone.
+    if cfg!(debug_assertions) {
+        rt.enable_shadow_check();
+    }
+    rt
 }
 
 fn join_nonce(seed: u64, v: NodeId) -> u64 {

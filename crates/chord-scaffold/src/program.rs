@@ -60,7 +60,10 @@ impl<T: InductiveTarget> Program for ScaffoldProgram<T> {
         self.core.step(&mut io, &inbox);
     }
 
+    /// The engine's quiescence contract: only a *settled* DONE host (grace
+    /// drained, neighbor baseline cached) has a guaranteed-no-op next step;
+    /// see [`ScaffoldCore::is_settled`].
     fn is_quiescent(&self) -> bool {
-        self.core.phase == crate::msg::Phase::Done
+        self.core.is_settled()
     }
 }

@@ -156,6 +156,16 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
         self.cbt.id
     }
 
+    /// True iff the host is *settled* in the DONE phase: the post-wave
+    /// grace window has drained and the neighbor baseline is cached, so —
+    /// absent messages or topology changes — its next `step` is a strict
+    /// no-op. This is the engine's quiescence contract
+    /// ([`ssim::Program::is_quiescent`]): a freshly-DONE host still counts
+    /// down its grace window and must keep being scheduled.
+    pub fn is_settled(&self) -> bool {
+        self.phase == Phase::Done && self.done_grace == 0 && self.done_neighbors.is_some()
+    }
+
     /// Execute one synchronous round.
     pub fn step(&mut self, io: &mut impl ScafIo, inbox: &[(NodeId, ScafMsg)]) {
         let round = io.round();

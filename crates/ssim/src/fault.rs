@@ -69,15 +69,30 @@ pub enum Fault {
 /// Apply a fault to the runtime. Returns the number of changes made
 /// (edges touched, or members joined/departed).
 pub fn inject<P: Program>(rt: &mut Runtime<P>, fault: &Fault, rng: &mut impl Rng) -> usize {
+    inject_traced(rt, fault, rng, &mut Vec::new())
+}
+
+/// [`inject`], additionally appending the identifiers of every node the
+/// fault touched (edge endpoints, the joiner, the departed host) to
+/// `touched` — the per-node record scenario reports surface, and the basis
+/// on which an observer can reason about which nodes the runtime woke
+/// (every touched node is marked dirty by the runtime operation itself).
+/// Identifiers may repeat when several changes hit the same node.
+pub fn inject_traced<P: Program>(
+    rt: &mut Runtime<P>,
+    fault: &Fault,
+    rng: &mut impl Rng,
+    touched: &mut Vec<NodeId>,
+) -> usize {
     match *fault {
-        Fault::AddRandomEdges { count } => add_random_edges(rt, count, rng),
+        Fault::AddRandomEdges { count } => add_random_edges(rt, count, rng, touched),
         Fault::RemoveRandomEdges {
             count,
             keep_connected,
-        } => remove_random_edges(rt, count, keep_connected, rng),
+        } => remove_random_edges(rt, count, keep_connected, rng, touched),
         Fault::Rewire { count } => {
-            let removed = remove_random_edges(rt, count, true, rng);
-            let added = add_random_edges(rt, count, rng);
+            let removed = remove_random_edges(rt, count, true, rng, touched);
+            let added = add_random_edges(rt, count, rng, touched);
             removed + added
         }
         Fault::Join { id, attach } => {
@@ -108,10 +123,12 @@ pub fn inject<P: Program>(rt: &mut Runtime<P>, fault: &Fault, rng: &mut impl Rng
                 picks
             };
             rt.join_spawned(id, &picks);
+            touched.push(id);
+            touched.extend_from_slice(&picks);
             1
         }
-        Fault::Leave { id, keep_connected } => depart(rt, id, keep_connected, rng, false),
-        Fault::Crash { id, keep_connected } => depart(rt, id, keep_connected, rng, true),
+        Fault::Leave { id, keep_connected } => depart(rt, id, keep_connected, rng, false, touched),
+        Fault::Crash { id, keep_connected } => depart(rt, id, keep_connected, rng, true, touched),
     }
 }
 
@@ -121,17 +138,28 @@ fn depart<P: Program>(
     keep_connected: bool,
     rng: &mut impl Rng,
     crash: bool,
+    touched: &mut Vec<NodeId>,
 ) -> usize {
-    fn depart_one<P: Program>(rt: &mut Runtime<P>, v: NodeId, crash: bool) -> usize {
+    fn depart_one<P: Program>(
+        rt: &mut Runtime<P>,
+        v: NodeId,
+        crash: bool,
+        touched: &mut Vec<NodeId>,
+    ) -> usize {
         let removed = if crash { rt.crash(v) } else { rt.leave(v) };
-        usize::from(removed.is_some())
+        if removed.is_some() {
+            touched.push(v);
+            1
+        } else {
+            0
+        }
     }
     match id {
         Some(v) => {
             if keep_connected && !survivors_connected(rt, v) {
                 return 0;
             }
-            depart_one(rt, v, crash)
+            depart_one(rt, v, crash, touched)
         }
         // Unguarded random victim: one O(1) draw, no id-list copy/shuffle.
         None if !keep_connected => {
@@ -140,7 +168,7 @@ fn depart<P: Program>(
                 return 0;
             }
             let v = ids[rng.gen_range(0..ids.len())];
-            depart_one(rt, v, crash)
+            depart_one(rt, v, crash, touched)
         }
         // Connectivity-guarded random victim: candidates are tried in a
         // random order until one's departure keeps the survivors connected
@@ -152,7 +180,7 @@ fn depart<P: Program>(
                 if !survivors_connected(rt, v) {
                     continue;
                 }
-                if depart_one(rt, v, crash) == 1 {
+                if depart_one(rt, v, crash, touched) == 1 {
                     return 1;
                 }
             }
@@ -168,7 +196,12 @@ fn survivors_connected<P: Program>(rt: &Runtime<P>, v: NodeId) -> bool {
     t.is_connected()
 }
 
-fn add_random_edges<P: Program>(rt: &mut Runtime<P>, count: usize, rng: &mut impl Rng) -> usize {
+fn add_random_edges<P: Program>(
+    rt: &mut Runtime<P>,
+    count: usize,
+    rng: &mut impl Rng,
+    touched: &mut Vec<NodeId>,
+) -> usize {
     let ids = rt.ids().to_vec();
     if ids.len() < 2 {
         return 0;
@@ -180,6 +213,8 @@ fn add_random_edges<P: Program>(rt: &mut Runtime<P>, count: usize, rng: &mut imp
         let a = *ids.choose(rng).unwrap();
         let b = *ids.choose(rng).unwrap();
         if a != b && rt.adversarial_add_edge(a, b) {
+            touched.push(a);
+            touched.push(b);
             done += 1;
         }
     }
@@ -196,6 +231,7 @@ fn remove_random_edges<P: Program>(
     count: usize,
     keep_connected: bool,
     rng: &mut impl Rng,
+    touched: &mut Vec<NodeId>,
 ) -> usize {
     let mut done = 0;
     while done < count {
@@ -214,6 +250,8 @@ fn remove_random_edges<P: Program>(
                 rt.adversarial_add_edge(a, b);
                 continue;
             }
+            touched.push(a);
+            touched.push(b);
             done += 1;
         }
         if done == before_pass {
@@ -329,6 +367,44 @@ mod tests {
             assert!(rt.topology().is_connected());
         }
         assert_eq!(rt.metrics().leaves, 5);
+    }
+
+    #[test]
+    fn traced_injection_reports_touched_nodes() {
+        let mut rt = ring_runtime(8);
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut touched = Vec::new();
+        let n = inject_traced(
+            &mut rt,
+            &Fault::AddRandomEdges { count: 3 },
+            &mut rng,
+            &mut touched,
+        );
+        assert_eq!(n, 3);
+        assert_eq!(touched.len(), 6, "two endpoints per added edge");
+        assert!(touched.iter().all(|v| rt.topology().contains(*v)));
+
+        touched.clear();
+        inject_traced(
+            &mut rt,
+            &Fault::Join { id: 50, attach: 2 },
+            &mut rng,
+            &mut touched,
+        );
+        assert_eq!(touched[0], 50, "joiner first, then its contacts");
+        assert_eq!(touched.len(), 3);
+
+        touched.clear();
+        inject_traced(
+            &mut rt,
+            &Fault::Crash {
+                id: Some(3),
+                keep_connected: false,
+            },
+            &mut rng,
+            &mut touched,
+        );
+        assert_eq!(touched, vec![3]);
     }
 
     #[test]

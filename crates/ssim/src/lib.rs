@@ -21,10 +21,15 @@
 //!   "fragile environment" churn the paper motivates is a first-class,
 //!   schedulable perturbation.
 //! * **Drivers**: runs are steered by [`monitor`] observers (legality,
-//!   quiescence, degree/message budgets, composable with
+//!   quiescence, degree/message/activation budgets, composable with
 //!   [`monitor::all_of`]) via [`Runtime::run_monitored`], and perturbation
 //!   schedules are declared as [`scenario`]s producing JSON-serializable
 //!   reports.
+//! * **Daemons**: which nodes step each round is a pluggable [`sched`]
+//!   scheduler — the paper's synchronous daemon by default, plus
+//!   randomized and adversarial activation for weaker-daemon stress, and
+//!   the dirty-set-driven [`sched::ActivityDriven`] daemon that makes
+//!   post-convergence rounds O(activity) instead of O(n).
 //!
 //! Node programs implement [`Program`]; per-round execution of independent
 //! node programs is data-parallel on an `std::thread` worker pool (see
@@ -55,6 +60,7 @@ pub mod par;
 pub mod program;
 pub mod runtime;
 pub mod scenario;
+pub mod sched;
 pub mod topology;
 
 pub use fault::Fault;
@@ -63,6 +69,7 @@ pub use monitor::{Monitor, MonitorExt, MonitorOutcome, RunVerdict, Verdict};
 pub use program::{Actions, Ctx, Program};
 pub use runtime::{Config, Runtime};
 pub use scenario::{Event, Scenario, ScenarioReport};
+pub use sched::{ActivityDriven, Adversarial, RandomSubset, SchedView, Scheduler, Synchronous};
 pub use topology::{NodeSlot, Topology};
 
 /// Identifier of a (host) node. Drawn from `[0, N)` for guest capacity `N`.

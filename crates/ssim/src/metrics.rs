@@ -22,6 +22,14 @@ pub struct RoundMetrics {
     pub max_degree: usize,
     /// Total edges after the round.
     pub total_edges: usize,
+    /// Nodes activated (stepped) this round — the scheduler's selection
+    /// size. Equals the live node count under the synchronous daemon; the
+    /// whole point of [`crate::sched::ActivityDriven`] is to drive this to
+    /// zero after convergence.
+    pub active_nodes: u64,
+    /// Live nodes reporting [`crate::Program::is_quiescent`] after the
+    /// round (tracked incrementally; recorded under every scheduler).
+    pub quiescent_nodes: u64,
 }
 
 /// Aggregated metrics of a run.
@@ -42,6 +50,11 @@ pub struct RunMetrics {
     pub total_violations: u64,
     /// Number of completed rounds.
     pub rounds_executed: u64,
+    /// Total `step()` activations across all rounds (sum of
+    /// [`RoundMetrics::active_nodes`]). Under the synchronous daemon this is
+    /// `Σ live(round)`; activity-driven runs spend strictly less after
+    /// convergence — the ratio is the scheduler subsystem's headline metric.
+    pub total_activations: u64,
     /// Hosts that joined mid-run (dynamic membership).
     pub joins: u64,
     /// Hosts that left gracefully mid-run.
@@ -69,6 +82,7 @@ impl RunMetrics {
         self.total_violations += row.violations;
         self.peak_degree = self.peak_degree.max(row.max_degree);
         self.rounds_executed += 1;
+        self.total_activations += row.active_nodes;
         if record {
             self.per_round.push(row);
         }

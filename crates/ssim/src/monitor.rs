@@ -148,12 +148,15 @@ where
     }
 }
 
-/// Goal: the network is silent (no messages in flight) and every program
+/// Goal: the network is silent (no messages pending) and every program
 /// reports itself quiescent. In a self-stabilizing protocol this is the
-/// paper's "silent network" condition.
+/// paper's "silent network" condition. O(1) per observation: both the
+/// pending-message count and the quiescent-node count are tracked
+/// incrementally by the runtime (the latter via the scheduler subsystem's
+/// dirty-set bookkeeping), so this no longer scans every program.
 pub fn quiescence<P: Program>() -> Goal<impl FnMut(&Runtime<P>) -> bool> {
     goal("quiescence", |rt: &Runtime<P>| {
-        rt.is_silent() && rt.programs().all(|(_, p)| p.is_quiescent())
+        rt.is_silent() && rt.all_quiescent()
     })
 }
 
@@ -191,6 +194,38 @@ impl<P: Program> Monitor<P> for PeakDegree {
 
     fn name(&self) -> &str {
         "peak-degree"
+    }
+}
+
+/// Invariant: total `step()` activations stay within `max` — the
+/// scheduler-subsystem budget guardrail. Under the synchronous daemon this
+/// is `Σ live(round)` and mostly bounds run length; under
+/// [`crate::sched::ActivityDriven`] it bounds actual *work*, so an
+/// experiment can assert a converged network stays cheap (e.g. "re-absorb
+/// this churn within 50k activations").
+pub struct ActivationBudget {
+    max: u64,
+}
+
+impl ActivationBudget {
+    /// Allow at most `max` total activations.
+    pub fn at_most(max: u64) -> Self {
+        Self { max }
+    }
+}
+
+impl<P: Program> Monitor<P> for ActivationBudget {
+    fn observe(&mut self, rt: &Runtime<P>) -> Verdict {
+        let spent = rt.metrics().total_activations;
+        if spent <= self.max {
+            Verdict::Satisfied
+        } else {
+            Verdict::Violated(format!("activations {spent} exceed budget {}", self.max))
+        }
+    }
+
+    fn name(&self) -> &str {
+        "activation-budget"
     }
 }
 

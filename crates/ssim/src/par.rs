@@ -290,9 +290,73 @@ where
     });
 }
 
+/// Run `f(sel[k].index(), &mut a[i], &mut b[i], &mut c[i])` for every slot
+/// in `sel`, splitting the *selection* (not the storage) into one
+/// contiguous chunk per pool thread — the scheduler-aware sibling of
+/// [`for_each_mut3`]: only selected slots pay, however sparse the
+/// selection. Chunk boundaries depend only on `sel.len()` and the thread
+/// count, and threads gather disjoint elements, so results are
+/// deterministic for any interleaving; the surfaced panic (if any) is the
+/// one sequential execution of the selection in order would raise, by the
+/// same lowest-thread argument as [`for_each_mut3`].
+///
+/// # Panics
+/// Panics if the slices differ in length, and re-raises the first panic
+/// from `f` (after all threads finish).
+///
+/// The caller must guarantee `sel` contains **distinct** indices, each
+/// below the slice length — the runtime's selection sanitizer establishes
+/// this; it is re-checked with a debug assertion here.
+pub fn for_each_selected_mut3<A, B, C, F>(
+    pool: &ThreadPool,
+    sel: &[crate::topology::NodeSlot],
+    a: &mut [A],
+    b: &mut [B],
+    c: &mut [C],
+    f: F,
+) where
+    A: Send,
+    B: Send,
+    C: Send,
+    F: Fn(usize, &mut A, &mut B, &mut C) + Sync,
+{
+    let len = a.len();
+    assert_eq!(len, b.len(), "for_each_selected_mut3: slice lengths differ");
+    assert_eq!(len, c.len(), "for_each_selected_mut3: slice lengths differ");
+    #[cfg(debug_assertions)]
+    {
+        let mut seen = vec![false; len];
+        for s in sel {
+            assert!(s.index() < len, "selection index out of bounds");
+            assert!(!seen[s.index()], "duplicate slot in selection");
+            seen[s.index()] = true;
+        }
+    }
+    let threads = pool.threads();
+    let chunk = sel.len().div_ceil(threads).max(1);
+    let (pa, pb, pc) = (
+        SendPtr(a.as_mut_ptr()),
+        SendPtr(b.as_mut_ptr()),
+        SendPtr(c.as_mut_ptr()),
+    );
+    pool.broadcast(&move |t| {
+        let lo = (t * chunk).min(sel.len());
+        let hi = ((t + 1) * chunk).min(sel.len());
+        for s in &sel[lo..hi] {
+            let i = s.index();
+            // SAFETY: `sel` holds distinct in-bounds indices (caller
+            // contract, debug-asserted above) and threads own disjoint
+            // selection ranges, so each `&mut` is unique; `broadcast`
+            // guarantees the slices outlive every access.
+            unsafe { f(i, &mut *pa.at(i), &mut *pb.at(i), &mut *pc.at(i)) }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::NodeSlot;
 
     #[test]
     fn broadcast_runs_every_index_once() {
@@ -357,6 +421,34 @@ mod tests {
         let ok = Mutex::new(0u32);
         pool.broadcast(&|_| *ok.lock().unwrap() += 1);
         assert_eq!(*ok.lock().unwrap(), 3);
+    }
+
+    #[test]
+    fn for_each_selected_mut3_touches_exactly_the_selection() {
+        for threads in 1..=5 {
+            let pool = ThreadPool::new(threads);
+            let mut a = vec![0u32; 16];
+            let mut b = vec![0u64; 16];
+            let mut c = vec![0u8; 16];
+            let sel: Vec<NodeSlot> = [3usize, 7, 1, 12]
+                .iter()
+                .map(|&i| NodeSlot::new(i))
+                .collect();
+            for_each_selected_mut3(&pool, &sel, &mut a, &mut b, &mut c, |i, x, y, z| {
+                *x = i as u32 + 1;
+                *y += 2;
+                *z += 3;
+            });
+            for i in 0..16 {
+                let selected = [3, 7, 1, 12].contains(&i);
+                assert_eq!(a[i] != 0, selected, "threads {threads}, slot {i}");
+                assert_eq!(b[i], if selected { 2 } else { 0 });
+            }
+            // Empty selection is a no-op (and must not panic on chunk math).
+            for_each_selected_mut3(&pool, &[], &mut a, &mut b, &mut c, |_, _, _, _| {
+                unreachable!("empty selection must not run the body")
+            });
+        }
     }
 
     /// When several threads panic in one broadcast, the surfaced payload is

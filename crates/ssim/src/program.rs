@@ -15,9 +15,26 @@ pub trait Program: Send {
     /// actions through `ctx`.
     fn step(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
 
-    /// Whether the node considers itself quiescent (purely informational; the
-    /// runtime never acts on it — legality is judged by external monitors as
-    /// in the paper's global legal-configuration predicate).
+    /// Whether the node has no pending work of its own — the **quiescence
+    /// contract** of the scheduler subsystem (see [`crate::sched`]).
+    ///
+    /// Returning `true` is a promise: *given an empty inbox and an unchanged
+    /// neighborhood, my next `step` is a no-op* — no sends, no links or
+    /// unlinks, no PRNG draws, no wake-up requests, and `is_quiescent`
+    /// stays `true`. The runtime acts on this: the
+    /// [`crate::sched::ActivityDriven`] scheduler skips quiescent nodes
+    /// that nothing external has touched, and the per-round quiescent count
+    /// is recorded in [`crate::RoundMetrics`] under every scheduler
+    /// (including the default [`crate::sched::Synchronous`], where it is
+    /// purely observational). Legality is still judged by external
+    /// [`crate::monitor`]s, as in the paper's global legal-configuration
+    /// predicate — quiescence is about *activity*, not correctness.
+    ///
+    /// A program with periodic work (beacons, timeouts) must either return
+    /// `false` while that work is pending or request re-activation with
+    /// [`Ctx::wake_me_in`]. Violations of the contract are caught in debug
+    /// runs by the runtime's shadow-step check
+    /// ([`crate::Runtime::enable_shadow_check`]).
     fn is_quiescent(&self) -> bool {
         false
     }
@@ -46,6 +63,15 @@ pub struct Actions<M> {
     /// Model violations the node attempted this round (lenient mode only;
     /// strict mode panics at the attempt).
     pub violations: u64,
+    /// Smallest wake-up delay requested via [`Ctx::wake_me_in`] this round,
+    /// if any. Consumed by the runtime's timer wheel: the node is
+    /// re-activated (under any scheduler that honors the dirty set) after
+    /// that many rounds even if nothing else touches it.
+    pub wake_in: Option<u64>,
+    /// Whether the program reported itself quiescent immediately after this
+    /// step (recorded by the runtime for the dirty set and the per-round
+    /// quiescent count; not program-writable).
+    pub quiescent: bool,
 }
 
 impl<M> Default for Actions<M> {
@@ -55,6 +81,8 @@ impl<M> Default for Actions<M> {
             links: Vec::new(),
             unlinks: Vec::new(),
             violations: 0,
+            wake_in: None,
+            quiescent: false,
         }
     }
 }
@@ -66,6 +94,8 @@ impl<M> Actions<M> {
         self.links.clear();
         self.unlinks.clear();
         self.violations = 0;
+        self.wake_in = None;
+        self.quiescent = false;
     }
 }
 
@@ -166,5 +196,19 @@ impl<'a, M> Ctx<'a, M> {
     /// Delete the incident edge `(self, v)` (unilateral, per the model).
     pub fn unlink(&mut self, v: NodeId) {
         self.actions.unlinks.push(v);
+    }
+
+    /// Request re-activation after `rounds` rounds even if nothing else
+    /// (messages, topology changes) touches this node in the meantime —
+    /// the timer half of the quiescence contract (see
+    /// [`Program::is_quiescent`]). `0` is treated as `1` (the next round);
+    /// repeated calls keep the smallest delay. Under the default
+    /// [`crate::sched::Synchronous`] scheduler every node runs every round
+    /// anyway, so the request is a no-op there; under
+    /// [`crate::sched::ActivityDriven`] it is the only way for a quiescent
+    /// node to schedule future work.
+    pub fn wake_me_in(&mut self, rounds: u64) {
+        let d = rounds.max(1);
+        self.actions.wake_in = Some(self.actions.wake_in.map_or(d, |w| w.min(d)));
     }
 }

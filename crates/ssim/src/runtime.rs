@@ -9,18 +9,31 @@
 //! action scratch) for its whole lifetime, and departures free the slot for
 //! reuse. Membership events therefore cost O(deg) — no id shifting, no
 //! index rebuild — and steady-state rounds are allocation-free: inboxes are
-//! double-buffered and recycled, per-node [`Actions`] scratch is cleared
-//! (never dropped), and model-rule validation is fused into action emission
-//! against the round-start snapshot.
+//! recycled (cleared at consumption, never dropped), per-node [`Actions`]
+//! scratch is cleared (never dropped), and model-rule validation is fused
+//! into action emission against the round-start snapshot.
+//!
+//! Which nodes actually step each round is decided by a pluggable
+//! [`Scheduler`] (see [`crate::sched`]): the default [`sched::Synchronous`]
+//! daemon reproduces the paper's model exactly, while
+//! [`sched::ActivityDriven`] steps only the runtime's *dirty set* — nodes
+//! with pending messages, changed neighborhoods, armed timers, or
+//! self-reported pending work — making post-convergence rounds O(activity)
+//! instead of O(n). Messages to nodes a daemon skips stay queued in their
+//! inboxes until the node is next activated; delivery is delayed, never
+//! dropped.
 
 use crate::metrics::{RoundMetrics, RunMetrics};
 use crate::monitor::{Monitor, MonitorOutcome, RunVerdict, Verdict};
 use crate::par::{self, ThreadPool};
 use crate::program::{Actions, Ctx, Program};
+use crate::sched::{self, SchedView, Scheduler};
 use crate::topology::{NodeSlot, Topology};
 use crate::NodeId;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Runtime configuration: model strictness, determinism seed, metrics
 /// granularity, and the parallel execution switch.
@@ -143,6 +156,31 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Audits one skipped node: returns `Some(reason)` if its `step` would
+/// *not* have been a no-op. Built by [`Runtime::enable_shadow_check`] (the
+/// closure captures the `P: Clone` capability so `step` itself needs no
+/// extra bounds).
+type ShadowFn<P> = Box<
+    dyn Fn(
+            &P,
+            NodeId,
+            u64,
+            &[NodeId],
+            &[(NodeId, <P as Program>::Msg)],
+            &SmallRng,
+        ) -> Option<String>
+        + Send,
+>;
+
+/// Mark slot `i` dirty: flag it and enqueue it exactly once.
+#[inline]
+fn mark(dirty: &mut [bool], list: &mut Vec<u32>, i: usize) {
+    if !dirty[i] {
+        dirty[i] = true;
+        list.push(i as u32);
+    }
+}
+
 /// The simulator: a set of node programs, the overlay topology, and mailboxes.
 ///
 /// All per-node state lives in slot-parallel arrays addressed by the
@@ -150,11 +188,19 @@ fn splitmix64(mut x: u64) -> u64 {
 /// at the membership boundary (join/leave/crash, id-keyed accessors) and at
 /// message delivery.
 ///
+/// Each round, the installed [`Scheduler`] (default:
+/// [`sched::Synchronous`]; see [`Runtime::set_scheduler`]) selects the
+/// nodes to activate; only those run the emit phase and have their actions
+/// applied. The runtime maintains the dirty set the
+/// [`sched::ActivityDriven`] daemon feeds on under *every* scheduler, so
+/// schedulers can be swapped mid-run (e.g. by a scenario event).
+///
 /// With [`Config::parallel`], the runtime owns a persistent
 /// [`crate::par::ThreadPool`] (created once, reused every round) that
-/// executes the emit phase of each [`Runtime::step`] in per-thread slot
-/// chunks; the apply phase stays slot-ordered on the driving thread, so
-/// results are bit-identical to sequential execution at any thread count.
+/// executes the emit phase of each [`Runtime::step`] over per-thread chunks
+/// of the selection; the apply phase stays selection-ordered on the driving
+/// thread, so results are bit-identical to sequential execution at any
+/// thread count.
 pub struct Runtime<P: Program> {
     cfg: Config,
     topo: Topology,
@@ -163,18 +209,24 @@ pub struct Runtime<P: Program> {
     /// Per-slot PRNG (stale for free slots; reseeded from `(seed, id)` at
     /// join, so a re-joining host replays its private stream).
     rngs: Vec<SmallRng>,
-    /// Messages to be delivered at the next `step` (sent last round).
+    /// Per-slot pending messages: delivered sends accumulate here and are
+    /// consumed (cleared) when the slot is activated. Under the synchronous
+    /// daemon every inbox is consumed every round, which reproduces the old
+    /// double-buffer semantics exactly; under partial daemons messages wait
+    /// for their recipient's next activation.
     inboxes: Vec<Vec<(NodeId, P::Msg)>>,
-    /// Back buffer the next round's deliveries are written into; swapped
-    /// with `inboxes` at the end of each step and recycled, never dropped.
-    next_inboxes: Vec<Vec<(NodeId, P::Msg)>>,
+    /// Sender *slots* of the pending messages, position-aligned with
+    /// `inboxes` — lets consumption release the senders' `sent_to` entries
+    /// without a per-message id → slot hash lookup on the hot path.
+    inbox_senders: Vec<Vec<u32>>,
     /// Per-slot recycled action buffers (cleared each round, capacity kept).
     scratch: Vec<Actions<P::Msg>>,
-    /// Per-slot destination slots of the most recent round's sends — lets a
-    /// departure purge its in-flight messages in O(out-degree) instead of
-    /// scanning every inbox.
+    /// Per-slot target slots holding *unconsumed* messages from this slot
+    /// (one entry per pending message) — lets a departure purge its
+    /// in-flight messages in O(pending) instead of scanning every inbox.
+    /// Entries are added at send and removed when the recipient consumes.
     sent_to: Vec<Vec<u32>>,
-    /// Messages currently in flight (sitting in `inboxes`).
+    /// Messages currently pending (sitting in `inboxes`).
     inflight: u64,
     round: u64,
     metrics: RunMetrics,
@@ -185,6 +237,34 @@ pub struct Runtime<P: Program> {
     /// sequentially. Created once at construction (per [`Config`]) and
     /// reused by every `step`, so parallel rounds spawn no threads.
     pool: Option<ThreadPool>,
+    /// The installed daemon (see [`crate::sched`]).
+    sched: Box<dyn Scheduler>,
+    /// Per-slot dirty flag; `dirty[i]` ⟺ slot `i` appears in `dirty_list`
+    /// exactly once. Flags are cleared only when the slot is activated (or
+    /// found dead during the per-round purge), so wake-ups survive daemons
+    /// that skip dirty nodes.
+    dirty: Vec<bool>,
+    /// Queue of dirty slots (unordered; sorted into `dirty_sorted` each
+    /// round for the scheduler view).
+    dirty_list: Vec<u32>,
+    /// Recycled sorted snapshot handed to [`Scheduler::select`].
+    dirty_sorted: Vec<NodeSlot>,
+    /// Recycled selection buffer.
+    selection: Vec<NodeSlot>,
+    /// Per-slot "selected this round" scratch (doubles as the dedup filter
+    /// for sloppy schedulers and the skip detector for the shadow check).
+    selected: Vec<bool>,
+    /// Per-slot quiescence flag (mirrors `Program::is_quiescent`, updated
+    /// when the node steps, joins, or is corrupted).
+    quiescent: Vec<bool>,
+    /// Live nodes currently flagged quiescent — O(1) quiescence reads.
+    quiescent_count: usize,
+    /// Armed [`Ctx::wake_me_in`] timers: `(due_round, slot, id)` min-heap.
+    /// The id guards against slot recycling (a timer of a departed host
+    /// must not wake the slot's next occupant).
+    timers: BinaryHeap<Reverse<(u64, u32, NodeId)>>,
+    /// Debug-mode shadow-step auditor (see [`Runtime::enable_shadow_check`]).
+    shadow: Option<ShadowFn<P>>,
 }
 
 impl<P: Program> Runtime<P> {
@@ -207,13 +287,18 @@ impl<P: Program> Runtime<P> {
         let metrics = RunMetrics::new(topo.max_degree());
         let threads = cfg.effective_threads();
         let pool = (threads > 1).then(|| ThreadPool::new(threads));
+        // Every node starts dirty ("just spawned"): self-stabilization makes
+        // no assumption about the initial state, so every program must run
+        // at least once under any equivalence-claiming daemon.
+        let quiescent: Vec<bool> = programs.iter().map(Program::is_quiescent).collect();
+        let quiescent_count = quiescent.iter().filter(|&&q| q).count();
         Self {
             cfg,
             topo,
             programs: programs.into_iter().map(Some).collect(),
             rngs,
             inboxes: std::iter::repeat_with(Vec::new).take(n).collect(),
-            next_inboxes: std::iter::repeat_with(Vec::new).take(n).collect(),
+            inbox_senders: std::iter::repeat_with(Vec::new).take(n).collect(),
             scratch: std::iter::repeat_with(Actions::default).take(n).collect(),
             sent_to: std::iter::repeat_with(Vec::new).take(n).collect(),
             inflight: 0,
@@ -221,6 +306,16 @@ impl<P: Program> Runtime<P> {
             metrics,
             spawner: None,
             pool,
+            sched: Box::new(sched::Synchronous),
+            dirty: vec![true; n],
+            dirty_list: (0..n as u32).collect(),
+            dirty_sorted: Vec::with_capacity(n),
+            selection: Vec::with_capacity(n),
+            selected: vec![false; n],
+            quiescent,
+            quiescent_count,
+            timers: BinaryHeap::new(),
+            shadow: None,
         }
     }
 
@@ -228,6 +323,93 @@ impl<P: Program> Runtime<P> {
     /// sequential).
     pub fn threads(&self) -> usize {
         self.pool.as_ref().map_or(1, ThreadPool::threads)
+    }
+
+    /// Install a daemon (see [`crate::sched`]); the default is
+    /// [`sched::Synchronous`]. Safe at any point of a run: the dirty set is
+    /// maintained under every scheduler, so every live non-quiescent node
+    /// (and every pending message or armed timer) survives the swap.
+    pub fn set_scheduler(&mut self, s: Box<dyn Scheduler>) {
+        self.sched = s;
+    }
+
+    /// Builder-style [`Runtime::set_scheduler`].
+    #[must_use]
+    pub fn with_scheduler(mut self, s: Box<dyn Scheduler>) -> Self {
+        self.set_scheduler(s);
+        self
+    }
+
+    /// Name of the installed scheduler (for reports).
+    pub fn scheduler_name(&self) -> &str {
+        self.sched.name()
+    }
+
+    /// Live nodes currently reporting [`Program::is_quiescent`] — O(1),
+    /// tracked incrementally (updated when a node steps, joins, departs, or
+    /// is corrupted).
+    pub fn quiescent_nodes(&self) -> usize {
+        self.quiescent_count
+    }
+
+    /// True iff every live node is quiescent — O(1). Combined with
+    /// [`Runtime::is_silent`] this is the paper's silent-network condition;
+    /// see [`crate::monitor::quiescence`].
+    pub fn all_quiescent(&self) -> bool {
+        self.quiescent_count == self.topo.node_count()
+    }
+
+    /// Slots currently queued for activation (dirty set plus armed timers)
+    /// — the work the [`sched::ActivityDriven`] daemon would perform.
+    pub fn pending_activations(&self) -> usize {
+        self.dirty_list.len() + self.timers.len()
+    }
+
+    /// Arm the debug-mode **shadow-step check**: whenever the installed
+    /// scheduler claims equivalence with the synchronous daemon (see
+    /// [`Scheduler::claims_equivalence`]), every live node it *skips* is
+    /// audited by running `step()` on a throwaway clone with its actual
+    /// inbox and neighbor snapshot. The step must emit nothing (no sends,
+    /// links, unlinks, violations, or wake-up requests), draw nothing from
+    /// the PRNG, and leave the program quiescent; otherwise the round
+    /// panics, naming the offending node — the program broke the
+    /// [`Program::is_quiescent`] contract. Compiled out of release builds
+    /// (`debug_assertions` only); protocol runtime builders arm it
+    /// automatically in debug builds so the equivalence claim is
+    /// continuously tested.
+    pub fn enable_shadow_check(&mut self)
+    where
+        P: Clone,
+    {
+        self.shadow = Some(Box::new(|prog, id, round, neighbors, inbox, rng| {
+            let mut clone = prog.clone();
+            let mut rng2 = rng.clone();
+            let mut acts = Actions::default();
+            let mut ctx = Ctx::new(id, round, false, neighbors, inbox, &mut rng2, &mut acts);
+            clone.step(&mut ctx);
+            if !acts.sends.is_empty()
+                || !acts.links.is_empty()
+                || !acts.unlinks.is_empty()
+                || acts.violations != 0
+                || acts.wake_in.is_some()
+            {
+                return Some(format!(
+                    "emitted {} send(s), {} link(s), {} unlink(s), {} violation(s), wake={:?}",
+                    acts.sends.len(),
+                    acts.links.len(),
+                    acts.unlinks.len(),
+                    acts.violations,
+                    acts.wake_in
+                ));
+            }
+            if rng2 != *rng {
+                return Some("consumed PRNG draws".into());
+            }
+            if !clone.is_quiescent() {
+                return Some("became non-quiescent".into());
+            }
+            None
+        }));
     }
 
     /// Register the factory that builds programs for hosts joining mid-run
@@ -291,159 +473,363 @@ impl<P: Program> Runtime<P> {
     }
 
     /// Mutate a node's program out-of-band — **adversarial state corruption**
-    /// for fault-injection experiments; not part of the protocol.
+    /// for fault-injection experiments; not part of the protocol. The victim
+    /// is marked dirty (corruption is a wake-up condition) and its
+    /// quiescence flag is re-evaluated.
     pub fn corrupt_node(&mut self, v: NodeId, f: impl FnOnce(&mut P)) {
         let slot = self
             .topo
             .slot_of(v)
             .unwrap_or_else(|| panic!("node {v} is not a member"));
-        f(self.programs[slot.index()].as_mut().expect("live slot"));
+        let i = slot.index();
+        let prog = self.programs[i].as_mut().expect("live slot");
+        f(prog);
+        let q = prog.is_quiescent();
+        self.set_quiescent(i, q);
+        mark(&mut self.dirty, &mut self.dirty_list, i);
+    }
+
+    /// Update the per-slot quiescence flag and its counter.
+    #[inline]
+    fn set_quiescent(&mut self, i: usize, q: bool) {
+        if self.quiescent[i] != q {
+            self.quiescent[i] = q;
+            if q {
+                self.quiescent_count += 1;
+            } else {
+                self.quiescent_count -= 1;
+            }
+        }
+    }
+
+    /// Mark both endpoints of a (changed) edge dirty: their neighborhoods
+    /// changed, which is a wake-up condition.
+    fn mark_edge(&mut self, a: NodeId, b: NodeId) {
+        for v in [a, b] {
+            if let Some(s) = self.topo.slot_of(v) {
+                mark(&mut self.dirty, &mut self.dirty_list, s.index());
+            }
+        }
     }
 
     /// Adversarially insert an edge, bypassing the introduction rule
-    /// (transient fault). Counted as a perturbation in the metrics.
+    /// (transient fault). Counted as a perturbation in the metrics. Both
+    /// endpoints are marked dirty when the edge is new.
     pub fn adversarial_add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
-        self.topo.add_edge(a, b)
+        let changed = self.topo.add_edge(a, b);
+        if changed {
+            self.mark_edge(a, b);
+        }
+        changed
     }
 
-    /// Adversarially delete an edge (transient fault).
+    /// Adversarially delete an edge (transient fault). Both endpoints are
+    /// marked dirty when the edge existed.
     pub fn adversarial_remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
-        self.topo.remove_edge(a, b)
+        let changed = self.topo.remove_edge(a, b);
+        if changed {
+            self.mark_edge(a, b);
+        }
+        changed
     }
 
-    /// Execute one synchronous round. Steady-state rounds perform no heap
-    /// allocation: action scratch and both inbox buffers are recycled, and
-    /// validation happens at emit time against the round-start snapshot
-    /// (no intermediate validity tables). In parallel mode the emit phase
-    /// runs chunked on the runtime's persistent pool (still allocation- and
-    /// spawn-free — workers are woken, not created); the apply phase is
-    /// always slot-ordered on this thread, which is why results never
-    /// depend on the thread count.
+    /// Execute one round: the scheduler selects the activation set, the
+    /// selected programs run the emit phase against the round-start
+    /// snapshot, and their actions are applied in selection order.
+    ///
+    /// Steady-state rounds perform no heap allocation: action scratch,
+    /// inbox buffers, and the selection/dirty buffers are all recycled, and
+    /// validation happens at emit time against the round-start snapshot (no
+    /// intermediate validity tables). In parallel mode the emit phase runs
+    /// chunked over the selection on the runtime's persistent pool (still
+    /// allocation- and spawn-free — workers are woken, not created); the
+    /// apply phase is always selection-ordered on this thread, which is why
+    /// results never depend on the thread count.
     pub fn step(&mut self) {
-        // Phase 1: deliver inboxes and run every live program against the
-        // round-start topology snapshot. Illegal sends/links are rejected at
-        // emission (see `Ctx`), so everything enqueued below is valid.
         let round = self.round;
         let strict = self.cfg.strict;
-        let topo = &self.topo;
-        let inboxes = &self.inboxes;
 
-        // This walk covers the full storage width (peak membership) because
-        // the slot-parallel arrays are what the pool splits into contiguous
-        // per-thread chunks; free slots cost one branch each. Everything
-        // after phase 1 walks live members only.
-        let run_one =
-            |i: usize, prog: &mut Option<P>, rng: &mut SmallRng, acts: &mut Actions<P::Msg>| {
-                let Some(prog) = prog.as_mut() else { return };
-                // Free-slot scratch is left clear at departure, so clearing
-                // only live scratch here keeps every buffer clean.
-                acts.clear();
-                let slot = NodeSlot::new(i);
-                let id = topo.id_at(slot).expect("program in a live slot");
-                let mut ctx = Ctx::new(
-                    id,
-                    round,
-                    strict,
-                    topo.neighbors_at(slot),
-                    &inboxes[i],
-                    rng,
-                    acts,
-                );
-                prog.step(&mut ctx);
-            };
-
-        if let Some(pool) = &self.pool {
-            // Emit in parallel: reads go only to the shared round-start
-            // snapshot (`topo`, `inboxes`), writes go only to the thread's
-            // own slots, so any schedule produces the same per-slot scratch
-            // and the slot-ordered apply phase below makes the whole round
-            // bit-identical to sequential execution.
-            par::for_each_mut3(
-                pool,
-                &mut self.programs,
-                &mut self.rngs,
-                &mut self.scratch,
-                run_one,
-            );
-        } else {
-            self.programs
-                .iter_mut()
-                .zip(self.rngs.iter_mut())
-                .zip(self.scratch.iter_mut())
-                .enumerate()
-                .for_each(|(i, ((prog, rng), acts))| run_one(i, prog, rng, acts));
+        // ---- Timers: move due wake-ups into the dirty set. The id guard
+        // discards timers of departed hosts (their slot may have been
+        // recycled by an unrelated joiner).
+        while let Some(&Reverse((due, slot, id))) = self.timers.peek() {
+            if due > round {
+                break;
+            }
+            self.timers.pop();
+            if self.topo.id_at(NodeSlot::new(slot as usize)) == Some(id) {
+                mark(&mut self.dirty, &mut self.dirty_list, slot as usize);
+            }
         }
 
-        // Phase 2: apply actions in deterministic member (`ids()`) order
-        // with round-start snapshot semantics. Unlinks first, then links (an
-        // edge both removed and introduced in the same round ends up
-        // present), then sends (already validated against round-START
-        // adjacency at emission). These loops — and the buffer clears below
-        // — walk live members only, so a network that shrank long ago does
-        // not keep paying for its peak size (free-slot buffers are left
-        // empty at departure, see `remove_member`).
+        // ---- Selection: hand the scheduler a sorted snapshot of the dirty
+        // set and let it pick. Selection happens on the driving thread, so
+        // scheduler randomness is thread-count invariant by construction.
+        // The view is sorted by **canonical member order** — the order the
+        // synchronous daemon activates in — not by slot: apply order
+        // decides the relative order of same-round messages in a shared
+        // recipient's inbox, so an equivalence-claiming daemon activating
+        // a subset in any other order would produce different inbox
+        // contents than the synchronous execution (member order diverges
+        // from slot order after the first departure). The sorted view is
+        // built only for schedulers that read it — full-activation daemons
+        // skip the O(dirty log dirty) sort.
+        let mut dirty_sorted = std::mem::take(&mut self.dirty_sorted);
+        dirty_sorted.clear();
+        if self.sched.uses_dirty_set() {
+            dirty_sorted.extend(
+                self.dirty_list
+                    .iter()
+                    .filter(|&&i| self.topo.is_live(NodeSlot::new(i as usize)))
+                    .map(|&i| NodeSlot::new(i as usize)),
+            );
+            let topo = &self.topo;
+            dirty_sorted
+                .sort_unstable_by_key(|&s| topo.member_rank(s).expect("filtered to live slots"));
+        }
+        let mut selection = std::mem::take(&mut self.selection);
+        selection.clear();
+        self.sched.select(
+            &SchedView {
+                round,
+                topo: &self.topo,
+                dirty: &dirty_sorted,
+            },
+            &mut selection,
+        );
+        self.dirty_sorted = dirty_sorted;
+
+        // Sanitize: drop duplicates and non-live slots so a sloppy
+        // scheduler cannot alias `&mut` chunks in the parallel emit. The
+        // `selected` scratch doubles as the shadow check's skip detector.
+        // Activated slots consume their dirtiness in the same pass;
+        // unselected dirty slots stay queued (wake-ups are never lost
+        // under partial daemons).
+        selection.retain(|&s| {
+            let i = s.index();
+            let ok = !self.selected[i] && self.topo.is_live(s);
+            if ok {
+                self.selected[i] = true;
+                self.dirty[i] = false;
+            }
+            ok
+        });
+
+        // Flags of dead slots are purged here, so a recycled slot starts
+        // clean.
+        let topo = &self.topo;
+        self.dirty_list.retain(|&i| {
+            let s = NodeSlot::new(i as usize);
+            self.dirty[i as usize] && {
+                let live = topo.is_live(s);
+                if !live {
+                    self.dirty[i as usize] = false;
+                }
+                live
+            }
+        });
+
+        // ---- Shadow-step check (debug builds, equivalence-claiming
+        // schedulers only): audit every skipped live node.
+        #[cfg(debug_assertions)]
+        if self.sched.claims_equivalence() {
+            if let Some(shadow) = &self.shadow {
+                for k in 0..self.topo.node_count() {
+                    let (id, slot) = self.topo.live_entry(k);
+                    let i = slot.index();
+                    if self.selected[i] {
+                        continue;
+                    }
+                    let prog = self.programs[i].as_ref().expect("live slot");
+                    if let Some(why) = shadow(
+                        prog,
+                        id,
+                        round,
+                        self.topo.neighbors_at(slot),
+                        &self.inboxes[i],
+                        &self.rngs[i],
+                    ) {
+                        panic!(
+                            "round {round}: scheduler `{}` skipped node {id} whose step \
+                             is not a no-op ({why}) — the program violates the \
+                             Program::is_quiescent contract",
+                            self.sched.name()
+                        );
+                    }
+                }
+            }
+        }
+
+        // ---- Phase 1 (emit): run the selected programs against the
+        // round-start topology snapshot. Illegal sends/links are rejected
+        // at emission (see `Ctx`), so everything enqueued below is valid.
+        {
+            let topo = &self.topo;
+            let inboxes = &self.inboxes;
+            let run_one =
+                |i: usize, prog: &mut Option<P>, rng: &mut SmallRng, acts: &mut Actions<P::Msg>| {
+                    let prog = prog.as_mut().expect("selected slot is live");
+                    acts.clear();
+                    let slot = NodeSlot::new(i);
+                    let id = topo.id_at(slot).expect("selected slot is live");
+                    let mut ctx = Ctx::new(
+                        id,
+                        round,
+                        strict,
+                        topo.neighbors_at(slot),
+                        &inboxes[i],
+                        rng,
+                        acts,
+                    );
+                    prog.step(&mut ctx);
+                    acts.quiescent = prog.is_quiescent();
+                };
+
+            if let Some(pool) = &self.pool {
+                // Emit in parallel over per-thread chunks of the selection:
+                // reads go only to the shared round-start snapshot (`topo`,
+                // `inboxes`), writes go only to the thread's own selected
+                // slots (distinct by the sanitization above), so any
+                // schedule produces the same per-slot scratch and the
+                // selection-ordered apply phase below makes the whole round
+                // bit-identical to sequential execution.
+                par::for_each_selected_mut3(
+                    pool,
+                    &selection,
+                    &mut self.programs,
+                    &mut self.rngs,
+                    &mut self.scratch,
+                    run_one,
+                );
+            } else {
+                for &s in &selection {
+                    let i = s.index();
+                    run_one(
+                        i,
+                        &mut self.programs[i],
+                        &mut self.rngs[i],
+                        &mut self.scratch[i],
+                    );
+                }
+            }
+        }
+
+        // ---- Phase 2 (apply): process the selected nodes' actions in
+        // selection order with round-start snapshot semantics. Unlinks
+        // first, then links (an edge both removed and introduced in the
+        // same round ends up present), then inbox consumption, then sends
+        // (already validated against round-START adjacency at emission).
+        // Every loop walks the selection only, so a quiet network does not
+        // pay for its size. Edge changes and deliveries mark the affected
+        // slots dirty for the next round.
         let mut row = RoundMetrics {
             round,
+            active_nodes: selection.len() as u64,
             ..RoundMetrics::default()
         };
-        let live = self.topo.node_count();
-        for k in 0..live {
-            let (me, slot) = self.topo.live_entry(k);
+        for &slot in &selection {
             let i = slot.index();
+            let me = self.topo.id_at(slot).expect("selected slot is live");
             row.violations += self.scratch[i].violations;
             for j in 0..self.scratch[i].unlinks.len() {
                 let v = self.scratch[i].unlinks[j];
                 if self.topo.remove_edge(me, v) {
                     row.links_removed += 1;
+                    self.mark_edge(me, v);
                 }
             }
         }
-        for k in 0..live {
-            let (_, slot) = self.topo.live_entry(k);
+        for &slot in &selection {
             let i = slot.index();
             for j in 0..self.scratch[i].links.len() {
                 let (x, y) = self.scratch[i].links[j];
                 if self.topo.add_edge(x, y) {
                     row.links_added += 1;
+                    self.mark_edge(x, y);
                 }
             }
         }
-        for k in 0..live {
-            let (me, slot) = self.topo.live_entry(k);
+        // Consume the activated inboxes (their contents were read by this
+        // round's emit) before enqueueing this round's sends. Each consumed
+        // message releases its `sent_to` bookkeeping entry — by recorded
+        // sender *slot* (`inbox_senders`), no id → slot hashing here. The
+        // release is a linear scan of the sender's pending list, O(pending
+        // of that sender) per message: quadratic in degree for a hub
+        // broadcasting to d neighbors every round. Overlay protocols keep
+        // degrees at O(log² n) by design (degree expansion is the paper's
+        // other cost metric), so the scan beats the alternatives measured
+        // here — hashing per message, or giving up exact `sent_to` and
+        // purging departures via a scan of all pending inboxes (which
+        // would make the benchmarked burst-churn path O(total pending)
+        // per leave instead of O(pending of the leaver)).
+        for &slot in &selection {
             let i = slot.index();
-            self.sent_to[i].clear();
-            let a = &mut self.scratch[i];
-            if a.sends.is_empty() {
+            if self.inboxes[i].is_empty() {
                 continue;
             }
-            for (to, msg) in a.sends.drain(..) {
+            self.inflight -= self.inboxes[i].len() as u64;
+            for k in 0..self.inbox_senders[i].len() {
+                let fs = self.inbox_senders[i][k] as usize;
+                if let Some(p) = self.sent_to[fs].iter().position(|&t| t as usize == i) {
+                    self.sent_to[fs].swap_remove(p);
+                }
+            }
+            self.inboxes[i].clear();
+            self.inbox_senders[i].clear();
+        }
+        for &slot in &selection {
+            let i = slot.index();
+            // Wake-up requests and quiescence bookkeeping ride the same
+            // pass. A node that stepped and is still non-quiescent
+            // re-marks itself (it has work of its own), which is what
+            // keeps the dirty set a superset of the non-quiescent live
+            // nodes under every scheduler.
+            if let Some(d) = self.scratch[i].wake_in {
+                if d <= 1 {
+                    mark(&mut self.dirty, &mut self.dirty_list, i);
+                } else {
+                    let id = self.topo.id_at(slot).expect("selected slot is live");
+                    self.timers.push(Reverse((round + d, i as u32, id)));
+                }
+            }
+            let q = self.scratch[i].quiescent;
+            self.set_quiescent(i, q);
+            if !q {
+                mark(&mut self.dirty, &mut self.dirty_list, i);
+            }
+            self.selected[i] = false; // reset the scratch for the next round
+            if self.scratch[i].sends.is_empty() {
+                continue;
+            }
+            let me = self.topo.id_at(slot).expect("selected slot is live");
+            let mut sends = std::mem::take(&mut self.scratch[i].sends);
+            for (to, msg) in sends.drain(..) {
                 let ts = self
                     .topo
                     .slot_of(to)
                     .expect("round-start neighbor is a member")
                     .index();
-                self.next_inboxes[ts].push((me, msg));
+                self.inboxes[ts].push((me, msg));
+                self.inbox_senders[ts].push(i as u32);
                 self.sent_to[i].push(ts as u32);
+                mark(&mut self.dirty, &mut self.dirty_list, ts);
                 row.messages += 1;
             }
+            self.scratch[i].sends = sends; // recycle the buffer's capacity
         }
-
-        // Swap the double buffer: this round's deliveries become next
-        // round's inboxes; the consumed buffers are cleared for reuse.
-        // Live-only clearing suffices: deliveries only ever target live
-        // slots, and a departure clears its own buffers.
-        std::mem::swap(&mut self.inboxes, &mut self.next_inboxes);
-        for k in 0..live {
-            let (_, slot) = self.topo.live_entry(k);
-            self.next_inboxes[slot.index()].clear();
-        }
-        self.inflight = row.messages;
+        self.inflight += row.messages;
 
         self.round += 1;
         row.max_degree = self.topo.max_degree();
         row.total_edges = self.topo.edge_count();
+        row.quiescent_nodes = self.quiescent_count as u64;
         self.metrics.absorb(row, self.cfg.record_rounds);
+        self.selection = selection;
         debug_assert!(self.topo.check_invariants());
+        debug_assert_eq!(
+            self.inflight as usize,
+            self.inboxes.iter().map(Vec::len).sum::<usize>()
+        );
     }
 
     /// Run until `legal(self)` holds (checked *before* each round, so a
@@ -542,24 +928,36 @@ impl<P: Program> Runtime<P> {
         self.topo.add_node(id);
         let slot = self.topo.slot_of(id).expect("just added").index();
         let rng = SmallRng::seed_from_u64(self.cfg.seed ^ splitmix64(id as u64 + 1));
+        let q = program.is_quiescent();
         if slot == self.programs.len() {
             // Fresh slot: grow the slot-parallel arrays in lockstep.
             self.programs.push(Some(program));
             self.rngs.push(rng);
             self.inboxes.push(Vec::new());
-            self.next_inboxes.push(Vec::new());
+            self.inbox_senders.push(Vec::new());
             self.scratch.push(Actions::default());
             self.sent_to.push(Vec::new());
+            self.dirty.push(false);
+            self.selected.push(false);
+            self.quiescent.push(false);
         } else {
             // Recycled slot: the departure left the buffers empty.
             debug_assert!(self.programs[slot].is_none());
             debug_assert!(self.inboxes[slot].is_empty());
+            debug_assert!(!self.quiescent[slot]);
             self.programs[slot] = Some(program);
             self.rngs[slot] = rng;
         }
+        if q {
+            self.quiescent[slot] = true;
+            self.quiescent_count += 1;
+        }
+        // A joiner is "just spawned" — a wake-up condition in itself — and
+        // its attachments change the contacts' neighborhoods.
+        mark(&mut self.dirty, &mut self.dirty_list, slot);
         for &v in attach_to {
-            if v != id && self.topo.contains(v) {
-                self.topo.add_edge(id, v);
+            if v != id && self.topo.contains(v) && self.topo.add_edge(id, v) {
+                self.mark_edge(id, v);
             }
         }
         self.metrics.joins += 1;
@@ -613,24 +1011,57 @@ impl<P: Program> Runtime<P> {
     }
 
     fn remove_member(&mut self, id: NodeId) -> Option<P> {
-        let slot = self.topo.slot_of(id)?.index();
+        let slot_t = self.topo.slot_of(id)?;
+        let slot = slot_t.index();
+        // The survivors' neighborhoods are about to change: wake them.
+        for k in 0..self.topo.neighbors_at(slot_t).len() {
+            let v = self.topo.neighbors_at(slot_t)[k];
+            let vs = self.topo.slot_of(v).expect("neighbor is a member").index();
+            mark(&mut self.dirty, &mut self.dirty_list, vs);
+        }
         self.topo.remove_node(id);
         let program = self.programs[slot].take().expect("live slot");
-        // Messages addressed to the departed host die in its mailbox…
+        // The departed host's own messages: consume the mailbox (releasing
+        // the senders' `sent_to` entries by recorded sender slot) …
         self.inflight -= self.inboxes[slot].len() as u64;
+        for k in 0..self.inbox_senders[slot].len() {
+            let fs = self.inbox_senders[slot][k] as usize;
+            if let Some(p) = self.sent_to[fs].iter().position(|&t| t as usize == slot) {
+                self.sent_to[fs].swap_remove(p);
+            }
+        }
         self.inboxes[slot].clear();
-        self.next_inboxes[slot].clear();
-        // …and messages it sent last round die in their targets' mailboxes.
-        // `sent_to` names exactly the slots it delivered to, so the purge is
-        // O(out-degree), not a scan of every inbox.
+        self.inbox_senders[slot].clear();
+        // …and every message it sent that is still pending dies in its
+        // target's mailbox. `sent_to` names exactly the slots holding such
+        // messages, so the purge is O(pending traffic of the host), not a
+        // scan of every inbox. The inbox and its sender-slot mirror are
+        // filtered in lockstep (compaction preserves message order).
         for k in 0..self.sent_to[slot].len() {
             let t = self.sent_to[slot][k] as usize;
-            let before = self.inboxes[t].len();
-            self.inboxes[t].retain(|&(from, _)| from != id);
-            self.inflight -= (before - self.inboxes[t].len()) as u64;
+            let inbox = &mut self.inboxes[t];
+            let senders = &mut self.inbox_senders[t];
+            let before = inbox.len();
+            let mut w = 0;
+            for r in 0..before {
+                if senders[r] as usize != slot {
+                    if w != r {
+                        inbox.swap(w, r);
+                        senders.swap(w, r);
+                    }
+                    w += 1;
+                }
+            }
+            inbox.truncate(w);
+            senders.truncate(w);
+            self.inflight -= (before - w) as u64;
         }
         self.sent_to[slot].clear();
         self.scratch[slot].clear();
+        if self.quiescent[slot] {
+            self.quiescent[slot] = false;
+            self.quiescent_count -= 1;
+        }
         debug_assert!(self.topo.check_invariants());
         debug_assert_eq!(
             self.inflight as usize,
@@ -639,8 +1070,12 @@ impl<P: Program> Runtime<P> {
         Some(program)
     }
 
-    /// True iff no messages are in flight (next round delivers nothing).
-    /// O(1): the in-flight count is tracked incrementally.
+    /// True iff no messages are pending in any mailbox (no activation would
+    /// deliver anything). O(1): the pending count is tracked incrementally.
+    /// Under the synchronous daemon every message is consumed the round
+    /// after it is sent, so this coincides with the old "next round
+    /// delivers nothing"; under partial daemons it also covers messages
+    /// waiting for a skipped recipient.
     pub fn is_silent(&self) -> bool {
         self.inflight == 0
     }
@@ -651,7 +1086,7 @@ mod tests {
     use super::*;
 
     /// Flooding program: forward a token to all neighbors once.
-    #[derive(Default)]
+    #[derive(Default, Clone)]
     struct Flood {
         has: bool,
         announced: bool,
@@ -973,6 +1408,303 @@ mod tests {
             rt.metrics().total_messages
         };
         assert_eq!(go(false), go(true));
+    }
+
+    /// A well-behaved Flood (quiescent steps are no-ops) must behave
+    /// identically under ActivityDriven and Synchronous — and spend far
+    /// fewer activations once the flood has passed.
+    #[test]
+    fn activity_driven_matches_synchronous_on_flood() {
+        let run = |activity: bool, threads: usize| {
+            let nodes = (0..32u32).map(|i| {
+                (
+                    i,
+                    Flood {
+                        has: i == 0,
+                        announced: false,
+                    },
+                )
+            });
+            let mut rt = Runtime::new(
+                Config::default().threads(threads),
+                nodes,
+                (0..31u32).map(|i| (i, i + 1)),
+            );
+            if activity {
+                rt.set_scheduler(Box::new(crate::sched::ActivityDriven));
+            }
+            rt.enable_shadow_check();
+            rt.run(60);
+            (
+                rt.metrics().total_messages,
+                rt.topology().edges(),
+                rt.metrics().total_activations,
+            )
+        };
+        let (sync_msgs, sync_edges, sync_acts) = run(false, 1);
+        let (act_msgs, act_edges, act_acts) = run(true, 1);
+        assert_eq!(sync_msgs, act_msgs);
+        assert_eq!(sync_edges, act_edges);
+        assert_eq!(sync_acts, 32 * 60, "synchronous: everyone, every round");
+        // Waiting nodes are non-quiescent (has == false) and legitimately
+        // step every round until the token arrives (Σ_v dist(0, v) ≈ 500
+        // activations); the saving is the settled tail being free.
+        assert!(
+            act_acts < sync_acts / 2,
+            "activity-driven must beat synchronous (got {act_acts} vs {sync_acts})"
+        );
+        // Parallel emit over a sparse selection is still bit-identical.
+        let (par_msgs, par_edges, par_acts) = run(true, 4);
+        assert_eq!(
+            (par_msgs, par_edges, par_acts),
+            (act_msgs, act_edges, act_acts)
+        );
+    }
+
+    /// A program that claims quiescence while still having round-triggered
+    /// work (the classic "silent beacon" bug) is caught by the debug
+    /// shadow-step check the first time the scheduler skips it.
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "shadow check is debug-only")]
+    #[should_panic(expected = "is not a no-op")]
+    fn shadow_check_catches_quiescence_liars() {
+        /// Claims quiescence but fires a round-scheduled broadcast.
+        #[derive(Clone)]
+        struct Liar;
+        impl Program for Liar {
+            type Msg = ();
+            fn step(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if ctx.round % 3 == 2 {
+                    for k in 0..ctx.neighbors().len() {
+                        let v = ctx.neighbors()[k];
+                        ctx.send(v, ());
+                    }
+                }
+            }
+            fn is_quiescent(&self) -> bool {
+                true // a lie: round 3k+2 steps send without any wake_me_in
+            }
+        }
+        let mut rt = Runtime::new(Config::default(), (0..2u32).map(|i| (i, Liar)), [(0, 1)]);
+        rt.set_scheduler(Box::new(crate::sched::ActivityDriven));
+        rt.enable_shadow_check();
+        // Round 0: both step (spawned-dirty), do nothing, claim quiescent.
+        // Round 1: both skipped, shadow no-op — fine. Round 2: both
+        // skipped, but their shadow step emits the broadcast — panic.
+        rt.run(3);
+    }
+
+    /// Regression: the activity-driven selection must follow *member*
+    /// order, not slot order. After a leave + rejoin the two orders
+    /// diverge (`dense.swap_remove` permutes the member order), and an
+    /// inbox-order-sensitive program would see same-round messages from
+    /// two senders in different relative order — divergent final
+    /// topologies — if the dirty set were applied by ascending slot.
+    #[test]
+    fn activity_driven_preserves_member_apply_order_after_churn() {
+        /// Unlinks the first sender in its inbox; fires one send when armed.
+        #[derive(Clone, Default)]
+        struct FirstSenderUnlinker {
+            fire: bool,
+        }
+        impl Program for FirstSenderUnlinker {
+            type Msg = ();
+            fn step(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if self.fire {
+                    self.fire = false;
+                    if let Some(&v) = ctx.neighbors().first() {
+                        ctx.send(v, ());
+                    }
+                }
+                if let Some(&(from, _)) = ctx.inbox().first() {
+                    ctx.unlink(from);
+                }
+            }
+            fn is_quiescent(&self) -> bool {
+                !self.fire // honest: un-armed steps with empty inboxes no-op
+            }
+        }
+        let run = |activity: bool| {
+            let mut rt = Runtime::new(
+                Config::default(),
+                (0..5u32).map(|i| (i, FirstSenderUnlinker::default())),
+                [(0, 1), (2, 1), (3, 4), (1, 3)],
+            );
+            if activity {
+                rt.set_scheduler(Box::new(crate::sched::ActivityDriven));
+            }
+            rt.enable_shadow_check();
+            rt.run(2); // settle the spawn wave
+                       // Permute member order away from slot order: node 0 leaves
+                       // (swap_remove moves the last member into its dense position)
+                       // and rejoins into its recycled slot.
+            rt.leave(0);
+            rt.join(0, FirstSenderUnlinker::default(), &[1]);
+            rt.run(2);
+            // Arm 0 and 2: both send to node 1 in the same round; node 1
+            // unlinks whichever sender its inbox lists first — which is
+            // decided purely by apply order.
+            rt.corrupt_node(0, |p| p.fire = true);
+            rt.corrupt_node(2, |p| p.fire = true);
+            rt.run(3);
+            rt.topology().edges()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn wake_me_in_reactivates_quiescent_nodes() {
+        /// Sends one pulse every 5 rounds via the timer API; quiescent in
+        /// between.
+        struct Periodic {
+            pulses: u32,
+        }
+        impl Program for Periodic {
+            type Msg = ();
+            fn step(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if ctx.round.is_multiple_of(5) {
+                    for k in 0..ctx.neighbors().len() {
+                        let v = ctx.neighbors()[k];
+                        ctx.send(v, ());
+                    }
+                    self.pulses += 1;
+                }
+                ctx.wake_me_in(5 - ctx.round % 5);
+            }
+            fn is_quiescent(&self) -> bool {
+                true // no self-work beyond the armed timer
+            }
+        }
+        let run = |activity: bool| {
+            let mut rt = Runtime::new(
+                Config::default(),
+                (0..4u32).map(|i| (i, Periodic { pulses: 0 })),
+                (0..3u32).map(|i| (i, i + 1)),
+            );
+            if activity {
+                rt.set_scheduler(Box::new(crate::sched::ActivityDriven));
+            }
+            rt.run(21);
+            (
+                rt.programs().map(|(_, p)| p.pulses).collect::<Vec<_>>(),
+                rt.metrics().total_messages,
+            )
+        };
+        let sync = run(false);
+        let act = run(true);
+        assert_eq!(sync, act, "timer wake-ups reproduce the periodic work");
+        assert_eq!(act.0, vec![5, 5, 5, 5], "rounds 0,5,10,15,20 pulse");
+    }
+
+    #[test]
+    fn wake_timers_do_not_leak_across_slot_recycling() {
+        /// Arms a far-future timer once, then stays quiet.
+        struct Sleeper;
+        impl Program for Sleeper {
+            type Msg = ();
+            fn step(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if ctx.round == 0 {
+                    ctx.wake_me_in(10);
+                }
+            }
+            fn is_quiescent(&self) -> bool {
+                true
+            }
+        }
+        let mut rt = Runtime::new(
+            Config::default(),
+            (0..3u32).map(|i| (i, Sleeper)),
+            [(0, 1), (1, 2)],
+        );
+        rt.set_scheduler(Box::new(crate::sched::ActivityDriven));
+        rt.step(); // everyone arms a timer for round 10
+        rt.leave(1);
+        rt.join(7, Sleeper, &[0]); // recycles node 1's slot
+        rt.run(12); // node 1's timer must not activate node 7 spuriously…
+        assert!(rt.topology().check_invariants());
+        // …which is observable via the activation count: round 0 activates
+        // all 3; round 1 activates {0, 2} (woken by the leave) and {7}
+        // (woken by its join); round 10 activates only the two surviving
+        // timer holders 0 and 2 — node 7 sits in the recycled slot of
+        // node 1's timer and must not fire.
+        let acts = rt.metrics().total_activations;
+        assert_eq!(acts, 3 + 3 + 2, "stale timer fired: {acts} activations");
+    }
+
+    #[test]
+    fn random_subset_delays_but_never_drops_messages() {
+        let mut rt = Runtime::new(
+            Config::default(),
+            (0..2u32).map(|i| {
+                (
+                    i,
+                    Flood {
+                        has: i == 0,
+                        announced: false,
+                    },
+                )
+            }),
+            [(0, 1)],
+        );
+        rt.set_scheduler(Box::new(crate::sched::RandomSubset::new(0.3, 77)));
+        rt.run(60);
+        // With p = 0.3 over 60 rounds both nodes were activated plenty
+        // (P[never] ≈ 1e-9): the token must have traversed the edge.
+        assert!(rt.program(1).has, "message reached node 1 eventually");
+        assert!(rt.is_silent());
+        assert!(rt.metrics().total_activations < 2 * 60);
+    }
+
+    #[test]
+    fn quiescent_count_tracks_steps_joins_leaves_and_corruption() {
+        let mut rt = line_runtime(4); // Flood: quiescent == has
+        assert_eq!(rt.quiescent_nodes(), 1, "node 0 holds the token already");
+        rt.run(5); // flood reaches everyone
+        assert_eq!(rt.quiescent_nodes(), 4);
+        assert!(rt.all_quiescent());
+        rt.corrupt_node(2, |p| p.has = false);
+        assert_eq!(rt.quiescent_nodes(), 3, "corruption re-evaluates");
+        rt.leave(2);
+        assert_eq!(rt.quiescent_nodes(), 3, "departed host was non-quiescent");
+        rt.join(9, Flood::default(), &[1]);
+        assert_eq!(rt.quiescent_nodes(), 3, "fresh joiner not quiescent");
+        // Re-arm node 1's announcement so the token reaches the joiner.
+        rt.corrupt_node(1, |p| p.announced = false);
+        rt.run(3);
+        assert!(rt.all_quiescent(), "flood re-covers the joiner");
+    }
+
+    #[test]
+    fn per_round_metrics_record_activity_and_quiescence() {
+        let mut rt = line_runtime(4);
+        rt.set_scheduler(Box::new(crate::sched::ActivityDriven));
+        rt.run(30);
+        let rows = &rt.metrics().per_round;
+        assert_eq!(rows[0].active_nodes, 4, "round 0: everyone spawned-dirty");
+        assert_eq!(rows.last().unwrap().active_nodes, 0, "settled network");
+        assert_eq!(rows.last().unwrap().quiescent_nodes, 4);
+        assert_eq!(
+            rt.metrics().total_activations,
+            rows.iter().map(|r| r.active_nodes).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn scenario_free_scheduler_swap_mid_run() {
+        let mut rt = line_runtime(8);
+        rt.run(3);
+        rt.set_scheduler(Box::new(crate::sched::ActivityDriven));
+        assert_eq!(rt.scheduler_name(), "activity-driven");
+        rt.run(20);
+        assert!(rt.all_quiescent() && rt.is_silent());
+        let settled = rt.metrics().total_activations;
+        rt.set_scheduler(Box::new(crate::sched::Synchronous));
+        rt.run(2);
+        assert_eq!(
+            rt.metrics().total_activations,
+            settled + 16,
+            "synchronous resumes stepping everyone"
+        );
     }
 
     #[test]

@@ -12,10 +12,11 @@
 //! across thread counts, since parallel round execution is bit-identical to
 //! sequential (see [`crate::Config::parallel`]).
 
-use crate::fault::{inject, Fault};
+use crate::fault::{inject_traced, Fault};
 use crate::monitor::{Monitor, RunVerdict, Verdict};
 use crate::program::Program;
 use crate::runtime::Runtime;
+use crate::sched::Scheduler;
 use crate::NodeId;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -48,6 +49,17 @@ pub enum Event<P: Program> {
         /// The mutation (shared so events stay cloneable).
         mutate: Arc<dyn Fn(&mut P) + Send + Sync>,
     },
+    /// Install a different daemon (see [`crate::sched`]) from this round
+    /// on — scenarios can stress one protocol under several activation
+    /// models in a single run (e.g. converge synchronously, then churn
+    /// under an adversarial daemon).
+    SetScheduler {
+        /// Human-readable label for the report.
+        label: String,
+        /// Scheduler factory (shared so events stay cloneable; invoked
+        /// once per application).
+        make: Arc<dyn Fn() -> Box<dyn Scheduler> + Send + Sync>,
+    },
 }
 
 impl<P: Program> std::fmt::Debug for Event<P> {
@@ -58,6 +70,7 @@ impl<P: Program> std::fmt::Debug for Event<P> {
             Event::Leave(id) => write!(f, "Leave({id})"),
             Event::Crash(id) => write!(f, "Crash({id})"),
             Event::Corrupt { id, label, .. } => write!(f, "Corrupt({id}: {label})"),
+            Event::SetScheduler { label, .. } => write!(f, "SetScheduler({label})"),
         }
     }
 }
@@ -148,6 +161,24 @@ impl<P: Program> Scenario<P> {
         )
     }
 
+    /// Schedule a daemon swap: from `round` on, rounds are driven by the
+    /// scheduler `make` builds (see [`crate::sched`]).
+    #[must_use]
+    pub fn scheduler(
+        self,
+        round: u64,
+        label: impl Into<String>,
+        make: impl Fn() -> Box<dyn Scheduler> + Send + Sync + 'static,
+    ) -> Self {
+        self.at(
+            round,
+            Event::SetScheduler {
+                label: label.into(),
+                make: Arc::new(make),
+            },
+        )
+    }
+
     /// The scheduled events, in schedule order.
     pub fn events(&self) -> &[(u64, Event<P>)] {
         &self.events
@@ -181,11 +212,13 @@ impl<P: Program> Scenario<P> {
             let now = rt.round() - start;
             while pending.peek().is_some_and(|&(r, _)| r <= now) {
                 let (r, event) = pending.next().unwrap();
-                let changes = apply(rt, event, &mut rng);
+                let mut touched = Vec::new();
+                let changes = apply(rt, event, &mut rng, &mut touched);
                 records.push(EventRecord {
                     round: r,
                     event: format!("{event:?}"),
                     changes,
+                    touched,
                 });
             }
             match monitor.observe(rt) {
@@ -221,6 +254,8 @@ impl<P: Program> Scenario<P> {
             final_max_degree: rt.topology().max_degree(),
             peak_degree: m.peak_degree,
             total_messages: m.total_messages,
+            total_activations: m.total_activations,
+            scheduler: rt.scheduler_name().to_string(),
             joins: m.joins,
             leaves: m.leaves,
             crashes: m.crashes,
@@ -228,26 +263,44 @@ impl<P: Program> Scenario<P> {
     }
 }
 
-fn apply<P: Program>(rt: &mut Runtime<P>, event: &Event<P>, rng: &mut SmallRng) -> usize {
+fn apply<P: Program>(
+    rt: &mut Runtime<P>,
+    event: &Event<P>,
+    rng: &mut SmallRng,
+    touched: &mut Vec<NodeId>,
+) -> usize {
     match event {
-        Event::Fault(fault) => inject(rt, fault, rng),
+        Event::Fault(fault) => inject_traced(rt, fault, rng, touched),
         Event::Join { id, attach } => {
             if rt.topology().contains(*id) {
                 0
             } else {
                 rt.join_spawned(*id, attach);
+                touched.push(*id);
+                touched.extend(attach.iter().filter(|v| rt.topology().contains(**v)));
                 1
             }
         }
-        Event::Leave(id) => rt.leave(*id).map_or(0, |_| 1),
-        Event::Crash(id) => rt.crash(*id).map_or(0, |_| 1),
+        Event::Leave(id) => rt.leave(*id).map_or(0, |_| {
+            touched.push(*id);
+            1
+        }),
+        Event::Crash(id) => rt.crash(*id).map_or(0, |_| {
+            touched.push(*id);
+            1
+        }),
         Event::Corrupt { id, mutate, .. } => {
             if rt.topology().contains(*id) {
                 rt.corrupt_node(*id, |p| mutate(p));
+                touched.push(*id);
                 1
             } else {
                 0
             }
+        }
+        Event::SetScheduler { make, .. } => {
+            rt.set_scheduler(make());
+            1
         }
     }
 }
@@ -261,6 +314,11 @@ pub struct EventRecord {
     pub event: String,
     /// Changes it made (edges touched / members changed / states corrupted).
     pub changes: usize,
+    /// Identifiers of the nodes the event touched (edge endpoints, joiners
+    /// and their contacts, departed hosts, corruption victims — the nodes
+    /// the runtime marks dirty for the event). May repeat ids when several
+    /// changes hit the same node; empty for scheduler swaps.
+    pub touched: Vec<NodeId>,
 }
 
 /// Serializable outcome of a scenario run.
@@ -293,6 +351,11 @@ pub struct ScenarioReport {
     pub peak_degree: usize,
     /// Total messages over the whole run.
     pub total_messages: u64,
+    /// Total `step()` activations over the whole run (see
+    /// [`crate::RunMetrics::total_activations`]).
+    pub total_activations: u64,
+    /// Name of the daemon installed when the run ended.
+    pub scheduler: String,
     /// Join events absorbed by the runtime.
     pub joins: u64,
     /// Graceful leaves absorbed by the runtime.

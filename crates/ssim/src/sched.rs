@@ -1,0 +1,406 @@
+//! Pluggable daemons: which nodes step in a round, and in what order.
+//!
+//! The paper states its results against the **fully synchronous daemon** —
+//! every round, every node steps — but self-stabilization results are
+//! routinely quoted against weaker daemons (unfair, randomized,
+//! adversarial activation), and a converged network paying `n` `step()`
+//! calls per round forever is pure waste. A [`Scheduler`] abstracts the
+//! daemon: each round the runtime asks it to *select* the set of
+//! [`NodeSlot`]s to activate; only those nodes run the emit phase (the
+//! apply phase processes exactly their actions, in selection order).
+//!
+//! Four daemons ship with the engine:
+//!
+//! * [`Synchronous`] — the paper's model and the default. Selects every
+//!   live node, in the engine's canonical member order, and reproduces the
+//!   pre-scheduler engine bit for bit.
+//! * [`RandomSubset`] — a seeded randomized daemon: each live node is
+//!   activated independently with probability `p` per round. Deterministic
+//!   for a fixed seed (and across thread counts — selection happens on the
+//!   driving thread). A stress daemon: it delays both computation and
+//!   message consumption arbitrarily, so protocols proven only for the
+//!   synchronous daemon may legitimately behave differently under it.
+//! * [`Adversarial`] — scripted or round-robin subsets, for worst-case
+//!   activation schedules (scenarios can install one mid-run via
+//!   [`crate::scenario::Event::SetScheduler`]).
+//! * [`ActivityDriven`] — the performance daemon: selects exactly the
+//!   runtime's **dirty set**. See below.
+//!
+//! # The dirty set
+//!
+//! The runtime maintains, under *every* scheduler, the set of slots that
+//! must be activated next round. A node is marked dirty when
+//!
+//! * a message is delivered to it (its inbox is non-empty),
+//! * an incident edge is added or removed — by protocol action,
+//!   adversarial fault, or a neighbor's departure,
+//! * it joins the network (or is present at construction),
+//! * its state is corrupted out-of-band ([`crate::Runtime::corrupt_node`]),
+//! * a [`crate::Ctx::wake_me_in`] timer it armed comes due, or
+//! * it stepped and still reports `is_quiescent() == false`.
+//!
+//! A slot's flag is cleared only when the node is actually activated, so
+//! wake-ups are never lost under daemons that skip dirty nodes, and the
+//! invariant *every live non-quiescent node is dirty* holds at every round
+//! boundary regardless of scheduler — which is what makes swapping
+//! schedulers mid-run sound.
+//!
+//! # Equivalence of `ActivityDriven` and `Synchronous`
+//!
+//! For **well-behaved** programs — those honoring the
+//! [`crate::Program::is_quiescent`] contract ("quiescent + empty inbox +
+//! unchanged neighborhood ⟹ `step()` is a no-op, including no PRNG
+//! draws") — an activity-driven execution is *identical* to the
+//! synchronous execution, not merely convergent to the same result: every
+//! skipped step would have been a no-op, every non-no-op step is selected
+//! (the dirty set covers precisely the no-op-breaking conditions), and
+//! per-node PRNG streams advance identically. Debug runs can enforce this
+//! with the shadow-step check ([`crate::Runtime::enable_shadow_check`]):
+//! each skipped node's `step` is run against a throwaway clone and must
+//! emit nothing, draw nothing, and stay quiescent. `RandomSubset` and
+//! `Adversarial` make no such claim (skipping a node with pending messages
+//! is their purpose), so the shadow check does not apply to them — see
+//! [`Scheduler::claims_equivalence`].
+
+use crate::topology::{NodeSlot, Topology};
+use crate::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The per-round view a [`Scheduler`] selects from: the current round
+/// number, the live topology, and the runtime's dirty set.
+pub struct SchedView<'a> {
+    /// Round about to execute.
+    pub round: u64,
+    /// The round-start topology (live membership, adjacency, slots).
+    pub topo: &'a Topology,
+    /// Slots the runtime has marked dirty (see the module docs), sorted by
+    /// **canonical member order** ([`Topology::member_rank`]) — the same
+    /// order [`Synchronous`] activates in, so selecting the dirty set
+    /// verbatim preserves the synchronous execution's apply order (and
+    /// with it the relative order of same-round messages in a shared
+    /// recipient's inbox). Every live non-quiescent node is in here; so is
+    /// every node with a non-empty inbox or a recently changed
+    /// neighborhood. Populated only for schedulers whose
+    /// [`Scheduler::uses_dirty_set`] returns true.
+    pub dirty: &'a [NodeSlot],
+}
+
+/// A daemon: selects the slots to activate each round.
+///
+/// Implementations must be deterministic functions of their own state and
+/// the [`SchedView`] (selection always happens on the driving thread, so
+/// determinism is automatic across thread counts). The runtime sanitizes
+/// the selection — duplicates and non-live slots are dropped — so a sloppy
+/// scheduler cannot corrupt the engine, but a correct one should not rely
+/// on that. Selection order is the apply order: actions of earlier-selected
+/// nodes are applied (and their messages enqueued) first.
+pub trait Scheduler: Send {
+    /// Append this round's activation set to `out` (passed in empty).
+    fn select(&mut self, view: &SchedView<'_>, out: &mut Vec<NodeSlot>);
+
+    /// Short label for reports and experiment tables.
+    fn name(&self) -> &str {
+        "scheduler"
+    }
+
+    /// True iff this scheduler promises to activate every node whose step
+    /// might not be a no-op — i.e. it claims execution-equivalence with
+    /// [`Synchronous`] for well-behaved programs. The runtime's debug
+    /// shadow-step check only audits schedulers that return true.
+    fn claims_equivalence(&self) -> bool {
+        false
+    }
+
+    /// True iff [`Scheduler::select`] reads [`SchedView::dirty`]. The
+    /// runtime sorts the dirty set into the view each round only when this
+    /// returns true — a scheduler that selects without it (like
+    /// [`Synchronous`]) should override to `false` so full-activation
+    /// rounds skip the O(dirty log dirty) sort. Defaults to `true` (a
+    /// correct-but-slower view beats a silently empty one).
+    fn uses_dirty_set(&self) -> bool {
+        true
+    }
+}
+
+/// The paper's fully synchronous daemon (the default): every live node
+/// steps every round, in the engine's canonical member order. Bit-for-bit
+/// identical to the pre-scheduler engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Synchronous;
+
+impl Scheduler for Synchronous {
+    fn select(&mut self, view: &SchedView<'_>, out: &mut Vec<NodeSlot>) {
+        out.extend(view.topo.live_slots().map(|(s, _)| s));
+    }
+
+    fn name(&self) -> &str {
+        "synchronous"
+    }
+
+    fn claims_equivalence(&self) -> bool {
+        true // trivially: nothing is ever skipped
+    }
+
+    fn uses_dirty_set(&self) -> bool {
+        false
+    }
+}
+
+/// Seeded randomized daemon: each live node is activated independently
+/// with probability `p` each round. Messages to skipped nodes stay queued
+/// in their inboxes until the node is eventually activated (the engine
+/// delays delivery, it never drops it).
+#[derive(Debug, Clone)]
+pub struct RandomSubset {
+    p: f64,
+    rng: SmallRng,
+}
+
+impl RandomSubset {
+    /// Activate each node with probability `p` (clamped to `[0, 1]`),
+    /// drawing from a private RNG seeded with `seed`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        Self {
+            p: p.clamp(0.0, 1.0),
+            rng: SmallRng::seed_from_u64(seed ^ 0x5E_ED_DA_E0_0F_u64),
+        }
+    }
+}
+
+impl Scheduler for RandomSubset {
+    fn select(&mut self, view: &SchedView<'_>, out: &mut Vec<NodeSlot>) {
+        // One draw per live node, in canonical member order, so the draw
+        // sequence is a deterministic function of (seed, membership history).
+        for (slot, _) in view.topo.live_slots() {
+            if self.rng.gen_bool(self.p) {
+                out.push(slot);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "random-subset"
+    }
+
+    fn uses_dirty_set(&self) -> bool {
+        false
+    }
+}
+
+/// How an [`Adversarial`] daemon picks its subsets.
+#[derive(Debug, Clone)]
+enum Plan {
+    /// Partition the live members into `groups` classes by member order and
+    /// activate class `round % groups` — a maximally unfair-but-starvation-
+    /// free daemon (for static membership, every node steps once per
+    /// `groups` rounds).
+    RoundRobin {
+        /// Number of classes.
+        groups: u64,
+    },
+    /// Explicit per-round activation scripts (by node id), cycled.
+    Script {
+        /// One entry per round; entry `round % len` is used.
+        rounds: Vec<Vec<NodeId>>,
+    },
+}
+
+/// Scripted / round-robin adversarial daemon. Node ids in scripts that are
+/// not currently members are skipped (they may have left); script order is
+/// activation (and thus apply) order, so the adversary also controls
+/// intra-round sequencing.
+#[derive(Debug, Clone)]
+pub struct Adversarial {
+    plan: Plan,
+}
+
+impl Adversarial {
+    /// Round-robin over `groups` classes of the live member order
+    /// (`groups == 0` is treated as 1, i.e. synchronous).
+    pub fn round_robin(groups: u64) -> Self {
+        Self {
+            plan: Plan::RoundRobin {
+                groups: groups.max(1),
+            },
+        }
+    }
+
+    /// Explicit activation script: round `r` activates `rounds[r % len]`.
+    /// An empty script activates nobody, ever.
+    pub fn script(rounds: Vec<Vec<NodeId>>) -> Self {
+        Self {
+            plan: Plan::Script { rounds },
+        }
+    }
+}
+
+impl Scheduler for Adversarial {
+    fn select(&mut self, view: &SchedView<'_>, out: &mut Vec<NodeSlot>) {
+        match &self.plan {
+            Plan::RoundRobin { groups } => {
+                let class = view.round % groups;
+                for (k, (slot, _)) in view.topo.live_slots().enumerate() {
+                    if k as u64 % groups == class {
+                        out.push(slot);
+                    }
+                }
+            }
+            Plan::Script { rounds } => {
+                if rounds.is_empty() {
+                    return;
+                }
+                let step = &rounds[(view.round % rounds.len() as u64) as usize];
+                out.extend(step.iter().filter_map(|&v| view.topo.slot_of(v)));
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self.plan {
+            Plan::RoundRobin { .. } => "adversarial-rr",
+            Plan::Script { .. } => "adversarial-script",
+        }
+    }
+
+    fn uses_dirty_set(&self) -> bool {
+        false
+    }
+}
+
+/// The activity-driven daemon: activates exactly the runtime's dirty set
+/// (in canonical member order — the synchronous daemon's activation order
+/// restricted to the dirty subset, which is what keeps same-round message
+/// interleavings identical). After a well-behaved protocol converges and
+/// quiesces, rounds cost O(dirty) ≈ 0 instead of O(n) — the
+/// post-convergence speedup the scheduler subsystem exists for — while
+/// remaining execution-equivalent to [`Synchronous`] (see the module docs
+/// for the argument, and [`crate::Runtime::enable_shadow_check`] for the
+/// debug-mode proof obligation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ActivityDriven;
+
+impl Scheduler for ActivityDriven {
+    fn select(&mut self, view: &SchedView<'_>, out: &mut Vec<NodeSlot>) {
+        out.extend_from_slice(view.dirty);
+    }
+
+    fn name(&self) -> &str {
+        "activity-driven"
+    }
+
+    fn claims_equivalence(&self) -> bool {
+        true
+    }
+}
+
+/// Parse a scheduler from a CLI-style spec: `sync`, `activity`,
+/// `random:<p>` (seeded with `seed`), or `rr:<k>`. Returns `None` for an
+/// unrecognized spec — callers should report the valid forms.
+pub fn from_spec(spec: &str, seed: u64) -> Option<Box<dyn Scheduler>> {
+    match spec {
+        "sync" | "synchronous" => Some(Box::new(Synchronous)),
+        "activity" | "activity-driven" => Some(Box::new(ActivityDriven)),
+        _ => {
+            if let Some(p) = spec.strip_prefix("random:") {
+                let p: f64 = p.parse().ok()?;
+                Some(Box::new(RandomSubset::new(p, seed)))
+            } else if let Some(k) = spec.strip_prefix("rr:") {
+                let k: u64 = k.parse().ok()?;
+                Some(Box::new(Adversarial::round_robin(k)))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view_fixture() -> Topology {
+        Topology::new(0..6u32, (0..5u32).map(|i| (i, i + 1)))
+    }
+
+    fn select(s: &mut dyn Scheduler, topo: &Topology, round: u64, dirty: &[NodeSlot]) -> Vec<u32> {
+        let mut out = Vec::new();
+        s.select(&SchedView { round, topo, dirty }, &mut out);
+        out.iter().map(|s| s.index() as u32).collect()
+    }
+
+    #[test]
+    fn synchronous_selects_all_live_in_member_order() {
+        let topo = view_fixture();
+        let got = select(&mut Synchronous, &topo, 0, &[]);
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn activity_driven_selects_exactly_the_dirty_set() {
+        let topo = view_fixture();
+        let dirty = [NodeSlot::new(1), NodeSlot::new(4)];
+        assert_eq!(select(&mut ActivityDriven, &topo, 7, &dirty), vec![1, 4]);
+        assert_eq!(
+            select(&mut ActivityDriven, &topo, 8, &[]),
+            Vec::<u32>::new()
+        );
+    }
+
+    #[test]
+    fn random_subset_is_seed_deterministic_and_p_bounded() {
+        let topo = view_fixture();
+        let runs = |seed| {
+            let mut s = RandomSubset::new(0.5, seed);
+            (0..20)
+                .map(|r| select(&mut s, &topo, r, &[]))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(runs(9), runs(9));
+        assert_ne!(runs(9), runs(10), "different seeds differ");
+        let mut all = RandomSubset::new(1.0, 1);
+        assert_eq!(select(&mut all, &topo, 0, &[]).len(), 6);
+        let mut none = RandomSubset::new(0.0, 1);
+        assert!(select(&mut none, &topo, 0, &[]).is_empty());
+    }
+
+    #[test]
+    fn round_robin_partitions_and_covers() {
+        let topo = view_fixture();
+        let mut s = Adversarial::round_robin(3);
+        let mut seen: Vec<u32> = Vec::new();
+        for r in 0..3 {
+            seen.extend(select(&mut s, &topo, r, &[]));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5], "3 rounds cover everyone");
+        assert_eq!(select(&mut s, &topo, 0, &[]), vec![0, 3]);
+    }
+
+    #[test]
+    fn script_resolves_ids_and_cycles() {
+        let topo = view_fixture();
+        let mut s = Adversarial::script(vec![vec![5, 0], vec![2, 99]]);
+        assert_eq!(select(&mut s, &topo, 0, &[]), vec![5, 0], "script order");
+        assert_eq!(select(&mut s, &topo, 1, &[]), vec![2], "unknown id skipped");
+        assert_eq!(select(&mut s, &topo, 2, &[]), vec![5, 0], "cycles");
+    }
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(from_spec("sync", 0).unwrap().name(), "synchronous");
+        assert_eq!(from_spec("activity", 0).unwrap().name(), "activity-driven");
+        assert_eq!(from_spec("random:0.25", 7).unwrap().name(), "random-subset");
+        assert_eq!(from_spec("rr:4", 0).unwrap().name(), "adversarial-rr");
+        assert!(from_spec("bogus", 0).is_none());
+        assert!(from_spec("random:x", 0).is_none());
+    }
+
+    #[test]
+    fn equivalence_claims() {
+        assert!(Synchronous.claims_equivalence());
+        assert!(ActivityDriven.claims_equivalence());
+        assert!(!RandomSubset::new(0.5, 1).claims_equivalence());
+        assert!(!Adversarial::round_robin(2).claims_equivalence());
+    }
+}

@@ -23,11 +23,13 @@ use std::collections::HashMap;
 ///
 /// Slots are the engine's dense index space: the runtime's per-node storage
 /// (programs, RNGs, inboxes, action scratch) is addressed by slot, and only
-/// the membership boundary translates ids to slots. Slot order is also the
-/// engine's canonical *determinism order* — parallel rounds split the slot
-/// range into per-thread chunks for the emit phase and apply the resulting
-/// actions in ascending slot order, which is what makes thread count
-/// invisible in the results.
+/// the membership boundary translates ids to slots. Slots are also the
+/// currency of the scheduler subsystem: a [`crate::sched::Scheduler`]
+/// selects slots to activate, the runtime's dirty set is a set of slots,
+/// and parallel rounds split the *selection* into per-thread chunks for
+/// the emit phase, applying the resulting actions in selection order on
+/// the driving thread — which is what makes thread count invisible in the
+/// results.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeSlot(u32);
 
@@ -131,6 +133,26 @@ impl Topology {
     /// The occupant of `slot`, or `None` for a free (or out-of-range) slot.
     pub fn id_at(&self, slot: NodeSlot) -> Option<NodeId> {
         self.slots.get(slot.index()).copied().flatten()
+    }
+
+    /// True iff `slot` currently holds a live node — the liveness probe the
+    /// runtime's scheduler machinery uses to filter stale dirty-set entries
+    /// and sanitize selections (a freed slot may linger in those structures
+    /// until the next round's purge).
+    pub fn is_live(&self, slot: NodeSlot) -> bool {
+        self.id_at(slot).is_some()
+    }
+
+    /// The occupant's position in the canonical member order (the order
+    /// [`Topology::ids`] returns and the synchronous daemon activates in),
+    /// or `None` for a free slot. This — not ascending slot order — is the
+    /// engine's determinism order: schedulers that claim equivalence with
+    /// the synchronous daemon must order their selections by it, because
+    /// apply order decides the relative order of same-round messages in a
+    /// shared recipient's inbox.
+    pub fn member_rank(&self, slot: NodeSlot) -> Option<usize> {
+        self.id_at(slot)
+            .map(|_| self.dense_pos[slot.index()] as usize)
     }
 
     /// Iterate the live `(slot, id)` pairs, in the same unspecified (but

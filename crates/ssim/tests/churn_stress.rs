@@ -9,6 +9,7 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use ssim::fault::{inject, Fault};
+use ssim::sched::{ActivityDriven, Adversarial, RandomSubset, Scheduler};
 use ssim::{Config, Ctx, NodeId, Program, Runtime};
 
 /// A protocol that exercises every engine surface: it draws from its
@@ -70,7 +71,24 @@ fn churn_storm_threads(
     check_each: bool,
     threads: usize,
 ) -> String {
+    churn_storm_sched(n, events, seed, check_each, threads, None)
+}
+
+/// [`churn_storm_threads`] under an explicit daemon (`None` = the default
+/// synchronous scheduler). Partial daemons leave messages queued across
+/// membership events, so this also stresses the pending-inbox purge paths.
+fn churn_storm_sched(
+    n: u32,
+    events: usize,
+    seed: u64,
+    check_each: bool,
+    threads: usize,
+    sched: Option<Box<dyn Scheduler>>,
+) -> String {
     let mut rt = ring_runtime_threads(n, seed, threads);
+    if let Some(s) = sched {
+        rt.set_scheduler(s);
+    }
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1CE);
     let mut next_fresh = n; // ids ≥ n are fresh joiners
     for e in 0..events {
@@ -146,6 +164,34 @@ fn storm_metrics_are_bit_identical_across_thread_counts() {
                 sequential, parallel,
                 "seed {seed}: {threads}-thread storm diverged from sequential"
             );
+        }
+    }
+}
+
+/// The same storms under every shipped daemon: identical (seed, scheduler)
+/// runs must produce byte-identical metrics JSON across thread counts
+/// {1, 2, 4}. RandomSubset and the round-robin adversary leave messages
+/// queued across joins/leaves/crashes, so this also pins the engine's
+/// pending-inbox accounting (consumption-time `sent_to` release, departure
+/// purges of multi-round-old messages) under churn.
+#[test]
+fn storms_under_every_scheduler_are_thread_count_invariant() {
+    type Make = fn(u64) -> Box<dyn Scheduler>;
+    let schedulers: [(&str, Make); 3] = [
+        ("activity", |_| Box::new(ActivityDriven)),
+        ("random", |seed| Box::new(RandomSubset::new(0.4, seed))),
+        ("rr", |_| Box::new(Adversarial::round_robin(3))),
+    ];
+    for (name, make) in schedulers {
+        for seed in [5u64, 99] {
+            let baseline = churn_storm_sched(20, 200, seed, true, 1, Some(make(seed)));
+            for threads in [2usize, 4] {
+                let parallel = churn_storm_sched(20, 200, seed, false, threads, Some(make(seed)));
+                assert_eq!(
+                    baseline, parallel,
+                    "{name}, seed {seed}: {threads}-thread storm diverged"
+                );
+            }
         }
     }
 }

@@ -6,8 +6,10 @@
 //!
 //! * [`sim`] — the synchronous overlay-network simulator (model of §2),
 //!   including **dynamic membership** (hosts join/leave/crash mid-run), the
-//!   [`sim::monitor`] observer API, and declarative [`sim::scenario`]
-//!   perturbation schedules.
+//!   [`sim::monitor`] observer API, declarative [`sim::scenario`]
+//!   perturbation schedules, and pluggable [`sim::sched`] **daemons**
+//!   (synchronous, randomized, adversarial, and the activity-driven daemon
+//!   that makes post-convergence rounds O(activity) instead of O(n)).
 //! * [`topology`] — `Chord(N)`, `Cbt(N)`, the Avatar embedding, analytics.
 //! * [`scaffold`] — the self-stabilizing `Avatar(Cbt)` substrate (§3).
 //! * [`chord`] — the paper's contribution: self-stabilizing `Avatar(Chord)`
