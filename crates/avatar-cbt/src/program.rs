@@ -5,6 +5,7 @@
 use crate::io::CtxIo;
 use crate::msg::CbtMsg;
 use crate::protocol::{CbtCore, StepEvents};
+use ssim::workload::{RouteStep, Router};
 use ssim::{Ctx, NodeId, Program};
 
 /// A host node running the self-stabilizing Avatar(CBT) algorithm.
@@ -46,5 +47,12 @@ impl Program for CbtProgram {
     /// when its cluster looks clean, so it must keep being scheduled.
     fn is_quiescent(&self) -> bool {
         self.core.is_dormant()
+    }
+}
+
+impl Router for CbtProgram {
+    /// Host-tree routing over live links — see [`CbtCore::route_request`].
+    fn route(&self, key: u32, neighbors: &[NodeId]) -> RouteStep {
+        self.core.route_request(key, neighbors)
     }
 }

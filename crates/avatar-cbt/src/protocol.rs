@@ -138,6 +138,83 @@ impl CbtCore {
         self.asleep && self.sleep_grace == 0 && self.sleep_neighbors.is_some()
     }
 
+    /// Tree routing of an application request (the
+    /// [`ssim::workload::Router`] decision): deliver when this host's
+    /// responsible range covers the key; otherwise walk the guest CBT from
+    /// this host's range root toward the key guest and forward to the
+    /// same-cluster neighbor covering the first guest on that path outside
+    /// this host's range. On a legal `Avatar(Cbt)` this is exactly the
+    /// dilation-1 host-tree route — `O(log N)` hops.
+    ///
+    /// Neighbor ranges come from stale-tolerant beacon lookups (dormant
+    /// hosts' cluster states are frozen, so their last beacons stay
+    /// accurate — and routing must keep working while the legal network
+    /// sleeps). Mid-merge or mid-reset views can fail to resolve; the
+    /// request then retries against the healing overlay, bounded by its
+    /// TTL.
+    pub fn route_request(&self, key: u32, neighbors: &[NodeId]) -> ssim::workload::RouteStep {
+        use ssim::workload::RouteStep;
+        let key = key % self.n;
+        if self.core.covers(key) {
+            return RouteStep::Deliver;
+        }
+        // The guest-tree path root → key is fixed (BST descent). Routing
+        // must be a function of the request's *progress along that path*,
+        // not of the holder's range root: contiguous ranges can interleave
+        // along the path (its values oscillate around the key as the
+        // interval narrows), and two hosts each restarting from their own
+        // range root would bounce the request between them forever. So:
+        // find the deepest path guest this host covers and hand the
+        // request to the host covering the *next* path guest — strictly
+        // monotone, loop-free, ≤ height hops. Allocation-free: one walk
+        // down the path, O(log N) `children` per step.
+        let mut g = self.cbt.root();
+        let mut next_after_covered: Option<u32> = None;
+        let cur = loop {
+            let next = if g == key {
+                None
+            } else {
+                let (left, right) = self.cbt.children(g);
+                if key < g {
+                    left
+                } else {
+                    right
+                }
+            };
+            if self.core.covers(g) {
+                next_after_covered = next;
+            }
+            match next {
+                Some(nx) => g = nx,
+                None => break next_after_covered,
+            }
+        };
+        let cur = match cur {
+            // Covers part of the path: the next path guest is the hop.
+            Some(nx) => nx,
+            // Covers nothing on the path: route up the host tree — the
+            // parent of the range root lies in an ancestor host's range
+            // (strictly lower range-root level each hop), and the host
+            // covering the guest root is on every path.
+            None => {
+                let rr = self.cbt.range_root(self.core.range.0, self.core.range.1);
+                match self.cbt.parent(rr) {
+                    Some(p) => p,
+                    None => return RouteStep::Unroutable,
+                }
+            }
+        };
+        debug_assert!(!self.core.covers(cur));
+        for &v in neighbors {
+            if let Some(b) = self.view.latest(v) {
+                if b.cid == self.core.cid && b.range.0 <= cur && cur < b.range.1 {
+                    return RouteStep::Forward(v);
+                }
+            }
+        }
+        RouteStep::Unroutable
+    }
+
     /// Enter the dormant state and propagate the Sleep wave.
     ///
     /// The wave floods over **all** incident edges, not just tree children:
@@ -867,6 +944,74 @@ pub fn mix_cids(a: u64, b: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Tree routing on a legal cluster: following `route_request` hop by
+    /// hop from any host reaches the host covering the key within the
+    /// host-tree depth bound, and the covering host delivers.
+    #[test]
+    fn tree_routing_walks_to_the_covering_host() {
+        use crate::msg::Beacon;
+        use ssim::workload::RouteStep;
+        let n = 64u32;
+        let hosts = [3u32, 17, 30, 41, 55];
+        let av = overlay::Avatar::new(n, hosts.iter().copied());
+        let cores: Vec<CbtCore> = hosts
+            .iter()
+            .map(|&u| {
+                let mut c = CbtCore::new(u, n, 7);
+                let r = av.range_of(u);
+                c.core = ClusterCore {
+                    cid: 7,
+                    range: (r.lo, r.hi),
+                    cluster_min: 3,
+                };
+                for &v in &hosts {
+                    if v != u {
+                        let rv = av.range_of(v);
+                        c.view.record(
+                            v,
+                            10,
+                            Beacon {
+                                cid: 7,
+                                range: (rv.lo, rv.hi),
+                                cluster_min: 3,
+                                role: None,
+                                epoch: 0,
+                            },
+                        );
+                    }
+                }
+                c
+            })
+            .collect();
+        for key in [0u32, 16, 31, 50, 63] {
+            let responsible = av.host_of(key);
+            for &start in &hosts {
+                let mut cur = start;
+                let mut hops = 0;
+                loop {
+                    let idx = hosts.iter().position(|&h| h == cur).unwrap();
+                    let neighbors: Vec<ssim::NodeId> =
+                        hosts.iter().copied().filter(|&v| v != cur).collect();
+                    match cores[idx].route_request(key, &neighbors) {
+                        RouteStep::Deliver => {
+                            assert_eq!(cur, responsible, "key {key} from {start}");
+                            break;
+                        }
+                        RouteStep::Forward(v) => {
+                            cur = v;
+                            hops += 1;
+                            assert!(
+                                hops <= cores[idx].cbt.height() + 2,
+                                "key {key} from {start}: too many hops"
+                            );
+                        }
+                        RouteStep::Unroutable => panic!("key {key} unroutable at {cur}"),
+                    }
+                }
+            }
+        }
+    }
 
     #[test]
     fn mix_cids_is_symmetric_and_fresh() {

@@ -1,0 +1,533 @@
+//! The CI perf-regression gate: diff a fresh `exp_* --json` run against the
+//! committed `BENCH_engine.json` baseline with per-metric tolerances.
+//!
+//! The baseline is JSON-Lines — one table document per line, as emitted by
+//! [`crate::Table::emit`] under `--json`:
+//!
+//! ```json
+//! {"experiment":"…","headers":["n","ns/round",…],"rows":[["256","66.2",…],…]}
+//! ```
+//!
+//! Documents are matched by experiment title, rows by position (generation
+//! order is deterministic), and cells by column class:
+//!
+//! * **timing columns** (header contains `ns/`) — wall-clock measurements,
+//!   the only machine-dependent numbers in the table. The gate fails when
+//!   `fresh > baseline × tolerance` (default ×1.75, scalable with a slack
+//!   factor for noisy runners); *improvements always pass* — re-baseline
+//!   when they stick.
+//! * **environment columns** (`cores`) and **derived-from-timing columns**
+//!   (`speedup`) — skipped: they legitimately differ between the committing
+//!   machine and the CI runner.
+//! * **everything else** — counters, round numbers, activations, request
+//!   accounting, success rates: fully deterministic per seed, compared for
+//!   exact equality. Any drift is a real behavior change, not noise.
+//!
+//! The vendored `serde_json` stub is serialize-only, so parsing is done by
+//! the minimal JSON reader below (strings, arrays, objects — exactly the
+//! shapes `Table::emit` produces).
+
+/// One parsed table document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Doc {
+    /// Experiment title (the match key).
+    pub experiment: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (all stringified by the table printer).
+    pub rows: Vec<Vec<String>>,
+}
+
+/// Outcome of a baseline diff.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Human-readable failure descriptions (empty = gate passes).
+    pub failures: Vec<String>,
+    /// Cells compared (exact + tolerated).
+    pub compared: usize,
+    /// Cells skipped as environment-dependent.
+    pub skipped: usize,
+}
+
+impl CheckReport {
+    /// True iff the gate passes.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (strings / arrays / objects of such).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Reader<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            s: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.i < self.s.len() && self.s[self.i] == b {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {} of JSON document",
+                b as char, self.i
+            ))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => {
+                self.expect(b'[')?;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        other => return Err(format!("bad array separator {other:?}")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.expect(b'{')?;
+                let mut entries = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.i += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                loop {
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    let val = self.value()?;
+                    entries.push((key, val));
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(Json::Obj(entries));
+                        }
+                        other => return Err(format!("bad object separator {other:?}")),
+                    }
+                }
+            }
+            // Bare atoms (numbers, booleans) are not produced by the table
+            // printer but tolerate them as raw strings for forward
+            // compatibility.
+            Some(_) => {
+                self.skip_ws();
+                let start = self.i;
+                while self.i < self.s.len()
+                    && !matches!(self.s[self.i], b',' | b']' | b'}')
+                    && !self.s[self.i].is_ascii_whitespace()
+                {
+                    self.i += 1;
+                }
+                Ok(Json::Str(
+                    String::from_utf8_lossy(&self.s[start..self.i]).into_owned(),
+                ))
+            }
+            None => Err("unexpected end of JSON document".into()),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        // Accumulate bytes and decode once at the end: pushing raw bytes
+        // as chars would mangle multi-byte UTF-8 (the experiment titles
+        // use "×", "≤", "₂", …).
+        let mut out = Vec::new();
+        while self.i < self.s.len() {
+            match self.s[self.i] {
+                b'"' => {
+                    self.i += 1;
+                    return String::from_utf8(out).map_err(|e| e.to_string());
+                }
+                b'\\' => {
+                    self.i += 1;
+                    let esc = *self.s.get(self.i).ok_or("truncated escape")?;
+                    let decoded: char = match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        b'u' => {
+                            // \uXXXX — the table printer never emits these,
+                            // but decode rather than corrupt.
+                            let hex = self
+                                .s
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.i += 4;
+                            char::from_u32(code).ok_or("bad \\u escape")?
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    };
+                    let mut buf = [0u8; 4];
+                    out.extend_from_slice(decoded.encode_utf8(&mut buf).as_bytes());
+                    self.i += 1;
+                }
+                b => {
+                    // Multi-byte UTF-8 sequences pass through bytewise and
+                    // are validated by the final `from_utf8`.
+                    out.push(b);
+                    self.i += 1;
+                }
+            }
+        }
+        Err("unterminated string".into())
+    }
+}
+
+/// Parse one JSON-Lines stream of table documents. Blank lines are
+/// skipped; any malformed line is an error (a truncated baseline must fail
+/// the gate loudly, not vacuously pass).
+pub fn parse_docs(input: &str) -> Result<Vec<Doc>, String> {
+    let mut docs = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut r = Reader::new(line);
+        let v = r.value().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let Json::Obj(entries) = v else {
+            return Err(format!("line {}: not a JSON object", lineno + 1));
+        };
+        let field = |name: &str| -> Option<&Json> {
+            entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+        };
+        let strs = |v: &Json| -> Result<Vec<String>, String> {
+            match v {
+                Json::Arr(items) => items
+                    .iter()
+                    .map(|it| match it {
+                        Json::Str(s) => Ok(s.clone()),
+                        _ => Err("non-string cell".to_string()),
+                    })
+                    .collect(),
+                _ => Err("expected an array".into()),
+            }
+        };
+        let experiment = match field("experiment") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => return Err(format!("line {}: missing experiment title", lineno + 1)),
+        };
+        let headers = strs(field("headers").ok_or(format!("line {}: no headers", lineno + 1))?)
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let rows = match field("rows") {
+            Some(Json::Arr(rows)) => rows
+                .iter()
+                .map(strs)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?,
+            _ => return Err(format!("line {}: no rows", lineno + 1)),
+        };
+        docs.push(Doc {
+            experiment,
+            headers,
+            rows,
+        });
+    }
+    Ok(docs)
+}
+
+// ---------------------------------------------------------------------------
+// The gate.
+// ---------------------------------------------------------------------------
+
+/// Column classes for comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    /// Wall-clock measurement: ratio tolerance, regressions only.
+    Timing,
+    /// Environment- or timing-derived: skipped.
+    Skip,
+    /// Deterministic per seed: exact equality.
+    Exact,
+}
+
+/// Default ratio tolerance for timing columns. Chosen below 2.0 so that a
+/// genuine 2× slowdown always trips the gate (pinned by a unit test), with
+/// headroom for ordinary runner noise; scale with `slack` for unusually
+/// noisy environments.
+pub const TIMING_TOLERANCE: f64 = 1.75;
+
+fn classify(header: &str) -> Class {
+    if header.contains("ns/") {
+        Class::Timing
+    } else if header == "cores" || header == "speedup" {
+        Class::Skip
+    } else {
+        Class::Exact
+    }
+}
+
+/// Diff `fresh` against `baseline` (both JSON-Lines table streams).
+/// `slack` scales the timing tolerance (`1.0` = the default
+/// [`TIMING_TOLERANCE`]). Every baseline document must appear in the fresh
+/// run with identical headers, row counts, and deterministic cells; timing
+/// cells may drift up to the tolerance. Documents only present in the
+/// fresh run are ignored (new experiments do not need an old baseline).
+pub fn check_regression(baseline: &str, fresh: &str, slack: f64) -> CheckReport {
+    let mut report = CheckReport::default();
+    let tol = TIMING_TOLERANCE * slack.max(0.01);
+    let (base_docs, fresh_docs) = match (parse_docs(baseline), parse_docs(fresh)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) => {
+            report.failures.push(format!("baseline unreadable: {e}"));
+            return report;
+        }
+        (_, Err(e)) => {
+            report.failures.push(format!("fresh run unreadable: {e}"));
+            return report;
+        }
+    };
+    for base in &base_docs {
+        let title = &base.experiment;
+        let Some(fresh) = fresh_docs.iter().find(|d| &d.experiment == title) else {
+            report
+                .failures
+                .push(format!("experiment missing from fresh run: {title:?}"));
+            continue;
+        };
+        if base.headers != fresh.headers {
+            report.failures.push(format!(
+                "{title:?}: headers changed ({:?} -> {:?}) — regenerate the baseline",
+                base.headers, fresh.headers
+            ));
+            continue;
+        }
+        if base.rows.len() != fresh.rows.len() {
+            report.failures.push(format!(
+                "{title:?}: row count changed ({} -> {})",
+                base.rows.len(),
+                fresh.rows.len()
+            ));
+            continue;
+        }
+        // Reject malformed rows up front: the per-cell loop indexes by
+        // header position, and "a truncated baseline must fail the gate
+        // loudly" means with a diagnostic, not an index panic.
+        if let Some((rix, row)) = base
+            .rows
+            .iter()
+            .chain(&fresh.rows)
+            .enumerate()
+            .find(|(_, row)| row.len() != base.headers.len())
+        {
+            report.failures.push(format!(
+                "{title:?}: row {} has {} cells for {} headers (malformed document)",
+                rix % base.rows.len().max(1),
+                row.len(),
+                base.headers.len()
+            ));
+            continue;
+        }
+        for (rix, (brow, frow)) in base.rows.iter().zip(&fresh.rows).enumerate() {
+            for (cix, header) in base.headers.iter().enumerate() {
+                let (b, f) = (&brow[cix], &frow[cix]);
+                match classify(header) {
+                    Class::Skip => report.skipped += 1,
+                    Class::Exact => {
+                        report.compared += 1;
+                        if b != f {
+                            report.failures.push(format!(
+                                "{title:?} row {rix} `{header}`: {b:?} -> {f:?} \
+                                 (deterministic metric drifted)"
+                            ));
+                        }
+                    }
+                    Class::Timing => {
+                        report.compared += 1;
+                        match (b.parse::<f64>(), f.parse::<f64>()) {
+                            (Ok(bv), Ok(fv)) if bv > 0.0 => {
+                                if fv > bv * tol {
+                                    report.failures.push(format!(
+                                        "{title:?} row {rix} `{header}`: {fv:.2} exceeds \
+                                         baseline {bv:.2} × {tol:.2} tolerance \
+                                         ({:.2}× regression)",
+                                        fv / bv
+                                    ));
+                                }
+                            }
+                            _ => {
+                                if b != f {
+                                    report.failures.push(format!(
+                                        "{title:?} row {rix} `{header}`: non-numeric timing \
+                                         cell changed {b:?} -> {f:?}"
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(ns: &str, rounds: &str) -> String {
+        format!(
+            "{{\"experiment\":\"E12: engine\",\"headers\":[\"n\",\"rounds\",\"ns/round\",\"cores\"],\
+             \"rows\":[[\"256\",\"{rounds}\",\"{ns}\",\"1\"]]}}\n"
+        )
+    }
+
+    #[test]
+    fn parses_table_documents() {
+        let docs = parse_docs(&doc("66620.75", "20")).expect("parses");
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs[0].experiment, "E12: engine");
+        assert_eq!(docs[0].headers[2], "ns/round");
+        assert_eq!(docs[0].rows[0][2], "66620.75");
+    }
+
+    #[test]
+    fn parser_preserves_multibyte_utf8_and_escapes() {
+        let line = "{\"experiment\":\"E13a: hops ≤ 2·log₂N\",\"headers\":[\"a\\u0041×\"],\
+                    \"rows\":[[\"1\"]]}\n";
+        let docs = parse_docs(line).expect("parses");
+        assert_eq!(docs[0].experiment, "E13a: hops ≤ 2·log₂N");
+        assert_eq!(docs[0].headers[0], "aA×");
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let r = check_regression(&doc("100.0", "20"), &doc("100.0", "20"), 1.0);
+        assert!(r.ok(), "{:?}", r.failures);
+        assert!(r.compared >= 3);
+        assert_eq!(r.skipped, 1, "cores column skipped");
+    }
+
+    /// The satellite's acceptance requirement: an injected 2× timing
+    /// regression must fail the gate at the default tolerance.
+    #[test]
+    fn injected_2x_timing_regression_fails() {
+        let r = check_regression(&doc("100.0", "20"), &doc("200.0", "20"), 1.0);
+        assert!(!r.ok());
+        assert!(
+            r.failures[0].contains("2.00× regression"),
+            "{:?}",
+            r.failures
+        );
+    }
+
+    #[test]
+    fn timing_improvements_and_small_noise_pass() {
+        assert!(check_regression(&doc("100.0", "20"), &doc("50.0", "20"), 1.0).ok());
+        assert!(check_regression(&doc("100.0", "20"), &doc("160.0", "20"), 1.0).ok());
+    }
+
+    #[test]
+    fn deterministic_counter_drift_fails_exactly() {
+        let r = check_regression(&doc("100.0", "20"), &doc("100.0", "21"), 1.0);
+        assert!(!r.ok());
+        assert!(r.failures[0].contains("deterministic metric drifted"));
+    }
+
+    #[test]
+    fn environment_columns_are_ignored() {
+        let base = doc("100.0", "20");
+        let fresh = base.replace("\"1\"]", "\"8\"]"); // cores: 1 -> 8
+        assert!(check_regression(&base, &fresh, 1.0).ok());
+    }
+
+    #[test]
+    fn missing_experiment_and_shape_changes_fail() {
+        let r = check_regression(&doc("1", "2"), "", 1.0);
+        assert!(!r.ok(), "missing doc must fail");
+        let two_rows =
+            doc("1", "2").replace("\"rows\":[[", "\"rows\":[[\"256\",\"2\",\"1\",\"1\"],[");
+        let r = check_regression(&two_rows, &doc("1", "2"), 1.0);
+        assert!(!r.ok(), "row-count change must fail");
+    }
+
+    #[test]
+    fn slack_scales_the_tolerance() {
+        // 2× regression passes at slack 1.5 (tolerance 2.625)…
+        assert!(check_regression(&doc("100.0", "20"), &doc("200.0", "20"), 1.5).ok());
+        // …and tiny slack turns noise into failures.
+        assert!(!check_regression(&doc("100.0", "20"), &doc("120.0", "20"), 0.1).ok());
+    }
+
+    #[test]
+    fn real_baseline_roundtrip_passes_against_itself() {
+        let committed = include_str!("../../../BENCH_engine.json");
+        let r = check_regression(committed, committed, 1.0);
+        assert!(r.ok(), "{:?}", r.failures);
+        assert!(r.compared > 0, "baseline must contain comparable cells");
+    }
+
+    #[test]
+    fn short_row_fails_with_diagnostic_not_panic() {
+        let bad = "{\"experiment\":\"E12: engine\",\"headers\":[\"n\",\"rounds\",\"ns/round\",\
+                   \"cores\"],\"rows\":[[\"256\",\"5\"]]}\n";
+        let r = check_regression(bad, &doc("1", "2"), 1.0);
+        assert!(!r.ok());
+        assert!(
+            r.failures[0].contains("malformed document"),
+            "{:?}",
+            r.failures
+        );
+        // Also when the fresh side is the malformed one.
+        let r = check_regression(&doc("1", "2"), bad, 1.0);
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn truncated_baseline_fails_loudly() {
+        let r = check_regression("{\"experiment\":\"x\",\"headers\":[", &doc("1", "2"), 1.0);
+        assert!(!r.ok());
+        assert!(r.failures[0].contains("baseline unreadable"));
+    }
+}

@@ -4,6 +4,7 @@ use crate::msg::ScafMsg;
 use crate::protocol::{ScafIo, ScaffoldCore};
 use crate::target::{ChordTarget, InductiveTarget};
 use rand::rngs::SmallRng;
+use ssim::workload::{RouteStep, Router};
 use ssim::{Ctx, NodeId, Program};
 
 /// A host running the self-stabilizing Avatar(target) protocol. The default
@@ -65,5 +66,13 @@ impl<T: InductiveTarget> Program for ScaffoldProgram<T> {
     /// see [`ScaffoldCore::is_settled`].
     fn is_quiescent(&self) -> bool {
         self.core.is_settled()
+    }
+}
+
+impl<T: InductiveTarget> Router for ScaffoldProgram<T> {
+    /// Greedy guest-space Chord lookup over live host links — see
+    /// [`ScaffoldCore::route_request`].
+    fn route(&self, key: u32, neighbors: &[NodeId]) -> RouteStep {
+        self.core.route_request(key, neighbors)
     }
 }

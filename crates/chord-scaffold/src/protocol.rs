@@ -166,6 +166,82 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
         self.phase == Phase::Done && self.done_grace == 0 && self.done_neighbors.is_some()
     }
 
+    /// Install the **settled DONE** state directly: phase DONE with the
+    /// final wave completed, grace drained, and the given neighbor list
+    /// cached as the baseline. Test/bench fixture machinery — together
+    /// with installed cluster state and warmed beacon views this puts a
+    /// runtime into the legal, silent Avatar(target) configuration without
+    /// running the (hours-long at large sizes) from-scratch stabilization;
+    /// see `scaffold_bench::legal_chord_runtime`. Not a protocol action.
+    pub fn install_done(&mut self, neighbors: &[NodeId]) {
+        self.phase = Phase::Done;
+        self.last_wave = self.target.waves() as i64 - 1;
+        self.active = None;
+        self.armed = false;
+        self.done_pending = None;
+        self.done_parent = None;
+        self.wave0_at = None;
+        self.done_grace = 0;
+        self.done_neighbors = Some(neighbors.to_vec());
+    }
+
+    /// Greedy guest-space routing of an application request (the
+    /// [`ssim::workload::Router`] decision): deliver when this host's
+    /// responsible range covers the key, otherwise forward to the current
+    /// neighbor whose (beaconed) range minimizes the remaining *clockwise*
+    /// ring distance to the key — the classic Chord lookup rule, evaluated
+    /// against live host state instead of an ideal finger table.
+    ///
+    /// Neighbor positions come from stale-tolerant beacon lookups
+    /// (`NeighborView::latest` — cluster state is frozen through the
+    /// CHORD and DONE phases; during CBT stabilization the views may be
+    /// wrong, in which case the request bounces and retries — that race is
+    /// exactly what the live-traffic experiments measure). Strict
+    /// improvement is required, so a request never overshoots; with the
+    /// full finger set installed this takes `O(log N)` hops.
+    pub fn route_request(&self, key: u32, neighbors: &[NodeId]) -> ssim::workload::RouteStep {
+        use ssim::workload::RouteStep;
+        let n = self.target.n();
+        let key = key % n;
+        if self.cbt.core.covers(key) {
+            return RouteStep::Deliver;
+        }
+        // Clockwise distance from a responsible range to the key: 0 when
+        // covered, else measured from the range's last guest (the closest
+        // position the host simulates).
+        let dist = |range: (u32, u32)| -> u32 {
+            if range.0 <= key && key < range.1 {
+                0
+            } else {
+                (key + n - ((range.1 - 1) % n)) % n
+            }
+        };
+        // Guard the own range like neighbor ranges: corruption can leave it
+        // empty, and an empty range must read as "infinitely far" (any
+        // positioned neighbor improves), not underflow in `dist`.
+        let own = self.cbt.core.range;
+        let mine = if own.0 < own.1 { dist(own) } else { u32::MAX };
+        let mut best: Option<(u32, NodeId)> = None;
+        for &v in neighbors {
+            let Some(b) = self.cbt.view.latest(v) else {
+                continue; // no beacon ever heard: position unknown
+            };
+            if b.range.0 >= b.range.1 {
+                continue; // malformed/empty range
+            }
+            let d = dist(b.range);
+            // First strict minimum wins (neighbors are sorted): fully
+            // deterministic tie-breaking.
+            if d < mine && best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, v));
+            }
+        }
+        match best {
+            Some((_, v)) => RouteStep::Forward(v),
+            None => RouteStep::Unroutable,
+        }
+    }
+
     /// Execute one synchronous round.
     pub fn step(&mut self, io: &mut impl ScafIo, inbox: &[(NodeId, ScafMsg)]) {
         let round = io.round();
@@ -735,6 +811,23 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
 mod tests {
     use super::*;
     use crate::target::ChordTarget;
+
+    /// Corruption can leave the own responsible range empty; routing must
+    /// degrade to Unroutable (retry/TTL), never underflow or panic.
+    #[test]
+    fn routing_with_corrupted_empty_own_range_is_safe() {
+        let mut c = ScaffoldCore::new(5, ChordTarget::classic(64), 9);
+        c.cbt.core.range = (7, 7);
+        assert_eq!(
+            c.route_request(3, &[]),
+            ssim::workload::RouteStep::Unroutable
+        );
+        c.cbt.core.range = (3, 0);
+        assert_eq!(
+            c.route_request(9, &[]),
+            ssim::workload::RouteStep::Unroutable
+        );
+    }
 
     #[test]
     fn new_core_starts_in_cbt() {

@@ -30,6 +30,12 @@
 //!   randomized and adversarial activation for weaker-daemon stress, and
 //!   the dirty-set-driven [`sched::ActivityDriven`] daemon that makes
 //!   post-convergence rounds O(activity) instead of O(n).
+//! * **Traffic**: application request [`workload`]s are injected each
+//!   round and routed hop-by-hop over the *live* host links by the
+//!   protocol's [`workload::Router`], racing stabilization and churn
+//!   honestly; per-request accounting (conservation law, hop/latency
+//!   histograms) lands in the metrics and SLO monitors
+//!   ([`workload::SuccessRate`], [`workload::LatencyBudget`]) guard runs.
 //!
 //! Node programs implement [`Program`]; per-round execution of independent
 //! node programs is data-parallel on an `std::thread` worker pool (see
@@ -62,6 +68,7 @@ pub mod runtime;
 pub mod scenario;
 pub mod sched;
 pub mod topology;
+pub mod workload;
 
 pub use fault::Fault;
 pub use metrics::{RoundMetrics, RunMetrics};
@@ -71,6 +78,10 @@ pub use runtime::{Config, Runtime};
 pub use scenario::{Event, Scenario, ScenarioReport};
 pub use sched::{ActivityDriven, Adversarial, RandomSubset, SchedView, Scheduler, Synchronous};
 pub use topology::{NodeSlot, Topology};
+pub use workload::{
+    ClosedLoop, Key, LatencyBudget, OpenLoop, RequestOutcome, RequestRecord, RequestStats,
+    RouteStep, Router, Silent, SuccessRate, Workload, WorkloadConfig, WorkloadView,
+};
 
 /// Identifier of a (host) node. Drawn from `[0, N)` for guest capacity `N`.
 pub type NodeId = u32;

@@ -3,6 +3,7 @@
 //! maximum degree during convergence to the maximum of the initial and final
 //! configurations' degrees).
 
+use crate::workload::RequestStats;
 use serde::Serialize;
 
 /// Metrics of a single round.
@@ -30,6 +31,16 @@ pub struct RoundMetrics {
     /// Live nodes reporting [`crate::Program::is_quiescent`] after the
     /// round (tracked incrementally; recorded under every scheduler).
     pub quiescent_nodes: u64,
+    /// Application requests injected this round (see [`crate::workload`]).
+    pub requests_issued: u64,
+    /// Application requests completed this round.
+    pub requests_completed: u64,
+    /// Application requests failed this round.
+    pub requests_failed: u64,
+    /// Application requests still in flight after the round — together with
+    /// the cumulative counters this pins the conservation law
+    /// `issued == completed + failed + in_flight` at every round boundary.
+    pub requests_in_flight: u64,
 }
 
 /// Aggregated metrics of a run.
@@ -61,6 +72,10 @@ pub struct RunMetrics {
     pub leaves: u64,
     /// Hosts that crashed mid-run.
     pub crashes: u64,
+    /// Application-request accounting (all zero unless a workload is
+    /// attached; see [`crate::workload`] and
+    /// [`crate::Runtime::attach_workload`]).
+    pub requests: RequestStats,
     /// Per-round rows (only when `Config::record_rounds`).
     pub per_round: Vec<RoundMetrics>,
 }
@@ -97,6 +112,36 @@ impl RunMetrics {
     }
 }
 
+/// Blank the numeric values of the given `"key":` fields in a serialized
+/// metrics JSON string (each digit run after a listed key becomes `_`).
+///
+/// Support for **daemon-blind comparisons**: two executions that are
+/// equivalent modulo activation counts (e.g. [`crate::sched::Synchronous`]
+/// vs [`crate::sched::ActivityDriven`]) can be compared byte-for-byte
+/// after scrubbing `["total_activations", "active_nodes"]`. A plain
+/// textual scrub because the vendored `serde_json` is serialize-only —
+/// kept here so every equivalence suite and experiment shares one
+/// implementation instead of drifting copies.
+pub fn blank_json_fields(json: &str, keys: &[&str]) -> String {
+    let needles: Vec<String> = keys.iter().map(|k| format!("\"{k}\":")).collect();
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    loop {
+        let hit = needles
+            .iter()
+            .filter_map(|k| rest.find(k.as_str()).map(|p| (p, k.len())))
+            .min();
+        let Some((pos, key_len)) = hit else {
+            out.push_str(rest);
+            return out;
+        };
+        let val_start = pos + key_len;
+        out.push_str(&rest[..val_start]);
+        out.push('_');
+        rest = rest[val_start..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +167,17 @@ mod tests {
     fn expansion_of_quiet_run_is_one() {
         let m = RunMetrics::new(5);
         assert!((m.degree_expansion(5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blank_json_fields_scrubs_only_listed_keys() {
+        let json = r#"{"total_activations":123,"messages":45,"active_nodes":6}"#;
+        let got = blank_json_fields(json, &["total_activations", "active_nodes"]);
+        assert_eq!(
+            got,
+            r#"{"total_activations":_,"messages":45,"active_nodes":_}"#
+        );
+        assert_eq!(blank_json_fields(json, &[]), json);
     }
 
     #[test]

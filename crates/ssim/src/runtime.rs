@@ -29,6 +29,9 @@ use crate::par::{self, ThreadPool};
 use crate::program::{Actions, Ctx, Program};
 use crate::sched::{self, SchedView, Scheduler};
 use crate::topology::{NodeSlot, Topology};
+use crate::workload::{
+    Key, Request, RequestOutcome, RouteStep, Router, Workload, WorkloadConfig, WorkloadView,
+};
 use crate::NodeId;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -181,6 +184,27 @@ fn mark(dirty: &mut [bool], list: &mut Vec<u32>, i: usize) {
     }
 }
 
+/// The erased routing capability of the attached workload: captures the
+/// `P: Router` bound at [`Runtime::attach_workload`] time so `step` itself
+/// needs no extra bounds (same trick as [`ShadowFn`]).
+type RouteFn<P> = Box<dyn Fn(&P, Key, &[NodeId]) -> RouteStep + Send>;
+
+/// Runtime-side state of an attached [`Workload`] (see [`crate::workload`]):
+/// the generator, the erased router, and the per-slot request queues —
+/// slot-parallel with the runtime's other per-node arrays.
+struct Traffic<P: Program> {
+    gen: Box<dyn Workload>,
+    cfg: WorkloadConfig,
+    route: RouteFn<P>,
+    /// The workload's private deterministic RNG (seeded from the run seed).
+    rng: SmallRng,
+    /// Per-slot requests currently held at that host.
+    queues: Vec<Vec<Request>>,
+    next_id: u64,
+    /// Recycled injection buffer.
+    inject_buf: Vec<(NodeId, Key)>,
+}
+
 /// The simulator: a set of node programs, the overlay topology, and mailboxes.
 ///
 /// All per-node state lives in slot-parallel arrays addressed by the
@@ -265,6 +289,15 @@ pub struct Runtime<P: Program> {
     timers: BinaryHeap<Reverse<(u64, u32, NodeId)>>,
     /// Debug-mode shadow-step auditor (see [`Runtime::enable_shadow_check`]).
     shadow: Option<ShadowFn<P>>,
+    /// The attached request workload, if any (see
+    /// [`Runtime::attach_workload`] and [`crate::workload`]).
+    traffic: Option<Traffic<P>>,
+    /// Request counters `(issued, completed, failed)` as of the last
+    /// recorded round row — rows report deltas against this, so requests
+    /// finished *between* rounds (a departure purge, a manual injection)
+    /// are attributed to the next executed round and the per-row
+    /// conservation law stays exact.
+    req_reported: (u64, u64, u64),
 }
 
 impl<P: Program> Runtime<P> {
@@ -316,6 +349,8 @@ impl<P: Program> Runtime<P> {
             quiescent_count,
             timers: BinaryHeap::new(),
             shadow: None,
+            traffic: None,
+            req_reported: (0, 0, 0),
         }
     }
 
@@ -410,6 +445,233 @@ impl<P: Program> Runtime<P> {
             }
             None
         }));
+    }
+
+    /// Attach a request [`Workload`] (see [`crate::workload`]): from the
+    /// next round on, the generator injects application requests that are
+    /// routed hop-by-hop over the live topology by the program's
+    /// [`Router`] implementation. Request accounting lands in
+    /// [`RunMetrics::requests`] and the per-round rows; the conservation
+    /// law `issued == completed + failed + in_flight` is debug-asserted
+    /// every round.
+    ///
+    /// The workload's RNG is derived from the run seed, injection and
+    /// routing happen on the driving thread, and request-carrying hosts
+    /// are marked dirty — so results stay byte-identical across thread
+    /// counts and [`sched::ActivityDriven`] keeps serving traffic exactly
+    /// like the synchronous daemon.
+    ///
+    /// Attaching replaces any previously attached workload **and its
+    /// in-flight requests** (panics if requests are pending — drain first).
+    pub fn attach_workload(&mut self, gen: impl Workload + 'static, wcfg: WorkloadConfig)
+    where
+        P: Router,
+    {
+        assert_eq!(
+            self.metrics.requests.in_flight, 0,
+            "attach_workload: requests from a previous workload are still in flight"
+        );
+        self.traffic = Some(Traffic {
+            gen: Box::new(gen),
+            cfg: wcfg,
+            route: Box::new(|p, key, neighbors| p.route(key, neighbors)),
+            rng: SmallRng::seed_from_u64(self.cfg.seed ^ splitmix64(0x770A_D10A)),
+            queues: std::iter::repeat_with(Vec::new)
+                .take(self.programs.len())
+                .collect(),
+            // Continue the id sequence across re-attached workloads so
+            // request ids stay monotone per run (every issued request,
+            // under any workload, bumped the counter).
+            next_id: self.metrics.requests.issued,
+            inject_buf: Vec::new(),
+        });
+    }
+
+    /// True iff a workload is attached.
+    pub fn has_workload(&self) -> bool {
+        self.traffic.is_some()
+    }
+
+    /// Name of the attached workload generator (for reports).
+    pub fn workload_name(&self) -> Option<&str> {
+        self.traffic.as_ref().map(|t| t.gen.name())
+    }
+
+    /// Request accounting so far — shorthand for
+    /// `self.metrics().requests` (all zero when no workload is attached).
+    pub fn request_stats(&self) -> &crate::workload::RequestStats {
+        &self.metrics.requests
+    }
+
+    /// Manually inject one request for `key` at host `origin` — it starts
+    /// routing in the next executed round, exactly like generator-injected
+    /// traffic. Returns the request id.
+    ///
+    /// # Panics
+    /// Panics if no workload is attached (attach [`crate::workload::Silent`]
+    /// for purely manual traffic) or `origin` is not a member.
+    pub fn inject_request(&mut self, origin: NodeId, key: Key) -> u64 {
+        assert!(
+            self.topo.contains(origin),
+            "inject_request: origin {origin} is not a member"
+        );
+        let mut tr = self
+            .traffic
+            .take()
+            .expect("inject_request: no workload attached (Runtime::attach_workload)");
+        // The request becomes ready at the next executed round (injection
+        // happens between rounds here, at round start for generators).
+        let id = self.push_request(&mut tr, origin, key, self.round, self.round);
+        self.traffic = Some(tr);
+        id
+    }
+
+    /// Enqueue a request at `origin`'s slot, account it, and wake the host.
+    fn push_request(
+        &mut self,
+        tr: &mut Traffic<P>,
+        origin: NodeId,
+        key: Key,
+        issued_round: u64,
+        ready_round: u64,
+    ) -> u64 {
+        let slot = self
+            .topo
+            .slot_of(origin)
+            .expect("push_request: origin is a member")
+            .index();
+        let id = tr.next_id;
+        tr.next_id += 1;
+        tr.queues[slot].push(Request {
+            id,
+            key,
+            origin,
+            issued_round,
+            hops: 0,
+            retries: 0,
+            ready_round,
+        });
+        self.metrics.requests.issued += 1;
+        self.metrics.requests.in_flight += 1;
+        // A held request is pending work: the holder must be activated
+        // under every equivalence-claiming daemon.
+        mark(&mut self.dirty, &mut self.dirty_list, slot);
+        id
+    }
+
+    /// Round-start injection: ask the generator for this round's requests.
+    fn inject_workload(&mut self, round: u64) {
+        if self.traffic.is_none() {
+            return;
+        }
+        let mut tr = self.traffic.take().expect("checked above");
+        let mut buf = std::mem::take(&mut tr.inject_buf);
+        buf.clear();
+        tr.gen.inject(
+            &WorkloadView {
+                round,
+                ids: self.topo.ids(),
+                stats: &self.metrics.requests,
+            },
+            &mut tr.rng,
+            &mut buf,
+        );
+        for &(origin, key) in &buf {
+            debug_assert!(
+                self.topo.contains(origin),
+                "workload injected at non-member {origin}"
+            );
+            if self.topo.contains(origin) {
+                self.push_request(&mut tr, origin, key, round, round);
+            }
+        }
+        tr.inject_buf = buf;
+        self.traffic = Some(tr);
+    }
+
+    /// Advance every request held by an activated host one hop, against the
+    /// **post-apply** topology (the current host links) and the holder's
+    /// current program state. Runs on the driving thread in selection
+    /// order, so traffic is deterministic at any thread count and
+    /// activity-driven execution (which always selects request holders —
+    /// they are dirty) reproduces the synchronous execution exactly.
+    fn advance_requests(&mut self, tr: &mut Traffic<P>, selection: &[NodeSlot], round: u64) {
+        let record = tr.cfg.record_requests;
+        for &slot in selection {
+            let i = slot.index();
+            if tr.queues[i].is_empty() {
+                continue;
+            }
+            let me = self.topo.id_at(slot).expect("selected slot is live");
+            let mut q = std::mem::take(&mut tr.queues[i]);
+            let mut keep = 0;
+            for k in 0..q.len() {
+                let mut req = q[k];
+                // Requests forwarded here this round by an earlier-selected
+                // host wait for the next round (one hop per round).
+                if req.ready_round > round {
+                    q[keep] = req;
+                    keep += 1;
+                    continue;
+                }
+                if round - req.issued_round >= tr.cfg.ttl {
+                    self.metrics
+                        .requests
+                        .fail(&req, RequestOutcome::Expired, round, record);
+                    continue;
+                }
+                let neighbors = self.topo.neighbors_at(slot);
+                let decision = (tr.route)(
+                    self.programs[i].as_ref().expect("selected slot is live"),
+                    req.key,
+                    neighbors,
+                );
+                match decision {
+                    RouteStep::Deliver => {
+                        self.metrics.requests.complete(&req, me, round, record);
+                    }
+                    RouteStep::Forward(v) if v != me && neighbors.binary_search(&v).is_ok() => {
+                        if req.hops + 1 > tr.cfg.max_hops {
+                            self.metrics.requests.fail(
+                                &req,
+                                RequestOutcome::HopBudget,
+                                round,
+                                record,
+                            );
+                            continue;
+                        }
+                        req.hops += 1;
+                        req.ready_round = round + 1;
+                        self.metrics.requests.forwards += 1;
+                        let ts = self
+                            .topo
+                            .slot_of(v)
+                            .expect("current neighbor is a member")
+                            .index();
+                        tr.queues[ts].push(req);
+                        mark(&mut self.dirty, &mut self.dirty_list, ts);
+                    }
+                    // The chosen next hop is gone (stabilization rewired
+                    // the overlay, the neighbor departed) or the router has
+                    // no useful hop right now: retry in place, bounded by
+                    // the TTL. Never teleported.
+                    RouteStep::Forward(_) | RouteStep::Unroutable => {
+                        req.retries += 1;
+                        req.ready_round = round + 1;
+                        self.metrics.requests.retries += 1;
+                        q[keep] = req;
+                        keep += 1;
+                    }
+                }
+            }
+            q.truncate(keep);
+            if !q.is_empty() {
+                // Still holding work (retries or same-round arrivals):
+                // stay scheduled.
+                mark(&mut self.dirty, &mut self.dirty_list, i);
+            }
+            tr.queues[i] = q;
+        }
     }
 
     /// Register the factory that builds programs for hosts joining mid-run
@@ -548,6 +810,11 @@ impl<P: Program> Runtime<P> {
     pub fn step(&mut self) {
         let round = self.round;
         let strict = self.cfg.strict;
+
+        // ---- Workload: inject this round's application requests before
+        // selection, so origins are dirty in time to be activated this very
+        // round under every equivalence-claiming daemon.
+        self.inject_workload(round);
 
         // ---- Timers: move due wake-ups into the dirty set. The id guard
         // discards timers of departed hosts (their slot may have been
@@ -819,6 +1086,20 @@ impl<P: Program> Runtime<P> {
         }
         self.inflight += row.messages;
 
+        // ---- Phase 3 (traffic): advance held requests one hop over the
+        // post-apply topology, in selection order on this thread.
+        if self.traffic.is_some() {
+            let mut tr = self.traffic.take().expect("checked above");
+            self.advance_requests(&mut tr, &selection, round);
+            self.traffic = Some(tr);
+        }
+        let r = &self.metrics.requests;
+        row.requests_issued = r.issued - self.req_reported.0;
+        row.requests_completed = r.completed - self.req_reported.1;
+        row.requests_failed = r.failed - self.req_reported.2;
+        row.requests_in_flight = r.in_flight;
+        self.req_reported = (r.issued, r.completed, r.failed);
+
         self.round += 1;
         row.max_degree = self.topo.max_degree();
         row.total_edges = self.topo.edge_count();
@@ -830,6 +1111,18 @@ impl<P: Program> Runtime<P> {
             self.inflight as usize,
             self.inboxes.iter().map(Vec::len).sum::<usize>()
         );
+        // The request conservation law, at every round boundary.
+        #[cfg(debug_assertions)]
+        if let Some(tr) = &self.traffic {
+            let queued: u64 = tr.queues.iter().map(|q| q.len() as u64).sum();
+            let r = &self.metrics.requests;
+            debug_assert_eq!(r.in_flight, queued, "in-flight counter vs queues");
+            debug_assert_eq!(
+                r.issued,
+                r.completed + r.failed + r.in_flight,
+                "request conservation law violated"
+            );
+        }
     }
 
     /// Run until `legal(self)` holds (checked *before* each round, so a
@@ -940,11 +1233,18 @@ impl<P: Program> Runtime<P> {
             self.dirty.push(false);
             self.selected.push(false);
             self.quiescent.push(false);
+            if let Some(tr) = &mut self.traffic {
+                tr.queues.push(Vec::new());
+            }
         } else {
             // Recycled slot: the departure left the buffers empty.
             debug_assert!(self.programs[slot].is_none());
             debug_assert!(self.inboxes[slot].is_empty());
             debug_assert!(!self.quiescent[slot]);
+            debug_assert!(self
+                .traffic
+                .as_ref()
+                .is_none_or(|t| t.queues[slot].is_empty()));
             self.programs[slot] = Some(program);
             self.rngs[slot] = rng;
         }
@@ -1021,6 +1321,18 @@ impl<P: Program> Runtime<P> {
         }
         self.topo.remove_node(id);
         let program = self.programs[slot].take().expect("live slot");
+        // Requests resident on the departed host die with it — never
+        // teleported to a survivor.
+        if self.traffic.is_some() {
+            let mut tr = self.traffic.take().expect("checked above");
+            let record = tr.cfg.record_requests;
+            for req in std::mem::take(&mut tr.queues[slot]) {
+                self.metrics
+                    .requests
+                    .fail(&req, RequestOutcome::HostDeparted, self.round, record);
+            }
+            self.traffic = Some(tr);
+        }
         // The departed host's own messages: consume the mailbox (releasing
         // the senders' `sent_to` entries by recorded sender slot) …
         self.inflight -= self.inboxes[slot].len() as u64;

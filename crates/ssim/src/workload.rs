@@ -1,0 +1,600 @@
+//! Live application traffic over the evolving overlay: request workloads,
+//! protocol-provided routing, per-request accounting, and SLO monitors.
+//!
+//! The overlays this engine stabilizes exist to *serve requests*: a legal
+//! Avatar(Chord) guarantees `O(log N)` greedy lookups. Checking that on a
+//! static ideal graph after the fact says nothing about what users
+//! experience *during* stabilization and churn, so this module makes
+//! traffic a first-class engine concept:
+//!
+//! * A [`Workload`] injects application requests each round (open-loop
+//!   [`OpenLoop`], closed-loop [`ClosedLoop`], or manual
+//!   [`crate::Runtime::inject_request`]), deterministically from the run
+//!   seed.
+//! * Requests travel **hop-by-hop over the current host topology**: each
+//!   round, every host holding requests asks its program — via the
+//!   protocol-provided [`Router`] — for the next hop toward the key, and
+//!   the runtime moves the request across that edge *only if the edge
+//!   still exists*. A request whose next hop vanished (stabilization
+//!   rewired the overlay, the neighbor left) is retried in place or
+//!   failed; it is never teleported. A request resident on a departing
+//!   host dies with it.
+//! * The runtime keeps the **conservation law** `issued == completed +
+//!   failed + in-flight` at every round boundary (checked by a debug
+//!   assertion each step) and records hop and round-latency histograms in
+//!   [`RequestStats`], which is part of [`crate::RunMetrics`] — so the
+//!   engine's determinism guarantees (byte-identical metrics across thread
+//!   counts, per `(seed, scheduler)`) extend to traffic.
+//! * Request-carrying hosts are marked **dirty**, so the
+//!   [`crate::sched::ActivityDriven`] daemon keeps serving traffic exactly
+//!   like the synchronous daemon: a quiescent protocol step may be a
+//!   no-op, but a held request is pending work and forces activation.
+//!
+//! Timing model: one hop per round. A request injected at its responsible
+//! host completes in the same round with latency 0; each forward costs one
+//! round (the request moves at message speed over live links). Under
+//! partial daemons ([`crate::sched::RandomSubset`], round-robin) requests
+//! wait for their holder's next activation — like protocol messages,
+//! delivery is delayed rather than silently lost; unlike messages, the
+//! TTL keeps ticking while a request waits, so a long-unscheduled request
+//! expires into `failed_expired` (an unfair daemon's user-visible cost is
+//! recorded, never leaked).
+//!
+//! "Completed" means the request reached a host whose *current* claimed
+//! responsible range covers the key. During churn the responsible host is
+//! whatever the (eventually-consistent) protocol currently believes — the
+//! honest application-level semantics of serving traffic mid-stabilization.
+
+use crate::monitor::{Monitor, Verdict};
+use crate::program::Program;
+use crate::runtime::Runtime;
+use crate::NodeId;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::Serialize;
+
+/// An application-level key in the guest space `[0, N)`.
+pub type Key = u32;
+
+/// One routing decision of a [`Router`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteStep {
+    /// This host is responsible for the key: the request completes here.
+    Deliver,
+    /// Forward to this neighbor (must be a *current* neighbor; the runtime
+    /// re-validates against the live adjacency and retries in place if the
+    /// edge is gone).
+    Forward(NodeId),
+    /// No useful next hop is known right now (stale views, mid-merge
+    /// cluster state). The runtime retries next round — stabilization may
+    /// repair the route — until the request's TTL expires.
+    Unroutable,
+}
+
+/// Protocol-provided forwarding: how a node program routes an application
+/// request one hop toward its key.
+///
+/// Implementations must be **read-only and deterministic**: the decision
+/// may depend only on the program's state and the given round-start
+/// neighbor list (sorted). The runtime calls this on the driving thread
+/// during the apply phase, so routing never races the emit phase and never
+/// depends on the thread count.
+pub trait Router: Program {
+    /// The next hop for `key` at this node, given the node's current
+    /// (sorted) neighbor list.
+    fn route(&self, key: Key, neighbors: &[NodeId]) -> RouteStep;
+}
+
+/// Tuning knobs for the request subsystem (see
+/// [`crate::Runtime::attach_workload`]).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Rounds a request may stay in flight before it is failed as expired.
+    /// The budget races stabilization: a temporarily unroutable request
+    /// retries until either the overlay heals or the TTL runs out.
+    pub ttl: u64,
+    /// Maximum hops (edge traversals) before the request is failed.
+    pub max_hops: u32,
+    /// Keep a per-request [`RequestRecord`] log in
+    /// [`RequestStats::records`] (unbounded — examples and small
+    /// experiments only).
+    pub record_requests: bool,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            ttl: 128,
+            max_hops: 64,
+            record_requests: false,
+        }
+    }
+}
+
+/// A request in flight (runtime-internal queue entry).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Request {
+    pub(crate) id: u64,
+    pub(crate) key: Key,
+    pub(crate) origin: NodeId,
+    pub(crate) issued_round: u64,
+    pub(crate) hops: u32,
+    pub(crate) retries: u32,
+    /// First round this request may take its next hop (forwarded requests
+    /// arrive "next round", like messages; injected requests are ready
+    /// immediately).
+    pub(crate) ready_round: u64,
+}
+
+/// How a finished request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum RequestOutcome {
+    /// Reached a host whose responsible range covers the key.
+    Completed,
+    /// TTL (rounds in flight) exhausted.
+    Expired,
+    /// Hop budget exhausted.
+    HopBudget,
+    /// The host holding the request left or crashed.
+    HostDeparted,
+}
+
+/// A finished request (kept only under
+/// [`WorkloadConfig::record_requests`]).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RequestRecord {
+    /// Monotone per-run request identifier (issue order).
+    pub id: u64,
+    /// The looked-up key.
+    pub key: Key,
+    /// Host the request was injected at.
+    pub origin: NodeId,
+    /// Host that completed the request (`None` for failures).
+    pub dest: Option<NodeId>,
+    /// Round the request was issued.
+    pub issued_round: u64,
+    /// Round the request finished.
+    pub done_round: u64,
+    /// Edge traversals taken.
+    pub hops: u32,
+    /// In-place retries (unroutable rounds, vanished next hops).
+    pub retries: u32,
+    /// How it ended.
+    pub outcome: RequestOutcome,
+}
+
+/// Aggregate request accounting, part of [`crate::RunMetrics`]. The
+/// conservation law `issued == completed + failed + in_flight` holds at
+/// every round boundary.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RequestStats {
+    /// Requests injected.
+    pub issued: u64,
+    /// Requests that reached a responsible host.
+    pub completed: u64,
+    /// Requests that failed (sum of the three breakdowns below).
+    pub failed: u64,
+    /// Failures: TTL exhausted.
+    pub failed_expired: u64,
+    /// Failures: hop budget exhausted.
+    pub failed_hops: u64,
+    /// Failures: the holding host departed.
+    pub failed_departed: u64,
+    /// In-place retries across all requests.
+    pub retries: u64,
+    /// Total edge traversals across all requests.
+    pub forwards: u64,
+    /// Requests currently in flight.
+    pub in_flight: u64,
+    /// `hop_histogram[h]` = completed requests that took exactly `h` hops.
+    pub hop_histogram: Vec<u64>,
+    /// `latency_histogram[l]` = completed requests that spent exactly `l`
+    /// rounds in flight.
+    pub latency_histogram: Vec<u64>,
+    /// Per-request log (only under [`WorkloadConfig::record_requests`]).
+    pub records: Vec<RequestRecord>,
+}
+
+fn bump(hist: &mut Vec<u64>, bucket: usize) {
+    if hist.len() <= bucket {
+        hist.resize(bucket + 1, 0);
+    }
+    hist[bucket] += 1;
+}
+
+impl RequestStats {
+    /// Requests with a final outcome.
+    pub fn decided(&self) -> u64 {
+        self.completed + self.failed
+    }
+
+    /// Fraction of decided requests that completed (`1.0` when nothing has
+    /// been decided yet).
+    pub fn success_rate(&self) -> f64 {
+        let d = self.decided();
+        if d == 0 {
+            1.0
+        } else {
+            self.completed as f64 / d as f64
+        }
+    }
+
+    /// Largest hop count among completed requests.
+    pub fn max_hops_seen(&self) -> usize {
+        self.hop_histogram.len().saturating_sub(1)
+    }
+
+    /// Largest round latency among completed requests.
+    pub fn max_latency_seen(&self) -> u64 {
+        self.latency_histogram.len().saturating_sub(1) as u64
+    }
+
+    /// Mean hop count over completed requests.
+    pub fn mean_hops(&self) -> f64 {
+        let total: u64 = self
+            .hop_histogram
+            .iter()
+            .enumerate()
+            .map(|(h, &c)| h as u64 * c)
+            .sum();
+        total as f64 / self.completed.max(1) as f64
+    }
+
+    /// Mean round latency over completed requests.
+    pub fn mean_latency(&self) -> f64 {
+        let total: u64 = self
+            .latency_histogram
+            .iter()
+            .enumerate()
+            .map(|(l, &c)| l as u64 * c)
+            .sum();
+        total as f64 / self.completed.max(1) as f64
+    }
+
+    pub(crate) fn complete(&mut self, req: &Request, dest: NodeId, round: u64, record: bool) {
+        self.completed += 1;
+        self.in_flight -= 1;
+        bump(&mut self.hop_histogram, req.hops as usize);
+        bump(
+            &mut self.latency_histogram,
+            (round - req.issued_round) as usize,
+        );
+        if record {
+            self.records.push(RequestRecord {
+                id: req.id,
+                key: req.key,
+                origin: req.origin,
+                dest: Some(dest),
+                issued_round: req.issued_round,
+                done_round: round,
+                hops: req.hops,
+                retries: req.retries,
+                outcome: RequestOutcome::Completed,
+            });
+        }
+    }
+
+    pub(crate) fn fail(
+        &mut self,
+        req: &Request,
+        outcome: RequestOutcome,
+        round: u64,
+        record: bool,
+    ) {
+        self.failed += 1;
+        self.in_flight -= 1;
+        match outcome {
+            RequestOutcome::Expired => self.failed_expired += 1,
+            RequestOutcome::HopBudget => self.failed_hops += 1,
+            RequestOutcome::HostDeparted => self.failed_departed += 1,
+            RequestOutcome::Completed => unreachable!("fail() with Completed outcome"),
+        }
+        if record {
+            self.records.push(RequestRecord {
+                id: req.id,
+                key: req.key,
+                origin: req.origin,
+                dest: None,
+                issued_round: req.issued_round,
+                done_round: round,
+                hops: req.hops,
+                retries: req.retries,
+                outcome,
+            });
+        }
+    }
+}
+
+/// The per-round view a [`Workload`] injects against.
+pub struct WorkloadView<'a> {
+    /// Round about to execute.
+    pub round: u64,
+    /// Live host identifiers (the engine's deterministic member order).
+    pub ids: &'a [NodeId],
+    /// Request accounting so far (closed-loop generators read
+    /// [`RequestStats::in_flight`]).
+    pub stats: &'a RequestStats,
+}
+
+/// A request generator: called once at the start of every round to append
+/// `(origin host, key)` pairs to inject. Implementations must be
+/// deterministic functions of their own state, the view, and the provided
+/// engine-seeded RNG; the runtime injects on the driving thread, so
+/// determinism across thread counts is automatic.
+pub trait Workload: Send {
+    /// Short label for reports.
+    fn name(&self) -> &str {
+        "workload"
+    }
+
+    /// Append this round's requests to `out`.
+    fn inject(&mut self, view: &WorkloadView<'_>, rng: &mut SmallRng, out: &mut Vec<(NodeId, Key)>);
+}
+
+/// Open-loop generator: a fixed expected number of requests per round
+/// (fractional rates accumulate), origins uniform over live hosts, keys
+/// uniform over `[0, keys)`.
+#[derive(Debug, Clone)]
+pub struct OpenLoop {
+    rate: f64,
+    keys: u32,
+    acc: f64,
+    /// Requests left to issue (`None` = unlimited).
+    remaining: Option<u64>,
+}
+
+impl OpenLoop {
+    /// `rate` requests per round into a key space of `keys`.
+    pub fn new(rate: f64, keys: u32) -> Self {
+        Self {
+            rate: rate.max(0.0),
+            keys: keys.max(1),
+            acc: 0.0,
+            remaining: None,
+        }
+    }
+
+    /// Stop after issuing `total` requests — lets an experiment drain the
+    /// in-flight tail by just running more rounds.
+    #[must_use]
+    pub fn limited(mut self, total: u64) -> Self {
+        self.remaining = Some(total);
+        self
+    }
+}
+
+impl Workload for OpenLoop {
+    fn name(&self) -> &str {
+        "open-loop"
+    }
+
+    fn inject(
+        &mut self,
+        view: &WorkloadView<'_>,
+        rng: &mut SmallRng,
+        out: &mut Vec<(NodeId, Key)>,
+    ) {
+        if view.ids.is_empty() {
+            return;
+        }
+        self.acc += self.rate;
+        while self.acc >= 1.0 {
+            self.acc -= 1.0;
+            if let Some(rem) = &mut self.remaining {
+                if *rem == 0 {
+                    self.acc = 0.0;
+                    return;
+                }
+                *rem -= 1;
+            }
+            let origin = view.ids[rng.gen_range(0..view.ids.len())];
+            let key = rng.gen_range(0..self.keys);
+            out.push((origin, key));
+        }
+    }
+}
+
+/// Closed-loop generator: keeps a fixed number of requests outstanding —
+/// every completion or failure is immediately replaced at the next round
+/// boundary.
+#[derive(Debug, Clone)]
+pub struct ClosedLoop {
+    concurrency: u64,
+    keys: u32,
+}
+
+impl ClosedLoop {
+    /// Keep `concurrency` requests in flight into a key space of `keys`.
+    pub fn new(concurrency: u64, keys: u32) -> Self {
+        Self {
+            concurrency,
+            keys: keys.max(1),
+        }
+    }
+}
+
+impl Workload for ClosedLoop {
+    fn name(&self) -> &str {
+        "closed-loop"
+    }
+
+    fn inject(
+        &mut self,
+        view: &WorkloadView<'_>,
+        rng: &mut SmallRng,
+        out: &mut Vec<(NodeId, Key)>,
+    ) {
+        if view.ids.is_empty() {
+            return;
+        }
+        for _ in view.stats.in_flight..self.concurrency {
+            let origin = view.ids[rng.gen_range(0..view.ids.len())];
+            let key = rng.gen_range(0..self.keys);
+            out.push((origin, key));
+        }
+    }
+}
+
+/// The no-op generator: injects nothing by itself. Attach it when requests
+/// are driven manually through [`crate::Runtime::inject_request`] (as the
+/// `kv_lookup` example does).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Silent;
+
+impl Workload for Silent {
+    fn name(&self) -> &str {
+        "silent"
+    }
+
+    fn inject(&mut self, _: &WorkloadView<'_>, _: &mut SmallRng, _: &mut Vec<(NodeId, Key)>) {}
+}
+
+/// SLO invariant: the request success rate stays at or above a threshold.
+/// Vacuously satisfied until `min_decided` requests have a final outcome
+/// (so a single early failure cannot abort a run).
+pub struct SuccessRate {
+    min: f64,
+    min_decided: u64,
+}
+
+impl SuccessRate {
+    /// Require a success rate of at least `min` (e.g. `0.99`).
+    pub fn at_least(min: f64) -> Self {
+        Self {
+            min,
+            min_decided: 1,
+        }
+    }
+
+    /// Only start judging once `decided` requests have finished.
+    #[must_use]
+    pub fn after(mut self, decided: u64) -> Self {
+        self.min_decided = decided.max(1);
+        self
+    }
+}
+
+impl<P: Program> Monitor<P> for SuccessRate {
+    fn observe(&mut self, rt: &Runtime<P>) -> Verdict {
+        let stats = &rt.metrics().requests;
+        if stats.decided() < self.min_decided {
+            return Verdict::Satisfied;
+        }
+        let rate = stats.success_rate();
+        if rate >= self.min {
+            Verdict::Satisfied
+        } else {
+            Verdict::Violated(format!(
+                "request success rate {rate:.4} below SLO {:.4} ({} completed / {} failed)",
+                self.min, stats.completed, stats.failed
+            ))
+        }
+    }
+
+    fn name(&self) -> &str {
+        "success-rate"
+    }
+}
+
+/// SLO invariant: no completed request may exceed a round-latency budget.
+pub struct LatencyBudget {
+    max: u64,
+}
+
+impl LatencyBudget {
+    /// Allow at most `max` rounds from issue to completion.
+    pub fn at_most(max: u64) -> Self {
+        Self { max }
+    }
+}
+
+impl<P: Program> Monitor<P> for LatencyBudget {
+    fn observe(&mut self, rt: &Runtime<P>) -> Verdict {
+        let worst = rt.metrics().requests.max_latency_seen();
+        if worst <= self.max {
+            Verdict::Satisfied
+        } else {
+            Verdict::Violated(format!(
+                "request latency {worst} rounds exceeds budget {}",
+                self.max
+            ))
+        }
+    }
+
+    fn name(&self) -> &str {
+        "latency-budget"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn view<'a>(ids: &'a [NodeId], stats: &'a RequestStats) -> WorkloadView<'a> {
+        WorkloadView {
+            round: 0,
+            ids,
+            stats,
+        }
+    }
+
+    #[test]
+    fn open_loop_accumulates_fractional_rates() {
+        let ids = [1u32, 2, 3];
+        let stats = RequestStats::default();
+        let mut w = OpenLoop::new(0.5, 16);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut total = 0;
+        for _ in 0..10 {
+            let mut out = Vec::new();
+            w.inject(&view(&ids, &stats), &mut rng, &mut out);
+            total += out.len();
+        }
+        assert_eq!(total, 5, "rate 0.5 over 10 rounds issues exactly 5");
+    }
+
+    #[test]
+    fn closed_loop_tops_up_to_concurrency() {
+        let ids = [1u32, 2];
+        let mut stats = RequestStats::default();
+        let mut w = ClosedLoop::new(4, 16);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut out = Vec::new();
+        w.inject(&view(&ids, &stats), &mut rng, &mut out);
+        assert_eq!(out.len(), 4);
+        stats.in_flight = 3;
+        out.clear();
+        w.inject(&view(&ids, &stats), &mut rng, &mut out);
+        assert_eq!(out.len(), 1, "only the missing request is re-issued");
+    }
+
+    #[test]
+    fn stats_histograms_and_rates() {
+        let mut s = RequestStats::default();
+        let req = Request {
+            id: 0,
+            key: 3,
+            origin: 1,
+            issued_round: 2,
+            hops: 4,
+            retries: 0,
+            ready_round: 0,
+        };
+        s.issued = 2;
+        s.in_flight = 2;
+        s.complete(&req, 9, 8, true);
+        s.fail(&req, RequestOutcome::Expired, 9, true);
+        assert_eq!(s.decided(), 2);
+        assert!((s.success_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(s.max_hops_seen(), 4);
+        assert_eq!(s.max_latency_seen(), 6);
+        assert_eq!(s.hop_histogram[4], 1);
+        assert_eq!(s.latency_histogram[6], 1);
+        assert_eq!(s.failed_expired, 1);
+        assert_eq!(s.records.len(), 2);
+        assert_eq!(s.records[0].dest, Some(9));
+        assert_eq!(s.records[1].outcome, RequestOutcome::Expired);
+        assert_eq!(s.issued, s.completed + s.failed + s.in_flight);
+    }
+}

@@ -7,9 +7,13 @@
 //! * [`sim`] — the synchronous overlay-network simulator (model of §2),
 //!   including **dynamic membership** (hosts join/leave/crash mid-run), the
 //!   [`sim::monitor`] observer API, declarative [`sim::scenario`]
-//!   perturbation schedules, and pluggable [`sim::sched`] **daemons**
+//!   perturbation schedules, pluggable [`sim::sched`] **daemons**
 //!   (synchronous, randomized, adversarial, and the activity-driven daemon
-//!   that makes post-convergence rounds O(activity) instead of O(n)).
+//!   that makes post-convergence rounds O(activity) instead of O(n)), and
+//!   live **traffic**: [`sim::workload`] request generators routed
+//!   hop-by-hop over the evolving host links by the protocols' own
+//!   [`sim::workload::Router`] implementations, with per-request
+//!   accounting and SLO monitors.
 //! * [`topology`] — `Chord(N)`, `Cbt(N)`, the Avatar embedding, analytics.
 //! * [`scaffold`] — the self-stabilizing `Avatar(Cbt)` substrate (§3).
 //! * [`chord`] — the paper's contribution: self-stabilizing `Avatar(Chord)`

@@ -33,6 +33,36 @@ fn parallel_execution_matches_sequential() {
     assert_eq!(sequential, run(4));
 }
 
+/// With a request workload attached, the determinism guarantees extend to
+/// traffic: identical seeds reproduce identical request streams, and the
+/// serialized metrics — request accounting and histograms included — are
+/// byte-identical across thread counts.
+#[test]
+fn workload_runs_are_thread_and_seed_deterministic() {
+    use chord_scaffolding::sim::{OpenLoop, WorkloadConfig};
+    let run = |threads: usize| {
+        let target = ChordTarget::classic(128);
+        let mut cfg = Config::seeded(0xBEA7).threads(threads);
+        cfg.record_rounds = false;
+        let mut rt = chord::runtime_from_shape(target, 12, Shape::Random, cfg);
+        rt.attach_workload(OpenLoop::new(1.0, 128), WorkloadConfig::default());
+        rt.run(1200);
+        assert_eq!(
+            rt.metrics().requests.issued,
+            rt.metrics().requests.completed
+                + rt.metrics().requests.failed
+                + rt.metrics().requests.in_flight,
+            "conservation law"
+        );
+        serde_json::to_string(rt.metrics()).expect("metrics serialize")
+    };
+    let sequential = run(1);
+    assert!(sequential.contains("\"latency_histogram\""));
+    assert_eq!(sequential, run(2));
+    assert_eq!(sequential, run(4));
+    assert_eq!(sequential, run(1), "same seed reproduces the traffic");
+}
+
 #[test]
 fn same_seed_reproduces_run() {
     let run = || {

@@ -127,25 +127,12 @@ fn chord_run(
 
 /// Strip the per-scheduler activity columns from a metrics fingerprint so
 /// executions can be compared across *daemons* (activations legitimately
-/// differ; everything else must not). Textual scrub — the vendored
-/// serde_json is serialize-only.
+/// differ; everything else must not).
 fn activity_blind(metrics_json: &str) -> String {
-    let mut out = String::with_capacity(metrics_json.len());
-    let mut rest = metrics_json;
-    loop {
-        let hit = ["\"total_activations\":", "\"active_nodes\":"]
-            .iter()
-            .filter_map(|k| rest.find(k).map(|p| (p, k.len())))
-            .min();
-        let Some((pos, key_len)) = hit else {
-            out.push_str(rest);
-            return out;
-        };
-        let val_start = pos + key_len;
-        out.push_str(&rest[..val_start]);
-        out.push('_');
-        rest = rest[val_start..].trim_start_matches(|c: char| c.is_ascii_digit());
-    }
+    chord_scaffolding::sim::metrics::blank_json_fields(
+        metrics_json,
+        &["total_activations", "active_nodes"],
+    )
 }
 
 /// ActivityDriven reproduces Synchronous *exactly* for avatar-cbt — same
