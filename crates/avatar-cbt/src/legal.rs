@@ -101,6 +101,30 @@ fn join_nonce(seed: u64, v: NodeId) -> u64 {
     seed ^ (v as u64 + 7).wrapping_mul(0x9E3779B97F4A7C15)
 }
 
+/// Restore a CBT runtime from snapshot bytes produced by
+/// [`ssim::Runtime::save_snapshot`], re-registering the non-serializable
+/// hooks a [`runtime`]-built instance carries: the join spawner (nonces
+/// derived from the snapshot's seed, so mid-run joins behave exactly as in
+/// the original run) and, in debug builds, the shadow quiescence check.
+pub fn restore_runtime(
+    bytes: &[u8],
+    cfg: Config,
+) -> Result<Runtime<CbtProgram>, ssim::SnapshotError> {
+    let mut rt = Runtime::<CbtProgram>::restore_snapshot(bytes, cfg)?;
+    let Some(&first) = rt.ids().first() else {
+        return Err(ssim::SnapshotError::Corrupt(
+            "avatar-cbt restore: no live hosts, cannot infer guest-space size N".into(),
+        ));
+    };
+    let n = rt.program(first).core.n;
+    let seed = rt.config().seed;
+    rt.set_spawner(move |v| CbtProgram::new(v, n, join_nonce(seed, v)));
+    if cfg!(debug_assertions) {
+        rt.enable_shadow_check();
+    }
+    Ok(rt)
+}
+
 /// Build a CBT runtime from a named initial shape with `count` random hosts.
 pub fn runtime_from_shape(n: u32, count: usize, shape: Shape, cfg: Config) -> Runtime<CbtProgram> {
     use rand::SeedableRng;

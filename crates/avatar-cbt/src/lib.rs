@@ -48,7 +48,9 @@ pub mod scratch;
 pub mod state;
 
 pub use io::{CtxIo, NetIo};
-pub use legal::{is_legal_cbt, legality, runtime, runtime_from_shape, runtime_is_legal};
+pub use legal::{
+    is_legal_cbt, legality, restore_runtime, runtime, runtime_from_shape, runtime_is_legal,
+};
 pub use msg::{Beacon, CbtMsg};
 pub use program::CbtProgram;
 pub use protocol::{CbtCore, StepEvents};

@@ -5,6 +5,7 @@
 use crate::io::CtxIo;
 use crate::msg::CbtMsg;
 use crate::protocol::{CbtCore, StepEvents};
+use ssim::snapshot::{Persist, Reader, SnapshotError, Writer};
 use ssim::workload::{RouteStep, Router};
 use ssim::{Ctx, NodeId, Program};
 
@@ -47,6 +48,19 @@ impl Program for CbtProgram {
     /// when its cluster looks clean, so it must keep being scheduled.
     fn is_quiescent(&self) -> bool {
         self.core.is_dormant()
+    }
+}
+
+impl Persist for CbtProgram {
+    fn save(&self, w: &mut Writer) {
+        self.core.save(w);
+        self.last_events.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            core: CbtCore::load(r)?,
+            last_events: StepEvents::load(r)?,
+        })
     }
 }
 

@@ -11,6 +11,7 @@ use crate::scratch::{Contact, Merge, Scratch, MAX_CONTACTS};
 use crate::state::{ClusterCore, NeighborView, Role};
 use overlay::cbt::Cbt;
 use rand::Rng;
+use ssim::snapshot::{Persist, Reader, SnapshotError, Writer};
 use ssim::NodeId;
 
 /// Events surfaced by one protocol step (consumed by the scaffolding layer).
@@ -927,6 +928,67 @@ impl CbtCore {
         };
         m.pending.push((0, partner));
         self.scratch.merge = Some(m);
+    }
+}
+
+impl Persist for StepEvents {
+    fn save(&self, w: &mut Writer) {
+        w.bool(self.reset);
+        w.bool(self.cluster_clean);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            reset: r.bool()?,
+            cluster_clean: r.bool()?,
+        })
+    }
+}
+
+impl Persist for CbtCore {
+    fn save(&self, w: &mut Writer) {
+        w.u32(self.id);
+        w.u32(self.n);
+        // `cbt` and `sched` are pure functions of `n` — rebuilt on load,
+        // not serialized (they dominate the state size and cannot drift).
+        self.core.save(w);
+        self.view.save(w);
+        self.scratch.save(w);
+        w.u8(self.grace);
+        w.u64(self.resets);
+        w.u64(self.merges);
+        w.bool(self.beacons_enabled);
+        w.bool(self.sleep_on_clean);
+        w.bool(self.asleep);
+        w.u8(self.sleep_grace);
+        self.sleep_neighbors.save(w);
+        w.u8(self.stale_grace);
+        w.u64(self.sleeps);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let id = r.u32()?;
+        let n = r.u32()?;
+        if n == 0 {
+            return Err(SnapshotError::Corrupt("CbtCore with n = 0".into()));
+        }
+        Ok(Self {
+            id,
+            n,
+            cbt: Cbt::new(n),
+            sched: Schedule::new(n),
+            core: ClusterCore::load(r)?,
+            view: NeighborView::load(r)?,
+            scratch: Scratch::load(r)?,
+            grace: r.u8()?,
+            resets: r.u64()?,
+            merges: r.u64()?,
+            beacons_enabled: r.bool()?,
+            sleep_on_clean: r.bool()?,
+            asleep: r.bool()?,
+            sleep_grace: r.u8()?,
+            sleep_neighbors: Option::load(r)?,
+            stale_grace: r.u8()?,
+            sleeps: r.u64()?,
+        })
     }
 }
 

@@ -1,6 +1,7 @@
 //! Host-local cluster state.
 
 use crate::msg::Beacon;
+use ssim::snapshot::{Persist, Reader, SnapshotError, Writer};
 use ssim::NodeId;
 use std::collections::HashMap;
 
@@ -93,6 +94,50 @@ impl NeighborView {
     pub fn retain_neighbors(&mut self, neighbors: &[NodeId]) {
         self.beacons
             .retain(|v, _| neighbors.binary_search(v).is_ok());
+    }
+}
+
+impl Persist for ClusterCore {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.cid);
+        w.u32(self.range.0);
+        w.u32(self.range.1);
+        w.u32(self.cluster_min);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            cid: r.u64()?,
+            range: (r.u32()?, r.u32()?),
+            cluster_min: r.u32()?,
+        })
+    }
+}
+
+impl Persist for NeighborView {
+    fn save(&self, w: &mut Writer) {
+        // Sorted by neighbor id: the map's iteration order is not
+        // deterministic, the snapshot bytes must be.
+        let mut entries: Vec<(&NodeId, &(u64, Beacon))> = self.beacons.iter().collect();
+        entries.sort_unstable_by_key(|(v, _)| **v);
+        w.seq(entries.len());
+        for (v, (round, b)) in entries {
+            w.u32(*v);
+            w.u64(*round);
+            b.save(w);
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.seq()?;
+        let mut beacons = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let v = r.u32()?;
+            let round = r.u64()?;
+            let b = Beacon::load(r)?;
+            if beacons.insert(v, (round, b)).is_some() {
+                return Err(SnapshotError::Corrupt(format!("duplicate beacon for {v}")));
+            }
+        }
+        Ok(Self { beacons })
     }
 }
 

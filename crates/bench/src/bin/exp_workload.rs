@@ -25,10 +25,13 @@
 //!   overlay under the activity daemon (the serving-cost baseline: with no
 //!   protocol work left, round cost is pure traffic).
 //!
-//! Usage: `exp_workload [seed] [--json] [--smoke] [--threads T]`.
+//! Usage: `exp_workload [seed] [--json] [--smoke] [--threads T]
+//! [--save-snapshot PATH] [--load-snapshot PATH]`.
 //! `--json` emits the JSON-Lines documents captured in `BENCH_engine.json`
 //! (the committed baseline the `bench_check` CI gate diffs); `--smoke` is
-//! the seconds-long CI variant.
+//! the seconds-long CI variant; the snapshot options write E13c's converged
+//! fixture to a file / read it back instead of building (see
+//! [`scaffold_bench::ExpArgs::fixture_snapshot`]).
 
 use scaffold_bench::{budget, f2, legal_chord_runtime_cfg, Table};
 use ssim::{fault::Fault, Config, OpenLoop, RequestStats, WorkloadConfig};
@@ -258,13 +261,23 @@ fn main() {
     );
 
     // ---- E13c: load sweep (serving cost on the converged overlay) -------
+    // The three rate points share one fixture: snapshot it once (or honor
+    // --load-snapshot / --save-snapshot for cross-run reuse) and restore
+    // per point — identical state every time, guaranteed by the format's
+    // content hash rather than by rebuild determinism.
     let (lc_hosts, lc_n): (usize, u32) = if smoke { (256, 512) } else { (1024, 2048) };
     let lc_rounds: u64 = if smoke { 128 } else { 256 };
-    let mut t = Table::new(&["hosts", "N", "rate", "rounds", "completed", "ns/round"]);
-    for rate in [1.0f64, 8.0, 64.0] {
+    let lc_cfg = {
         let mut cfg = Config::seeded(seed);
         cfg.record_rounds = false;
-        let mut rt = legal_chord_runtime_cfg(lc_n, lc_hosts, cfg);
+        cfg
+    };
+    let lc_bytes =
+        args.fixture_snapshot(|| legal_chord_runtime_cfg(lc_n, lc_hosts, lc_cfg).save_snapshot());
+    let mut t = Table::new(&["hosts", "N", "rate", "rounds", "completed", "ns/round"]);
+    for rate in [1.0f64, 8.0, 64.0] {
+        let mut rt =
+            chord_scaffold::restore_runtime(&lc_bytes, lc_cfg).expect("E13c fixture restores");
         rt.set_scheduler(Box::new(ssim::ActivityDriven));
         rt.attach_workload(OpenLoop::new(rate, lc_n), WorkloadConfig::default());
         rt.run(8); // warm buffers and the first lookups

@@ -16,6 +16,9 @@
 //!   `fresh > baseline × tolerance` (default ×1.75, scalable with a slack
 //!   factor for noisy runners); *improvements always pass* — re-baseline
 //!   when they stick.
+//! * **throughput columns** (header ends in `/s`, e.g. `rounds/s`) — the
+//!   same machine-dependent wall-clock, inverted: higher is better, so the
+//!   gate fails when `fresh < baseline ÷ tolerance` and improvements pass.
 //! * **environment columns** (`cores`) and **derived-from-timing columns**
 //!   (`speedup`) — skipped: they legitimately differ between the committing
 //!   machine and the CI runner.
@@ -285,6 +288,8 @@ pub fn parse_docs(input: &str) -> Result<Vec<Doc>, String> {
 enum Class {
     /// Wall-clock measurement: ratio tolerance, regressions only.
     Timing,
+    /// Wall-clock throughput (higher is better): ratio tolerance on drops.
+    Throughput,
     /// Environment- or timing-derived: skipped.
     Skip,
     /// Deterministic per seed: exact equality.
@@ -300,6 +305,8 @@ pub const TIMING_TOLERANCE: f64 = 1.75;
 fn classify(header: &str) -> Class {
     if header.contains("ns/") {
         Class::Timing
+    } else if header.ends_with("/s") {
+        Class::Throughput
     } else if header == "cores" || header == "speedup" {
         Class::Skip
     } else {
@@ -382,16 +389,23 @@ pub fn check_regression(baseline: &str, fresh: &str, slack: f64) -> CheckReport 
                             ));
                         }
                     }
-                    Class::Timing => {
+                    Class::Timing | Class::Throughput => {
                         report.compared += 1;
                         match (b.parse::<f64>(), f.parse::<f64>()) {
                             (Ok(bv), Ok(fv)) if bv > 0.0 => {
-                                if fv > bv * tol {
+                                // Timing regresses upward, throughput
+                                // downward; express both as a slowdown
+                                // ratio > 1 against the tolerance.
+                                let slowdown = if classify(header) == Class::Timing {
+                                    fv / bv
+                                } else {
+                                    bv / fv.max(f64::MIN_POSITIVE)
+                                };
+                                if slowdown > tol {
                                     report.failures.push(format!(
-                                        "{title:?} row {rix} `{header}`: {fv:.2} exceeds \
+                                        "{title:?} row {rix} `{header}`: {fv:.2} breaches \
                                          baseline {bv:.2} × {tol:.2} tolerance \
-                                         ({:.2}× regression)",
-                                        fv / bv
+                                         ({slowdown:.2}× regression)"
                                     ));
                                 }
                             }
@@ -460,6 +474,27 @@ mod tests {
             "{:?}",
             r.failures
         );
+    }
+
+    #[test]
+    fn throughput_drops_fail_and_gains_pass() {
+        let doc_tp = |v: &str| {
+            format!(
+                "{{\"experiment\":\"E14: restore\",\"headers\":[\"hosts\",\"rounds/s\"],\
+                 \"rows\":[[\"65536\",\"{v}\"]]}}\n"
+            )
+        };
+        // 2× throughput drop trips the gate at the default tolerance…
+        let r = check_regression(&doc_tp("100.0"), &doc_tp("50.0"), 1.0);
+        assert!(!r.ok());
+        assert!(
+            r.failures[0].contains("2.00× regression"),
+            "{:?}",
+            r.failures
+        );
+        // …while gains and ordinary noise pass.
+        assert!(check_regression(&doc_tp("100.0"), &doc_tp("200.0"), 1.0).ok());
+        assert!(check_regression(&doc_tp("100.0"), &doc_tp("70.0"), 1.0).ok());
     }
 
     #[test]

@@ -289,7 +289,40 @@ pub fn legal_chord_runtime(
 /// [`legal_chord_runtime`] with an explicit [`Config`] (thread counts,
 /// per-round metric rows, …). The install uses `cfg.seed` for host
 /// placement, so identical configs give identical fixtures.
+///
+/// A thin wrapper over "build once, checkpoint, restore at any N": the
+/// installed fixture is built at most once per `(N, hosts, seed, flags)`
+/// and cached as a hash-verified snapshot (see [`checkpoint_cache`]);
+/// later calls — within and across experiment binaries — restore it, which
+/// at the 64k+ host sizes of the scale sweep is orders of magnitude
+/// cheaper than re-deriving ranges, edges, and warmed views from scratch.
+/// Restoring honors the caller's thread count (snapshots restore at any
+/// parallelism), and a corrupt or stale cache silently falls back to a
+/// fresh build.
 pub fn legal_chord_runtime_cfg(
+    n_guests: u32,
+    hosts: usize,
+    cfg: Config,
+) -> Runtime<ScaffoldProgram<ChordTarget>> {
+    let key = format!(
+        "legal_chord_v1_n{n_guests}_h{hosts}_s{}_rr{}_st{}",
+        cfg.seed, cfg.record_rounds as u8, cfg.strict as u8
+    );
+    let bytes = checkpoint_cache(&key, || {
+        build_legal_chord_runtime(n_guests, hosts, cfg).save_snapshot()
+    });
+    match chord_scaffold::restore_runtime(&bytes, cfg) {
+        Ok(rt) => {
+            debug_assert!(chord_scaffold::runtime_is_legal(&rt));
+            rt
+        }
+        // Unreachable for bytes the cache just validated, but a corrupt
+        // payload must degrade to a rebuild, never to a panic.
+        Err(_) => build_legal_chord_runtime(n_guests, hosts, cfg),
+    }
+}
+
+fn build_legal_chord_runtime(
     n_guests: u32,
     hosts: usize,
     cfg: Config,
@@ -355,6 +388,37 @@ pub fn install_legal_cbt_state(
             p.core.cbt.core.cluster_min = min;
         });
     }
+}
+
+/// Directory for cached experiment checkpoints: `$SCAFFOLD_CKPT_DIR` when
+/// set, otherwise `scaffold-ckpt/` under the system temp directory.
+pub fn checkpoint_dir() -> std::path::PathBuf {
+    match std::env::var_os("SCAFFOLD_CKPT_DIR") {
+        Some(d) if !d.is_empty() => std::path::PathBuf::from(d),
+        _ => std::env::temp_dir().join("scaffold-ckpt"),
+    }
+}
+
+/// Fetch the snapshot cached under `key`, building (and caching) it when
+/// absent. The cached file is a sealed [`ssim::snapshot`] container, so a
+/// truncated or bit-flipped cache is detected by its content hash and
+/// silently rebuilt — a poisoned cache can cost time, never correctness.
+/// Writes are atomic (temp file + rename), so concurrent experiment
+/// processes sharing the cache directory race benignly. A failed write is
+/// reported to stderr and otherwise ignored: the cache is an accelerator,
+/// not a dependency.
+pub fn checkpoint_cache(key: &str, build: impl FnOnce() -> Vec<u8>) -> Vec<u8> {
+    let path = checkpoint_dir().join(format!("{key}.snap"));
+    if let Ok(bytes) = ssim::snapshot::read_file(&path) {
+        if ssim::snapshot::unseal(&bytes).is_ok() {
+            return bytes;
+        }
+    }
+    let bytes = build();
+    if let Err(e) = ssim::snapshot::write_file(&path, &bytes) {
+        eprintln!("checkpoint_cache: could not cache {}: {e}", path.display());
+    }
+    bytes
 }
 
 /// Mean and sample standard deviation.
@@ -474,6 +538,10 @@ pub fn pulse_churn_event(rt: &mut Runtime<Pulse>, e: usize, stride: usize, fresh
 ///   `sync` (default), `activity`, `random:<p>`, or `rr:<k>` (see
 ///   [`ssim::sched::from_spec`]). Unlike threads, the daemon may change
 ///   results — that is the point of sweeping it;
+/// * `--save-snapshot PATH` / `--load-snapshot PATH` (or `=PATH`) — where
+///   an experiment that builds a reusable fixture should write its sealed
+///   snapshot, or read one instead of building (see
+///   [`ExpArgs::fixture_snapshot`]);
 /// * other `--flags` — kept verbatim; experiments query them with
 ///   [`ExpArgs::flag`] (e.g. `exp_engine_scale --smoke`);
 /// * first numeric positional argument — override the seed/trial count
@@ -488,6 +556,10 @@ pub struct ExpArgs {
     pub threads: Option<usize>,
     /// `--sched SPEC`: scheduler spec (see [`ExpArgs::scheduler`]).
     pub sched: Option<String>,
+    /// `--save-snapshot PATH`: write the experiment's fixture snapshot here.
+    pub save_snapshot: Option<String>,
+    /// `--load-snapshot PATH`: restore the fixture from here, skip building.
+    pub load_snapshot: Option<String>,
     /// Remaining `--flag` arguments, for experiment-specific switches.
     pub flags: Vec<String>,
 }
@@ -527,6 +599,32 @@ impl ExpArgs {
         if let Some(s) = self.scheduler(seed) {
             rt.set_scheduler(s);
         }
+    }
+
+    /// Resolve an experiment's fixture snapshot honoring the snapshot
+    /// options: read the sealed bytes from the `--load-snapshot` path when
+    /// given (fatal when unreadable or failing its content hash — an
+    /// explicitly named snapshot must never be silently substituted),
+    /// otherwise call `build`; then mirror the bytes to the
+    /// `--save-snapshot` path when that is given.
+    pub fn fixture_snapshot(&self, build: impl FnOnce() -> Vec<u8>) -> Vec<u8> {
+        let bytes = match &self.load_snapshot {
+            Some(p) => {
+                let bytes = ssim::snapshot::read_file(std::path::Path::new(p))
+                    .unwrap_or_else(|e| panic!("--load-snapshot {p}: {e}"));
+                if let Err(e) = ssim::snapshot::unseal(&bytes) {
+                    panic!("--load-snapshot {p}: {e}");
+                }
+                bytes
+            }
+            None => build(),
+        };
+        if let Some(p) = &self.save_snapshot {
+            if let Err(e) = ssim::snapshot::write_file(std::path::Path::new(p), &bytes) {
+                panic!("--save-snapshot {p}: {e}");
+            }
+        }
+        bytes
     }
 }
 
@@ -568,6 +666,23 @@ fn parse_exp_args(args: impl IntoIterator<Item = String>) -> ExpArgs {
             }
         } else if let Some(v) = a.strip_prefix("--sched=") {
             out.sched = Some(v.to_string());
+        } else if a == "--save-snapshot" || a == "--load-snapshot" {
+            let slot = if a == "--save-snapshot" {
+                &mut out.save_snapshot
+            } else {
+                &mut out.load_snapshot
+            };
+            match args.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    *slot = Some(v.clone());
+                    args.next();
+                }
+                _ => eprintln!("{a} needs a path (e.g. {a} fixture.snap); ignoring"),
+            }
+        } else if let Some(v) = a.strip_prefix("--save-snapshot=") {
+            out.save_snapshot = Some(v.to_string());
+        } else if let Some(v) = a.strip_prefix("--load-snapshot=") {
+            out.load_snapshot = Some(v.to_string());
         } else if let Some(flag) = a.strip_prefix("--") {
             out.flags.push(flag.to_string());
         } else if out.count.is_none() {
@@ -701,6 +816,62 @@ mod tests {
         // A missing value must not eat the following flag.
         let bad = args(&["--sched", "--json"]);
         assert!(bad.json && bad.sched.is_none());
+    }
+
+    #[test]
+    fn exp_args_parse_snapshot_paths() {
+        let args = |v: &[&str]| parse_exp_args(v.iter().map(|s| s.to_string()));
+        let a = args(&["--save-snapshot", "out.snap", "--load-snapshot=in.snap"]);
+        assert_eq!(a.save_snapshot.as_deref(), Some("out.snap"));
+        assert_eq!(a.load_snapshot.as_deref(), Some("in.snap"));
+        // A missing value must not eat the following flag.
+        let bad = args(&["--load-snapshot", "--json"]);
+        assert!(bad.json && bad.load_snapshot.is_none());
+    }
+
+    #[test]
+    fn checkpoint_cache_builds_once_and_survives_corruption() {
+        let dir = std::env::temp_dir().join(format!("scaffold-ckpt-test-{}", std::process::id()));
+        let key = "cache_roundtrip";
+        let path = dir.join(format!("{key}.snap"));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("SCAFFOLD_CKPT_DIR", &dir);
+        let builds = std::cell::Cell::new(0u32);
+        let build = || {
+            builds.set(builds.get() + 1);
+            ssim::snapshot::seal(vec![1, 2, 3])
+        };
+        let first = checkpoint_cache(key, build);
+        let second = checkpoint_cache(key, build);
+        assert_eq!(first, second);
+        assert_eq!(builds.get(), 1, "second call must hit the cache");
+        // A corrupted cache file is rebuilt, not trusted.
+        let mut bytes = std::fs::read(&path).expect("cache file exists");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("rewrite cache");
+        let third = checkpoint_cache(key, build);
+        assert_eq!(first, third);
+        assert_eq!(builds.get(), 2, "corrupt cache must trigger a rebuild");
+        std::env::remove_var("SCAFFOLD_CKPT_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legal_chord_runtime_restores_from_checkpoint_identically() {
+        // Two calls with the same parameters: the second restores from the
+        // snapshot cache and must serve traffic byte-identically to the
+        // first (which built and checkpointed the fixture).
+        let run = || {
+            let mut rt = legal_chord_runtime(256, 32, 11);
+            rt.attach_workload(
+                ssim::OpenLoop::new(4.0, 256).limited(100),
+                ssim::WorkloadConfig::default(),
+            );
+            rt.run(80);
+            serde_json::to_string(rt.metrics()).expect("metrics serialize")
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

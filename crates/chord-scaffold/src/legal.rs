@@ -113,6 +113,30 @@ fn join_nonce(seed: u64, v: NodeId) -> u64 {
     seed ^ (v as u64 + 7).wrapping_mul(0x9E3779B97F4A7C15)
 }
 
+/// Restore a scaffolding runtime from snapshot bytes produced by
+/// [`ssim::Runtime::save_snapshot`], re-registering the non-serializable
+/// hooks a [`runtime`]-built instance carries: the join spawner (nonces
+/// derived from the snapshot's seed, so mid-run joins behave exactly as in
+/// the original run) and, in debug builds, the shadow quiescence check.
+pub fn restore_runtime(
+    bytes: &[u8],
+    cfg: Config,
+) -> Result<Runtime<ScaffoldProgram<ChordTarget>>, ssim::SnapshotError> {
+    let mut rt = Runtime::<ScaffoldProgram<ChordTarget>>::restore_snapshot(bytes, cfg)?;
+    let Some(&first) = rt.ids().first() else {
+        return Err(ssim::SnapshotError::Corrupt(
+            "chord-scaffold restore: no live hosts, cannot infer the target".into(),
+        ));
+    };
+    let target = rt.program(first).core.target;
+    let seed = rt.config().seed;
+    rt.set_spawner(move |v| ScaffoldProgram::new(v, target, join_nonce(seed, v)));
+    if cfg!(debug_assertions) {
+        rt.enable_shadow_check();
+    }
+    Ok(rt)
+}
+
 /// Build a scaffolding runtime from a named initial shape with `count`
 /// random hosts.
 pub fn runtime_from_shape(

@@ -36,7 +36,8 @@ pub mod protocol;
 pub mod target;
 
 pub use legal::{
-    expected_edges, is_legal, legality, legality_for, runtime, runtime_from_shape, runtime_is_legal,
+    expected_edges, is_legal, legality, legality_for, restore_runtime, runtime, runtime_from_shape,
+    runtime_is_legal,
 };
 pub use msg::{Phase, PhaseInfo, ScafMsg};
 pub use program::ScaffoldProgram;

@@ -4,6 +4,7 @@ use crate::msg::ScafMsg;
 use crate::protocol::{ScafIo, ScaffoldCore};
 use crate::target::{ChordTarget, InductiveTarget};
 use rand::rngs::SmallRng;
+use ssim::snapshot::{Persist, Reader, SnapshotError, Writer};
 use ssim::workload::{RouteStep, Router};
 use ssim::{Ctx, NodeId, Program};
 
@@ -66,6 +67,17 @@ impl<T: InductiveTarget> Program for ScaffoldProgram<T> {
     /// see [`ScaffoldCore::is_settled`].
     fn is_quiescent(&self) -> bool {
         self.core.is_settled()
+    }
+}
+
+impl<T: InductiveTarget + Persist> Persist for ScaffoldProgram<T> {
+    fn save(&self, w: &mut Writer) {
+        self.core.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            core: ScaffoldCore::load(r)?,
+        })
     }
 }
 

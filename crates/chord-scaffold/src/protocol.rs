@@ -17,6 +17,7 @@ use crate::target::InductiveTarget;
 use avatar_cbt::hosttree::{self, required_edge};
 use avatar_cbt::{CbtCore, CbtMsg, NetIo};
 use rand::rngs::SmallRng;
+use ssim::snapshot::{Persist, Reader, SnapshotError, Writer};
 use ssim::NodeId;
 use std::collections::HashMap;
 
@@ -804,6 +805,95 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
             // Someone is talking: a neighbor detected a fault. Join in.
             self.revert_to_cbt();
         }
+    }
+}
+
+impl Persist for ActiveWave {
+    fn save(&self, w: &mut Writer) {
+        w.u32(self.k);
+        self.pending.save(w);
+        self.ring0.save(w);
+        self.ring_n.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            k: r.u32()?,
+            pending: Vec::load(r)?,
+            ring0: Option::load(r)?,
+            ring_n: Option::load(r)?,
+        })
+    }
+}
+
+impl<T: InductiveTarget + Persist> Persist for ScaffoldCore<T> {
+    fn save(&self, w: &mut Writer) {
+        self.target.save(w);
+        self.cbt.save(w);
+        self.phase.save(w);
+        w.i64(self.last_wave);
+        self.active.save(w);
+        // Maps serialize sorted by neighbor id for deterministic bytes.
+        let mut pview: Vec<(NodeId, (u64, PhaseInfo))> =
+            self.pview.iter().map(|(&k, &v)| (k, v)).collect();
+        pview.sort_unstable_by_key(|(k, _)| *k);
+        w.seq(pview.len());
+        for (v, (round, pi)) in pview {
+            w.u32(v);
+            w.u64(round);
+            pi.save(w);
+        }
+        let mut seen: Vec<(NodeId, u64)> = self.seen_since.iter().map(|(&k, &v)| (k, v)).collect();
+        seen.sort_unstable_by_key(|(k, _)| *k);
+        seen.save(w);
+        w.u64(self.switch_round);
+        self.wave0_at.save(w);
+        w.u64(self.last_progress);
+        self.done_pending.save(w);
+        self.done_parent.save(w);
+        w.bool(self.armed);
+        self.done_neighbors.save(w);
+        w.u8(self.done_grace);
+        w.u64(self.reverts);
+        w.u64(self.completions);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let target = T::load(r)?;
+        let cbt = CbtCore::load(r)?;
+        let phase = Phase::load(r)?;
+        let last_wave = r.i64()?;
+        let active = Option::load(r)?;
+        let n_pview = r.seq()?;
+        let mut pview = HashMap::with_capacity(n_pview);
+        for _ in 0..n_pview {
+            let v = r.u32()?;
+            let round = r.u64()?;
+            let pi = PhaseInfo::load(r)?;
+            if pview.insert(v, (round, pi)).is_some() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "duplicate phase view for {v}"
+                )));
+            }
+        }
+        let seen_since: HashMap<NodeId, u64> = Vec::<(NodeId, u64)>::load(r)?.into_iter().collect();
+        Ok(Self {
+            target,
+            cbt,
+            phase,
+            last_wave,
+            active,
+            pview,
+            seen_since,
+            switch_round: r.u64()?,
+            wave0_at: Option::load(r)?,
+            last_progress: r.u64()?,
+            done_pending: Option::load(r)?,
+            done_parent: Option::load(r)?,
+            armed: r.bool()?,
+            done_neighbors: Option::load(r)?,
+            done_grace: r.u8()?,
+            reverts: r.u64()?,
+            completions: r.u64()?,
+        })
     }
 }
 

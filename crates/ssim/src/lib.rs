@@ -30,6 +30,11 @@
 //!   randomized and adversarial activation for weaker-daemon stress, and
 //!   the dirty-set-driven [`sched::ActivityDriven`] daemon that makes
 //!   post-convergence rounds O(activity) instead of O(n).
+//! * **Snapshots**: a full runtime — topology, membership, program state,
+//!   RNG streams, in-flight inboxes, metrics — serializes to a versioned,
+//!   hash-verified binary [`snapshot`] and restores into a runtime that
+//!   continues byte-identically, at any thread count, under any
+//!   equivalence-claiming scheduler. Programs opt in via [`Persist`].
 //! * **Traffic**: application request [`workload`]s are injected each
 //!   round and routed hop-by-hop over the *live* host links by the
 //!   protocol's [`workload::Router`], racing stabilization and churn
@@ -67,6 +72,7 @@ pub mod program;
 pub mod runtime;
 pub mod scenario;
 pub mod sched;
+pub mod snapshot;
 pub mod topology;
 pub mod workload;
 
@@ -77,6 +83,7 @@ pub use program::{Actions, Ctx, Program};
 pub use runtime::{Config, Runtime};
 pub use scenario::{Event, Scenario, ScenarioReport};
 pub use sched::{ActivityDriven, Adversarial, RandomSubset, SchedView, Scheduler, Synchronous};
+pub use snapshot::{Persist, SnapshotError};
 pub use topology::{NodeSlot, Topology};
 pub use workload::{
     ClosedLoop, Key, LatencyBudget, OpenLoop, RequestOutcome, RequestRecord, RequestStats,

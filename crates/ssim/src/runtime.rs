@@ -28,6 +28,7 @@ use crate::monitor::{Monitor, MonitorOutcome, RunVerdict, Verdict};
 use crate::par::{self, ThreadPool};
 use crate::program::{Actions, Ctx, Program};
 use crate::sched::{self, SchedView, Scheduler};
+use crate::snapshot::{self, Persist, Reader, SnapshotError, Writer};
 use crate::topology::{NodeSlot, Topology};
 use crate::workload::{
     Key, Request, RequestOutcome, RouteStep, Router, Workload, WorkloadConfig, WorkloadView,
@@ -205,6 +206,25 @@ struct Traffic<P: Program> {
     inject_buf: Vec<(NodeId, Key)>,
 }
 
+/// Traffic state restored from a snapshot, parked until the caller
+/// re-attaches a workload: the generator and router are closures/trait
+/// objects and cannot be serialized, so [`Runtime::restore_snapshot`]
+/// stashes the serializable part here and the next
+/// [`Runtime::attach_workload`] call marries it to a freshly constructed
+/// generator of the same type.
+struct PendingTraffic {
+    wcfg: WorkloadConfig,
+    rng: SmallRng,
+    next_id: u64,
+    queues: Vec<Vec<Request>>,
+    /// `Workload::name()` of the generator that was attached at save time —
+    /// re-attachment with a different generator type is a loud panic, not a
+    /// silent divergence.
+    gen_name: String,
+    /// Opaque [`Workload::save_state`] bytes for [`Workload::load_state`].
+    gen_bytes: Vec<u8>,
+}
+
 /// The simulator: a set of node programs, the overlay topology, and mailboxes.
 ///
 /// All per-node state lives in slot-parallel arrays addressed by the
@@ -298,6 +318,11 @@ pub struct Runtime<P: Program> {
     /// are attributed to the next executed round and the per-row
     /// conservation law stays exact.
     req_reported: (u64, u64, u64),
+    /// Traffic state restored from a snapshot, awaiting re-attachment (see
+    /// [`Runtime::restore_snapshot`]). [`Runtime::step`] refuses to run
+    /// while this is pending — continuing without the workload would
+    /// silently diverge from the saved run.
+    pending_traffic: Option<PendingTraffic>,
 }
 
 impl<P: Program> Runtime<P> {
@@ -351,6 +376,7 @@ impl<P: Program> Runtime<P> {
             shadow: None,
             traffic: None,
             req_reported: (0, 0, 0),
+            pending_traffic: None,
         }
     }
 
@@ -463,26 +489,60 @@ impl<P: Program> Runtime<P> {
     ///
     /// Attaching replaces any previously attached workload **and its
     /// in-flight requests** (panics if requests are pending — drain first).
+    ///
+    /// On a runtime restored from a snapshot that had a workload attached,
+    /// this call instead **resumes** the saved traffic: the generator must
+    /// be of the same type as at save time (checked by [`Workload::name`]);
+    /// its mutable state, the workload RNG position, the in-flight request
+    /// queues, and the saved [`WorkloadConfig`] are restored — the `wcfg`
+    /// argument is ignored in that case, because continuing with different
+    /// TTL/hop budgets would diverge from the uninterrupted run.
     pub fn attach_workload(&mut self, gen: impl Workload + 'static, wcfg: WorkloadConfig)
     where
         P: Router,
     {
-        assert_eq!(
-            self.metrics.requests.in_flight, 0,
-            "attach_workload: requests from a previous workload are still in flight"
-        );
+        let mut gen: Box<dyn Workload> = Box::new(gen);
+        let (wcfg, rng, queues, next_id) = match self.pending_traffic.take() {
+            Some(p) => {
+                assert_eq!(
+                    gen.name(),
+                    p.gen_name,
+                    "attach_workload: the snapshot was saved with workload `{}`; \
+                     resuming with `{}` would diverge",
+                    p.gen_name,
+                    gen.name()
+                );
+                let mut r = Reader::new(&p.gen_bytes);
+                gen.load_state(&mut r)
+                    .and_then(|()| r.finish())
+                    .expect("attach_workload: restored workload state does not fit the generator");
+                (p.wcfg, p.rng, p.queues, p.next_id)
+            }
+            None => {
+                assert_eq!(
+                    self.metrics.requests.in_flight, 0,
+                    "attach_workload: requests from a previous workload are still in flight"
+                );
+                (
+                    wcfg,
+                    SmallRng::seed_from_u64(self.cfg.seed ^ splitmix64(0x770A_D10A)),
+                    std::iter::repeat_with(Vec::new)
+                        .take(self.programs.len())
+                        .collect(),
+                    // Continue the id sequence across re-attached workloads
+                    // so request ids stay monotone per run (every issued
+                    // request, under any workload, bumped the counter).
+                    self.metrics.requests.issued,
+                )
+            }
+        };
         self.traffic = Some(Traffic {
-            gen: Box::new(gen),
+            gen,
             cfg: wcfg,
             route: Box::new(|p, key, neighbors| p.route(key, neighbors)),
-            rng: SmallRng::seed_from_u64(self.cfg.seed ^ splitmix64(0x770A_D10A)),
-            queues: std::iter::repeat_with(Vec::new)
-                .take(self.programs.len())
-                .collect(),
-            // Continue the id sequence across re-attached workloads so
-            // request ids stay monotone per run (every issued request,
-            // under any workload, bumped the counter).
-            next_id: self.metrics.requests.issued,
+            rng,
+            queues,
+            next_id,
             inject_buf: Vec::new(),
         });
     }
@@ -698,6 +758,19 @@ impl<P: Program> Runtime<P> {
         self.round
     }
 
+    /// The runtime's configuration (restore helpers read the seed from it
+    /// to rebuild spawners and shadow checks).
+    pub fn config(&self) -> Config {
+        self.cfg
+    }
+
+    /// True iff this runtime was restored from a snapshot that had a
+    /// workload attached and the workload has not been re-attached yet
+    /// ([`Runtime::step`] refuses to run until it is).
+    pub fn pending_workload(&self) -> bool {
+        self.pending_traffic.is_some()
+    }
+
     /// The current topology.
     pub fn topology(&self) -> &Topology {
         &self.topo
@@ -808,6 +881,11 @@ impl<P: Program> Runtime<P> {
     /// apply phase is always selection-ordered on this thread, which is why
     /// results never depend on the thread count.
     pub fn step(&mut self) {
+        assert!(
+            self.pending_traffic.is_none(),
+            "step: this runtime was restored from a snapshot with in-flight traffic; \
+             attach the saved workload first (Runtime::attach_workload)"
+        );
         let round = self.round;
         let strict = self.cfg.strict;
 
@@ -1393,6 +1471,306 @@ impl<P: Program> Runtime<P> {
     }
 }
 
+/// Checkpoint/restore (see [`crate::snapshot`]): available when the program
+/// and its message type opt in via [`Persist`].
+impl<P: Program + Persist> Runtime<P>
+where
+    P::Msg: Persist,
+{
+    /// Serialize the full runtime state into a sealed snapshot container
+    /// (see [`crate::snapshot`] for the framing; versioned, length-prefixed,
+    /// content-hashed).
+    ///
+    /// The payload captures everything a future [`Runtime::step`] can
+    /// observe: the determinism-relevant config (seed, strictness, metrics
+    /// granularity), the topology with its exact free-list and member
+    /// order, every slot's RNG position and program state, the pending
+    /// inboxes, the round counter, the accumulated metrics, the dirty set,
+    /// armed timers, and — when a workload is attached — the traffic
+    /// subsystem's queues, RNG, and generator state. Not captured (because
+    /// they are closures or caller policy): the spawner, the shadow check,
+    /// the scheduler, the thread pool, and the workload's generator/router
+    /// *code* — [`Runtime::restore_snapshot`] documents how each is
+    /// re-attached.
+    ///
+    /// The bytes are deterministic: two identical runtimes serialize
+    /// identically, so snapshot size is a meaningful, exactly reproducible
+    /// metric (the E14 experiment records bytes/host from it).
+    pub fn save_snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        // Determinism-relevant config. `parallel`/`threads` are deliberately
+        // NOT saved: thread count never changes results, so it stays a
+        // restore-time choice.
+        w.u64(self.cfg.seed);
+        w.bool(self.cfg.strict);
+        w.bool(self.cfg.record_rounds);
+        self.topo.save_state(&mut w);
+        let n = self.topo.slot_count();
+        w.seq(n);
+        for i in 0..n {
+            for s in self.rngs[i].state() {
+                w.u64(s);
+            }
+            self.programs[i].save(&mut w);
+            // The inbox alone suffices: the `inbox_senders`/`sent_to`
+            // mirrors are exactly derivable from it (a departed sender's
+            // pending messages are always purged, so every pending sender
+            // is a live member) and are rebuilt on restore.
+            self.inboxes[i].save(&mut w);
+        }
+        w.u64(self.round);
+        self.metrics.save(&mut w);
+        self.dirty_list.save(&mut w);
+        // The timer heap's internal order is unspecified; serialize sorted
+        // so identical states produce identical bytes.
+        let mut timers: Vec<(u64, u32, NodeId)> = self.timers.iter().map(|&Reverse(t)| t).collect();
+        timers.sort_unstable();
+        timers.save(&mut w);
+        w.u64(self.req_reported.0);
+        w.u64(self.req_reported.1);
+        w.u64(self.req_reported.2);
+        // Traffic: from the live subsystem, or — on a restored-but-not-yet-
+        // re-attached runtime — passed through verbatim from the stash, so
+        // save∘restore is the identity even mid-handoff.
+        match (&self.traffic, &self.pending_traffic) {
+            (Some(tr), _) => {
+                w.bool(true);
+                w.u64(tr.cfg.ttl);
+                w.u32(tr.cfg.max_hops);
+                w.bool(tr.cfg.record_requests);
+                for s in tr.rng.state() {
+                    w.u64(s);
+                }
+                w.u64(tr.next_id);
+                tr.queues.save(&mut w);
+                w.str(tr.gen.name());
+                let mut gw = Writer::new();
+                tr.gen.save_state(&mut gw);
+                w.bytes(&gw.into_bytes());
+            }
+            (None, Some(p)) => {
+                w.bool(true);
+                w.u64(p.wcfg.ttl);
+                w.u32(p.wcfg.max_hops);
+                w.bool(p.wcfg.record_requests);
+                for s in p.rng.state() {
+                    w.u64(s);
+                }
+                w.u64(p.next_id);
+                p.queues.save(&mut w);
+                w.str(&p.gen_name);
+                w.bytes(&p.gen_bytes);
+            }
+            (None, None) => w.bool(false),
+        }
+        snapshot::seal(w.into_bytes())
+    }
+
+    /// [`Runtime::save_snapshot`] straight to a file (written atomically:
+    /// temp file + rename, so a concurrent reader never sees a torn
+    /// snapshot).
+    pub fn save_snapshot_to(&self, path: impl AsRef<std::path::Path>) -> Result<(), SnapshotError> {
+        snapshot::write_file(path.as_ref(), &self.save_snapshot())
+    }
+
+    /// Restore a runtime from [`Runtime::save_snapshot`] bytes. The
+    /// container is verified (magic, version, length, content hash) before
+    /// any payload byte is interpreted; decoded state is cross-checked
+    /// (topology invariants, slot-array alignment, inbox senders must be
+    /// live members) so a corrupt-but-well-framed payload fails loudly
+    /// instead of building an inconsistent runtime.
+    ///
+    /// `cfg` supplies only the execution policy: `parallel` and `threads`
+    /// are honored (restore at any thread count — results are identical by
+    /// the engine's determinism argument), while `seed`, `strict`, and
+    /// `record_rounds` are pinned from the snapshot (changing them would
+    /// diverge from the uninterrupted run).
+    ///
+    /// What the caller re-attaches, because it is code, not data:
+    ///
+    /// * **Scheduler** — restored runtimes start on the synchronous daemon;
+    ///   install another via [`Runtime::set_scheduler`]. Safe for any
+    ///   equivalence-claiming scheduler: they are stateless and the dirty
+    ///   set round-trips exactly.
+    /// * **Spawner / shadow check** — re-register via
+    ///   [`Runtime::set_spawner`] / [`Runtime::enable_shadow_check`]
+    ///   (protocol crates' restore helpers do this).
+    /// * **Workload** — if the snapshot had traffic attached,
+    ///   [`Runtime::step`] panics until [`Runtime::attach_workload`] is
+    ///   called with a generator of the saved type; the saved queues, RNG
+    ///   and generator state resume exactly (see
+    ///   [`Runtime::pending_workload`]).
+    pub fn restore_snapshot(bytes: &[u8], cfg: Config) -> Result<Self, SnapshotError> {
+        let payload = snapshot::unseal(bytes)?;
+        let mut r = Reader::new(payload);
+        let cfg = Config {
+            seed: r.u64()?,
+            strict: r.bool()?,
+            record_rounds: r.bool()?,
+            ..cfg
+        };
+        let topo = Topology::restore_state(&mut r)?;
+        let n = r.seq()?;
+        if n != topo.slot_count() {
+            return Err(SnapshotError::Corrupt(format!(
+                "slot arrays ({n}) misaligned with topology ({})",
+                topo.slot_count()
+            )));
+        }
+        let mut rngs = Vec::with_capacity(n);
+        let mut programs: Vec<Option<P>> = Vec::with_capacity(n);
+        let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut st = [0u64; 4];
+            for s in &mut st {
+                *s = r.u64()?;
+            }
+            rngs.push(SmallRng::from_state(st));
+            programs.push(Option::load(&mut r)?);
+            inboxes.push(Vec::load(&mut r)?);
+        }
+        let round = r.u64()?;
+        let metrics = RunMetrics::load(&mut r)?;
+        let dirty_list = Vec::<u32>::load(&mut r)?;
+        let timer_list = Vec::<(u64, u32, NodeId)>::load(&mut r)?;
+        let req_reported = (r.u64()?, r.u64()?, r.u64()?);
+        let pending_traffic = if r.bool()? {
+            let wcfg = WorkloadConfig {
+                ttl: r.u64()?,
+                max_hops: r.u32()?,
+                record_requests: r.bool()?,
+            };
+            let mut st = [0u64; 4];
+            for s in &mut st {
+                *s = r.u64()?;
+            }
+            let next_id = r.u64()?;
+            let queues = Vec::<Vec<Request>>::load(&mut r)?;
+            if queues.len() != n {
+                return Err(SnapshotError::Corrupt(format!(
+                    "traffic queues ({}) misaligned with slots ({n})",
+                    queues.len()
+                )));
+            }
+            Some(PendingTraffic {
+                wcfg,
+                rng: SmallRng::from_state(st),
+                next_id,
+                queues,
+                gen_name: r.str()?,
+                gen_bytes: r.bytes()?.to_vec(),
+            })
+        } else {
+            None
+        };
+        r.finish()?;
+
+        // ---- Cross-checks and derived state.
+        let mut inflight = 0u64;
+        let mut inbox_senders: Vec<Vec<u32>> = std::iter::repeat_with(Vec::new).take(n).collect();
+        let mut sent_to: Vec<Vec<u32>> = std::iter::repeat_with(Vec::new).take(n).collect();
+        for i in 0..n {
+            let live = topo.is_live(NodeSlot::new(i));
+            if live != programs[i].is_some() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "slot {i}: program presence disagrees with topology liveness"
+                )));
+            }
+            if !live && !inboxes[i].is_empty() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "slot {i}: free slot holds pending messages"
+                )));
+            }
+            inflight += inboxes[i].len() as u64;
+            for (from, _) in &inboxes[i] {
+                let fs = topo.slot_of(*from).ok_or_else(|| {
+                    SnapshotError::Corrupt(format!("pending message from non-member {from}"))
+                })?;
+                inbox_senders[i].push(fs.index() as u32);
+                sent_to[fs.index()].push(i as u32);
+            }
+        }
+        let mut dirty = vec![false; n];
+        for &i in &dirty_list {
+            let i = i as usize;
+            if i >= n {
+                return Err(SnapshotError::Corrupt(format!(
+                    "dirty slot {i} out of range"
+                )));
+            }
+            if std::mem::replace(&mut dirty[i], true) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "dirty slot {i} listed twice"
+                )));
+            }
+        }
+        let mut timers = BinaryHeap::with_capacity(timer_list.len());
+        for (due, slot, id) in timer_list {
+            if slot as usize >= n {
+                return Err(SnapshotError::Corrupt(format!(
+                    "timer slot {slot} out of range"
+                )));
+            }
+            timers.push(Reverse((due, slot, id)));
+        }
+        if let Some(p) = &pending_traffic {
+            for (i, q) in p.queues.iter().enumerate() {
+                if !q.is_empty() && !topo.is_live(NodeSlot::new(i)) {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "slot {i}: free slot holds in-flight requests"
+                    )));
+                }
+            }
+        }
+        // Quiescence flags are a pure function of the program states (the
+        // runtime syncs them at every step/join/corruption), so recompute
+        // rather than trust the payload.
+        let quiescent: Vec<bool> = programs
+            .iter()
+            .map(|p| p.as_ref().is_some_and(Program::is_quiescent))
+            .collect();
+        let quiescent_count = quiescent.iter().filter(|&&q| q).count();
+
+        let threads = cfg.effective_threads();
+        Ok(Self {
+            cfg,
+            topo,
+            programs,
+            rngs,
+            inboxes,
+            inbox_senders,
+            scratch: std::iter::repeat_with(Actions::default).take(n).collect(),
+            sent_to,
+            inflight,
+            round,
+            metrics,
+            spawner: None,
+            pool: (threads > 1).then(|| ThreadPool::new(threads)),
+            sched: Box::new(sched::Synchronous),
+            dirty,
+            dirty_list,
+            dirty_sorted: Vec::with_capacity(n),
+            selection: Vec::with_capacity(n),
+            selected: vec![false; n],
+            quiescent,
+            quiescent_count,
+            timers,
+            shadow: None,
+            traffic: None,
+            req_reported,
+            pending_traffic,
+        })
+    }
+
+    /// [`Runtime::restore_snapshot`] from a file.
+    pub fn restore_snapshot_from(
+        path: impl AsRef<std::path::Path>,
+        cfg: Config,
+    ) -> Result<Self, SnapshotError> {
+        Self::restore_snapshot(&snapshot::read_file(path.as_ref())?, cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1435,6 +1813,91 @@ mod tests {
             )
         });
         Runtime::new(Config::default(), nodes, (0..n - 1).map(|i| (i, i + 1)))
+    }
+
+    impl Persist for Flood {
+        fn save(&self, w: &mut Writer) {
+            w.bool(self.has);
+            w.bool(self.announced);
+        }
+        fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+            Ok(Self {
+                has: r.bool()?,
+                announced: r.bool()?,
+            })
+        }
+    }
+
+    #[test]
+    fn snapshot_mid_flood_continues_byte_identically() {
+        // Interrupt a flood mid-propagation (messages in flight, dirty set
+        // populated) and check the restored run finishes with metrics
+        // byte-identical to the uninterrupted one — including a restore
+        // into a different thread count.
+        let mut full = line_runtime(24);
+        full.run(30);
+        let full_json = serde_json::to_string(full.metrics()).unwrap();
+
+        let mut a = line_runtime(24);
+        a.run(7); // mid-flood: the token is still traveling
+        let snap = a.save_snapshot();
+        assert_eq!(snap, a.save_snapshot(), "snapshot bytes are deterministic");
+        for threads in [1usize, 3] {
+            let mut b =
+                Runtime::<Flood>::restore_snapshot(&snap, Config::default().threads(threads))
+                    .unwrap();
+            assert_eq!(b.round(), 7);
+            assert_eq!(b.threads(), threads);
+            b.run(23);
+            let b_json = serde_json::to_string(b.metrics()).unwrap();
+            assert_eq!(b_json, full_json, "threads={threads}");
+        }
+        // save ∘ restore is the identity on the bytes.
+        let b = Runtime::<Flood>::restore_snapshot(&snap, Config::default()).unwrap();
+        assert_eq!(b.save_snapshot(), snap);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_membership_churn_and_timers() {
+        let mut a = line_runtime(16);
+        a.run(3);
+        a.leave(5);
+        a.crash(11);
+        a.join(100, Flood::default(), &[4, 6]);
+        a.run(2);
+        let snap = a.save_snapshot();
+        let mut b = Runtime::<Flood>::restore_snapshot(&snap, Config::default()).unwrap();
+        // Continue both: the free-list order must make future joins land in
+        // the same slots, and metrics must stay in lockstep.
+        for rt in [&mut a, &mut b] {
+            rt.join(101, Flood::default(), &[100]);
+            rt.run(10);
+        }
+        assert_eq!(
+            serde_json::to_string(a.metrics()).unwrap(),
+            serde_json::to_string(b.metrics()).unwrap()
+        );
+        assert_eq!(a.ids(), b.ids());
+    }
+
+    #[test]
+    fn snapshot_rejects_tampering() {
+        let mut rt = line_runtime(8);
+        rt.run(3);
+        let snap = rt.save_snapshot();
+        // Flip one payload byte: hash check fires.
+        let mut bad = snap.clone();
+        let mid = snap.len() / 2;
+        bad[mid] ^= 0x40;
+        assert!(matches!(
+            Runtime::<Flood>::restore_snapshot(&bad, Config::default()),
+            Err(SnapshotError::HashMismatch { .. })
+        ));
+        // Truncate: length check fires.
+        assert!(matches!(
+            Runtime::<Flood>::restore_snapshot(&snap[..snap.len() - 5], Config::default()),
+            Err(SnapshotError::Truncated)
+        ));
     }
 
     #[test]

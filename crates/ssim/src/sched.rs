@@ -61,6 +61,20 @@
 //! `Adversarial` make no such claim (skipping a node with pending messages
 //! is their purpose), so the shadow check does not apply to them — see
 //! [`Scheduler::claims_equivalence`].
+//!
+//! # Schedulers across snapshots
+//!
+//! A [`crate::Runtime::restore_snapshot`] runtime starts on [`Synchronous`]
+//! and the caller re-installs its daemon (schedulers are code, and
+//! [`Synchronous`]/[`ActivityDriven`] carry no mutable state, so there is
+//! nothing to serialize). This is restore-safe for every
+//! equivalence-claiming daemon: the dirty set round-trips through the
+//! snapshot exactly, so `ActivityDriven` selects the same slots after a
+//! restore as it would have in the uninterrupted run — which is why the
+//! snapshot tests can pin byte-identical metrics across `{sync, activity}`.
+//! Stateful daemons (`RandomSubset`'s RNG position, `Adversarial`'s script
+//! cursor) are *not* captured; re-installing one after a restore restarts
+//! its private sequence, exactly like installing it mid-run.
 
 use crate::topology::{NodeSlot, Topology};
 use crate::NodeId;

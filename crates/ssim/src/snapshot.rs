@@ -1,0 +1,640 @@
+//! Hash-verified checkpoint/restore: the binary format, the [`Persist`]
+//! trait programs opt into, and the container framing shared by every
+//! snapshot ([`Runtime::save_snapshot`] / [`Runtime::restore_snapshot`]).
+//!
+//! # Why snapshots exist
+//!
+//! Every experiment in this repository was capped by from-scratch
+//! stabilization: a 10k-host Avatar(Chord) takes hours to converge, so
+//! storm, serving, and daemon studies never saw 100k+ hosts. A snapshot
+//! serializes a *full* runtime — topology (slots, free list, edges),
+//! membership, per-node program state, RNG streams, dirty set, in-flight
+//! inboxes with their `sent_to` mirrors, timers, metrics, and attached
+//! traffic — so a converged state is built once and restored everywhere,
+//! and the restored runtime continues **byte-identically** (same metrics
+//! JSON as the uninterrupted run, at any thread count, under any
+//! equivalence-claiming scheduler).
+//!
+//! # Format
+//!
+//! A snapshot is a single length-prefixed, hash-verified container:
+//!
+//! ```text
+//! magic    8 bytes   b"SSIMSNAP"
+//! version  u32 LE    FORMAT_VERSION
+//! length   u64 LE    payload byte count
+//! payload  ..        version-specific body (see Runtime::save_snapshot)
+//! hash     u64 LE    FNV-1a 64 over the payload bytes
+//! ```
+//!
+//! All integers are little-endian; every variable-length sequence is
+//! preceded by a `u64` element count; hash maps and sets are written in
+//! sorted key order so identical states produce identical bytes. Loading
+//! verifies magic, version, length, and hash **before** any payload byte is
+//! interpreted: a truncated file, a flipped byte, or a version mismatch is
+//! a loud [`SnapshotError`], never silently-loaded garbage.
+//!
+//! # The `Persist` contract
+//!
+//! [`Persist::save`] must capture *everything the program's `step` can
+//! observe or mutate* — protocol state, statistics counters, cached
+//! neighbor views, frozen/dormant flags — because the restored program must
+//! behave identically on every future round. State that is a pure function
+//! of construction parameters (a `Cbt(N)` tree shape, an epoch schedule)
+//! may be re-derived in [`Persist::load`] instead of serialized. The
+//! runtime itself captures each node's RNG position, so programs never
+//! serialize randomness.
+//!
+//! [`Runtime`]: crate::Runtime
+//! [`Runtime::save_snapshot`]: crate::Runtime::save_snapshot
+//! [`Runtime::restore_snapshot`]: crate::Runtime::restore_snapshot
+
+use std::fmt;
+use std::path::Path;
+
+/// Magic prefix of every snapshot container.
+pub const MAGIC: [u8; 8] = *b"SSIMSNAP";
+
+/// Current container/payload format version. Bumped on any layout change;
+/// older versions are rejected (no migration machinery — snapshots are
+/// caches, not archives).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Why a snapshot failed to load (or a file failed to be written). Every
+/// variant is loud and specific: a snapshot either restores exactly or
+/// fails with the reason — corrupted data never loads partially.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file does not start with [`MAGIC`] — not a snapshot at all.
+    BadMagic,
+    /// The container was written by an unsupported format version.
+    Version {
+        /// Version found in the container header.
+        found: u32,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
+    /// The data ends before the structure it promises (truncated file, or a
+    /// length field pointing past the end).
+    Truncated,
+    /// The payload hash does not match the recorded one: the bytes were
+    /// corrupted (or tampered with) after the snapshot was written.
+    HashMismatch {
+        /// Hash recorded in the container.
+        expected: u64,
+        /// Hash of the payload actually present.
+        actual: u64,
+    },
+    /// The payload decoded but violates a structural invariant (impossible
+    /// enum tag, inconsistent lengths, topology invariants failing, …).
+    Corrupt(String),
+    /// Bytes remained after the payload was fully decoded.
+    TrailingBytes,
+    /// Underlying file I/O failed.
+    Io(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not a snapshot (bad magic)"),
+            Self::Version { found, supported } => write!(
+                f,
+                "unsupported snapshot format version {found} (this build reads {supported})"
+            ),
+            Self::Truncated => write!(f, "snapshot truncated"),
+            Self::HashMismatch { expected, actual } => write!(
+                f,
+                "snapshot content hash mismatch (recorded {expected:#018x}, computed {actual:#018x}): \
+                 the file is corrupted"
+            ),
+            Self::Corrupt(why) => write!(f, "snapshot payload corrupt: {why}"),
+            Self::TrailingBytes => write!(f, "snapshot has trailing bytes after the payload"),
+            Self::Io(why) => write!(f, "snapshot I/O error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// FNV-1a 64 over a byte slice — the snapshot content hash. Hand-rolled (no
+/// external hash crates in the offline workspace); collision resistance is
+/// not a goal, corruption *detection* is.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Append-only byte sink the [`Persist`] implementations write into. All
+/// integers are little-endian; sequences are length-prefixed.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True iff nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, yielding the raw payload bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Write one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a `bool` as one byte (`0`/`1`).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Write a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an `i64`, little-endian.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an `f64` as its IEEE-754 bit pattern (exact round-trip).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Write a `usize` as a `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Write a sequence length prefix.
+    pub fn seq(&mut self, len: usize) {
+        self.u64(len as u64);
+    }
+
+    /// Write a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.seq(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+/// Cursor over snapshot payload bytes; every getter fails loudly on
+/// truncation instead of reading garbage.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over raw payload bytes.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fail unless every byte has been consumed.
+    pub fn finish(&self) -> Result<(), SnapshotError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SnapshotError::TrailingBytes)
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `bool`; any byte other than `0`/`1` is corruption.
+    pub fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(SnapshotError::Corrupt(format!("bool byte {b:#04x}"))),
+        }
+    }
+
+    /// Read a `u32`, little-endian.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Read a `u64`, little-endian.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Read an `i64`, little-endian.
+    pub fn i64(&mut self) -> Result<i64, SnapshotError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Read an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a `usize` (stored as `u64`); rejects values that cannot index
+    /// this platform's memory.
+    pub fn usize(&mut self) -> Result<usize, SnapshotError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| SnapshotError::Corrupt(format!("usize overflow: {v}")))
+    }
+
+    /// Read a sequence length prefix, sanity-bounded against the remaining
+    /// bytes (each element needs ≥ 1 byte) so a corrupted length cannot
+    /// trigger an enormous allocation.
+    pub fn seq(&mut self) -> Result<usize, SnapshotError> {
+        let n = self.usize()?;
+        if n > self.remaining() {
+            return Err(SnapshotError::Truncated);
+        }
+        Ok(n)
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let n = self.seq()?;
+        self.take(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, SnapshotError> {
+        String::from_utf8(self.bytes()?.to_vec())
+            .map_err(|_| SnapshotError::Corrupt("invalid UTF-8 string".into()))
+    }
+}
+
+/// Opt-in state serialization for node programs (and their component
+/// types). `save` and `load` must round-trip exactly: the loaded value must
+/// be indistinguishable from the saved one to `step` — including
+/// statistics, caches, and dormant/frozen protocol state. See the module
+/// docs for the full contract.
+pub trait Persist: Sized {
+    /// Serialize this value into `w`.
+    fn save(&self, w: &mut Writer);
+
+    /// Deserialize a value from `r`.
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError>;
+}
+
+impl Persist for u8 {
+    fn save(&self, w: &mut Writer) {
+        w.u8(*self);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        r.u8()
+    }
+}
+
+impl Persist for u32 {
+    fn save(&self, w: &mut Writer) {
+        w.u32(*self);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        r.u32()
+    }
+}
+
+impl Persist for u64 {
+    fn save(&self, w: &mut Writer) {
+        w.u64(*self);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        r.u64()
+    }
+}
+
+impl Persist for i64 {
+    fn save(&self, w: &mut Writer) {
+        w.i64(*self);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        r.i64()
+    }
+}
+
+impl Persist for f64 {
+    fn save(&self, w: &mut Writer) {
+        w.f64(*self);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        r.f64()
+    }
+}
+
+impl Persist for bool {
+    fn save(&self, w: &mut Writer) {
+        w.bool(*self);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        r.bool()
+    }
+}
+
+impl Persist for usize {
+    fn save(&self, w: &mut Writer) {
+        w.usize(*self);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        r.usize()
+    }
+}
+
+impl Persist for String {
+    fn save(&self, w: &mut Writer) {
+        w.str(self);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        r.str()
+    }
+}
+
+impl Persist for () {
+    fn save(&self, _w: &mut Writer) {}
+    fn load(_r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(())
+    }
+}
+
+impl<T: Persist> Persist for Option<T> {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            None => w.bool(false),
+            Some(v) => {
+                w.bool(true);
+                v.save(w);
+            }
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(if r.bool()? { Some(T::load(r)?) } else { None })
+    }
+}
+
+impl<T: Persist> Persist for Vec<T> {
+    fn save(&self, w: &mut Writer) {
+        w.seq(self.len());
+        for v in self {
+            v.save(w);
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.seq()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::load(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    fn save(&self, w: &mut Writer) {
+        self.0.save(w);
+        self.1.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok((A::load(r)?, B::load(r)?))
+    }
+}
+
+impl<A: Persist, B: Persist, C: Persist> Persist for (A, B, C) {
+    fn save(&self, w: &mut Writer) {
+        self.0.save(w);
+        self.1.save(w);
+        self.2.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok((A::load(r)?, B::load(r)?, C::load(r)?))
+    }
+}
+
+/// Frame a payload into the versioned, hash-verified container (see the
+/// module docs for the layout).
+pub fn seal(payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 28);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    let hash = content_hash(&payload);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&hash.to_le_bytes());
+    out
+}
+
+/// Verify a container (magic, version, length, content hash) and return
+/// the payload slice. Nothing in the payload is interpreted before every
+/// check passes.
+pub fn unseal(bytes: &[u8]) -> Result<&[u8], SnapshotError> {
+    if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let rest = &bytes[MAGIC.len()..];
+    if rest.len() < 12 {
+        return Err(SnapshotError::Truncated);
+    }
+    let version = u32::from_le_bytes(rest[..4].try_into().expect("4"));
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::Version {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let len = u64::from_le_bytes(rest[4..12].try_into().expect("8"));
+    let len = usize::try_from(len).map_err(|_| SnapshotError::Truncated)?;
+    let body = &rest[12..];
+    if body.len() < len + 8 {
+        return Err(SnapshotError::Truncated);
+    }
+    if body.len() > len + 8 {
+        return Err(SnapshotError::TrailingBytes);
+    }
+    let payload = &body[..len];
+    let expected = u64::from_le_bytes(body[len..].try_into().expect("8"));
+    let actual = content_hash(payload);
+    if actual != expected {
+        return Err(SnapshotError::HashMismatch { expected, actual });
+    }
+    Ok(payload)
+}
+
+/// Write a sealed snapshot to `path` atomically: the bytes land in a
+/// sibling temporary file first and are renamed into place, so a reader
+/// never observes a half-written snapshot (concurrent writers race benignly
+/// — last rename wins, and every intermediate file is a complete snapshot).
+pub fn write_file(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let io = |e: std::io::Error| SnapshotError::Io(format!("{}: {e}", path.display()));
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(io)?;
+        }
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, bytes).map_err(io)?;
+    std::fs::rename(&tmp, path).map_err(io)
+}
+
+/// Read a snapshot file (the raw sealed container; pair with
+/// [`crate::Runtime::restore_snapshot`] or [`unseal`]).
+pub fn read_file(path: &Path) -> Result<Vec<u8>, SnapshotError> {
+    std::fs::read(path).map_err(|e| SnapshotError::Io(format!("{}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = Writer::new();
+        42u8.save(&mut w);
+        7u32.save(&mut w);
+        u64::MAX.save(&mut w);
+        (-3i64).save(&mut w);
+        1.5f64.save(&mut w);
+        true.save(&mut w);
+        "héllo".to_string().save(&mut w);
+        Some(9u32).save(&mut w);
+        Option::<u32>::None.save(&mut w);
+        vec![1u64, 2, 3].save(&mut w);
+        (1u32, (2u64, false)).save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(u8::load(&mut r).unwrap(), 42);
+        assert_eq!(u32::load(&mut r).unwrap(), 7);
+        assert_eq!(u64::load(&mut r).unwrap(), u64::MAX);
+        assert_eq!(i64::load(&mut r).unwrap(), -3);
+        assert_eq!(f64::load(&mut r).unwrap(), 1.5);
+        assert!(bool::load(&mut r).unwrap());
+        assert_eq!(String::load(&mut r).unwrap(), "héllo");
+        assert_eq!(Option::<u32>::load(&mut r).unwrap(), Some(9));
+        assert_eq!(Option::<u32>::load(&mut r).unwrap(), None);
+        assert_eq!(Vec::<u64>::load(&mut r).unwrap(), vec![1, 2, 3]);
+        assert_eq!(<(u32, (u64, bool))>::load(&mut r).unwrap(), (1, (2, false)));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_loud() {
+        let mut w = Writer::new();
+        vec![1u64; 4].save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..bytes.len() - 1]);
+        assert!(matches!(
+            Vec::<u64>::load(&mut r),
+            Err(SnapshotError::Truncated)
+        ));
+        // A length prefix larger than the remaining bytes is also loud
+        // (and does not allocate).
+        let mut w = Writer::new();
+        w.u64(u64::MAX);
+        let huge = w.into_bytes();
+        assert!(matches!(
+            Vec::<u8>::load(&mut Reader::new(&huge)),
+            Err(SnapshotError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip_and_rejections() {
+        let sealed = seal(b"payload bytes".to_vec());
+        assert_eq!(unseal(&sealed).unwrap(), b"payload bytes");
+
+        // Bad magic.
+        let mut bad = sealed.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(unseal(&bad), Err(SnapshotError::BadMagic)));
+
+        // Version mismatch.
+        let mut bad = sealed.clone();
+        bad[8] = 99;
+        assert!(matches!(
+            unseal(&bad),
+            Err(SnapshotError::Version { found: 99, .. })
+        ));
+
+        // Truncation.
+        assert!(matches!(
+            unseal(&sealed[..sealed.len() - 3]),
+            Err(SnapshotError::Truncated)
+        ));
+
+        // Flipped payload byte → hash mismatch.
+        let mut bad = sealed.clone();
+        bad[25] ^= 0x01;
+        assert!(matches!(
+            unseal(&bad),
+            Err(SnapshotError::HashMismatch { .. })
+        ));
+
+        // Trailing junk.
+        let mut bad = sealed.clone();
+        bad.push(0);
+        assert!(matches!(unseal(&bad), Err(SnapshotError::TrailingBytes)));
+    }
+
+    #[test]
+    fn hash_is_stable() {
+        // Pin the FNV-1a constants: a silent change would orphan every
+        // existing snapshot while still "verifying".
+        assert_eq!(content_hash(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(content_hash(b"a"), 0xAF63_DC4C_8601_EC8C);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("ssim-snap-test-{}", std::process::id()));
+        let path = dir.join("t.snap");
+        let sealed = seal(vec![1, 2, 3]);
+        write_file(&path, &sealed).unwrap();
+        assert_eq!(read_file(&path).unwrap(), sealed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -15,6 +15,7 @@
 //! adjacency scan ([`Topology::check_invariants`] re-verifies the counters
 //! against a ground-truth scan).
 
+use crate::snapshot::{Persist, Reader, SnapshotError, Writer};
 use crate::NodeId;
 use std::collections::HashMap;
 
@@ -450,6 +451,113 @@ impl Topology {
         }
         true
     }
+
+    /// Serialize the topology for a snapshot. The slot array (occupants and
+    /// adjacency), the exact free-list order (LIFO recycling makes it part
+    /// of the deterministic state: it decides which slot the next join
+    /// takes), and the exact dense order (the member-rank determinism
+    /// order) are written verbatim; the id → slot index, the dense
+    /// back-pointers and the incremental counters are derived on restore.
+    pub(crate) fn save_state(&self, w: &mut Writer) {
+        w.seq(self.slots.len());
+        for (slot, occupant) in self.slots.iter().enumerate() {
+            occupant.save(w);
+            self.adj[slot].save(w);
+        }
+        w.seq(self.free.len());
+        for s in &self.free {
+            w.u32(s.index() as u32);
+        }
+        self.dense.save(w);
+    }
+
+    /// Rebuild a topology from [`Topology::save_state`] bytes, re-deriving
+    /// every index and counter and verifying the result with
+    /// [`Topology::check_invariants`] — corrupt-but-well-framed payloads
+    /// fail loudly instead of producing an inconsistent graph.
+    pub(crate) fn restore_state(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let n_slots = r.seq()?;
+        let mut slots = Vec::with_capacity(n_slots);
+        let mut adj = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            slots.push(Option::<NodeId>::load(r)?);
+            adj.push(Vec::<NodeId>::load(r)?);
+        }
+        let n_free = r.seq()?;
+        let mut free = Vec::with_capacity(n_free);
+        for _ in 0..n_free {
+            let i = r.u32()? as usize;
+            if i >= n_slots {
+                return Err(SnapshotError::Corrupt(format!(
+                    "free slot {i} out of range"
+                )));
+            }
+            free.push(NodeSlot::new(i));
+        }
+        let dense = Vec::<NodeId>::load(r)?;
+
+        // Derive the id → slot map and dense back-pointers (one linear pass
+        // over the slot array, then one over the dense order — O(n), which
+        // matters at the 64k–1M host scales snapshots exist to unlock).
+        let mut index = HashMap::with_capacity(dense.len());
+        for (slot, occupant) in slots.iter().enumerate() {
+            if let Some(v) = *occupant {
+                if index.insert(v, NodeSlot::new(slot)).is_some() {
+                    return Err(SnapshotError::Corrupt(format!("id {v} occupies two slots")));
+                }
+            }
+        }
+        let mut dense_pos = vec![0u32; n_slots];
+        let mut dense_slot = Vec::with_capacity(dense.len());
+        let mut seen = vec![false; n_slots];
+        for (pos, &v) in dense.iter().enumerate() {
+            let slot = index
+                .get(&v)
+                .ok_or_else(|| SnapshotError::Corrupt(format!("dense id {v} has no slot")))?
+                .index();
+            if std::mem::replace(&mut seen[slot], true) {
+                return Err(SnapshotError::Corrupt(format!("duplicate dense id {v}")));
+            }
+            dense_pos[slot] = pos as u32;
+            dense_slot.push(slot as u32);
+        }
+        // Derive the incremental counters from a ground-truth scan.
+        let mut degree_hist = vec![0usize; 1];
+        let mut edge_ends = 0usize;
+        for (slot, occupant) in slots.iter().enumerate() {
+            if occupant.is_none() {
+                continue;
+            }
+            let d = adj[slot].len();
+            if d >= degree_hist.len() {
+                degree_hist.resize(d + 1, 0);
+            }
+            degree_hist[d] += 1;
+            edge_ends += d;
+        }
+        let max_degree = degree_hist.iter().rposition(|&c| c > 0).unwrap_or(0);
+        if !edge_ends.is_multiple_of(2) {
+            return Err(SnapshotError::Corrupt("odd adjacency end count".into()));
+        }
+        let t = Self {
+            slots,
+            adj,
+            index,
+            free,
+            dense,
+            dense_slot,
+            dense_pos,
+            edge_count: edge_ends / 2,
+            degree_hist,
+            max_degree,
+        };
+        if !t.check_invariants() {
+            return Err(SnapshotError::Corrupt(
+                "topology invariants violated".into(),
+            ));
+        }
+        Ok(t)
+    }
 }
 
 #[cfg(test)]
@@ -557,6 +665,57 @@ mod tests {
     fn edges_sorted_unique() {
         let t = Topology::new([7u32, 3, 5], [(7, 3), (3, 5)]);
         assert_eq!(t.edges(), vec![(3, 5), (3, 7)]);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_slots_free_list_and_dense_order() {
+        let mut t = Topology::new(0..8u32, (0..8u32).map(|i| (i, (i + 1) % 8)));
+        t.remove_node(2); // frees slot 2, permutes the dense mirror
+        t.remove_node(6); // frees slot 6
+        t.add_node(100); // recycles slot 6 (LIFO)
+        t.add_edge(100, 5);
+
+        let mut w = Writer::new();
+        t.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let mut back = Topology::restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(back.ids(), t.ids(), "dense order is exact, not just a set");
+        assert_eq!(back.edges(), t.edges());
+        assert_eq!(back.free, t.free, "free-list order decides future joins");
+        for (slot, id) in t.live_slots() {
+            assert_eq!(back.slot_of(id), Some(slot));
+            assert_eq!(back.member_rank(slot), t.member_rank(slot));
+        }
+        assert_eq!(back.max_degree(), t.max_degree());
+        assert_eq!(back.edge_count(), t.edge_count());
+        // The next join recycles the same slot on both sides.
+        t.add_node(200);
+        back.add_node(200);
+        assert_eq!(back.slot_of(200), t.slot_of(200));
+        assert!(back.check_invariants());
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_corrupt_payload() {
+        let t = Topology::new(0..4u32, [(0, 1), (1, 2)]);
+        let mut w = Writer::new();
+        t.save_state(&mut w);
+        let bytes = w.into_bytes();
+        // Truncation fails loudly.
+        let mut r = Reader::new(&bytes[..bytes.len() - 2]);
+        assert!(Topology::restore_state(&mut r).is_err());
+        // A payload wiring an edge to a missing back-edge fails the
+        // invariant check rather than loading an inconsistent graph.
+        let mut broken = Topology::new(0..4u32, [(0, 1)]);
+        broken.adj[0].push(3); // asymmetric edge, counters now stale
+        let mut w = Writer::new();
+        broken.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let err = Topology::restore_state(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
     }
 
     #[test]

@@ -48,6 +48,7 @@
 use crate::monitor::{Monitor, Verdict};
 use crate::program::Program;
 use crate::runtime::Runtime;
+use crate::snapshot::{Persist, Reader, SnapshotError, Writer};
 use crate::NodeId;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -305,6 +306,109 @@ impl RequestStats {
     }
 }
 
+impl Persist for Request {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.id);
+        w.u32(self.key);
+        w.u32(self.origin);
+        w.u64(self.issued_round);
+        w.u32(self.hops);
+        w.u32(self.retries);
+        w.u64(self.ready_round);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            id: r.u64()?,
+            key: r.u32()?,
+            origin: r.u32()?,
+            issued_round: r.u64()?,
+            hops: r.u32()?,
+            retries: r.u32()?,
+            ready_round: r.u64()?,
+        })
+    }
+}
+
+impl Persist for RequestOutcome {
+    fn save(&self, w: &mut Writer) {
+        w.u8(match self {
+            Self::Completed => 0,
+            Self::Expired => 1,
+            Self::HopBudget => 2,
+            Self::HostDeparted => 3,
+        });
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.u8()? {
+            0 => Self::Completed,
+            1 => Self::Expired,
+            2 => Self::HopBudget,
+            3 => Self::HostDeparted,
+            t => return Err(SnapshotError::Corrupt(format!("RequestOutcome tag {t}"))),
+        })
+    }
+}
+
+impl Persist for RequestRecord {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.id);
+        w.u32(self.key);
+        w.u32(self.origin);
+        self.dest.save(w);
+        w.u64(self.issued_round);
+        w.u64(self.done_round);
+        w.u32(self.hops);
+        w.u32(self.retries);
+        self.outcome.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            id: r.u64()?,
+            key: r.u32()?,
+            origin: r.u32()?,
+            dest: Option::load(r)?,
+            issued_round: r.u64()?,
+            done_round: r.u64()?,
+            hops: r.u32()?,
+            retries: r.u32()?,
+            outcome: RequestOutcome::load(r)?,
+        })
+    }
+}
+
+impl Persist for RequestStats {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.issued);
+        w.u64(self.completed);
+        w.u64(self.failed);
+        w.u64(self.failed_expired);
+        w.u64(self.failed_hops);
+        w.u64(self.failed_departed);
+        w.u64(self.retries);
+        w.u64(self.forwards);
+        w.u64(self.in_flight);
+        self.hop_histogram.save(w);
+        self.latency_histogram.save(w);
+        self.records.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            issued: r.u64()?,
+            completed: r.u64()?,
+            failed: r.u64()?,
+            failed_expired: r.u64()?,
+            failed_hops: r.u64()?,
+            failed_departed: r.u64()?,
+            retries: r.u64()?,
+            forwards: r.u64()?,
+            in_flight: r.u64()?,
+            hop_histogram: Vec::load(r)?,
+            latency_histogram: Vec::load(r)?,
+            records: Vec::load(r)?,
+        })
+    }
+}
+
 /// The per-round view a [`Workload`] injects against.
 pub struct WorkloadView<'a> {
     /// Round about to execute.
@@ -329,6 +433,21 @@ pub trait Workload: Send {
 
     /// Append this round's requests to `out`.
     fn inject(&mut self, view: &WorkloadView<'_>, rng: &mut SmallRng, out: &mut Vec<(NodeId, Key)>);
+
+    /// Serialize mutable generator state for a snapshot. Stateless
+    /// generators keep the default no-op; stateful ones (accumulators,
+    /// remaining-request budgets) must write everything `inject` reads, so
+    /// a restored run issues the same request sequence. The runtime
+    /// persists the workload RNG itself.
+    fn save_state(&self, _w: &mut Writer) {}
+
+    /// Restore state written by [`Workload::save_state`] into a freshly
+    /// constructed generator of the same type. The caller re-creates the
+    /// generator with its construction parameters; this hook replays only
+    /// the mutable part.
+    fn load_state(&mut self, _r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        Ok(())
+    }
 }
 
 /// Open-loop generator: a fixed expected number of requests per round
@@ -391,6 +510,17 @@ impl Workload for OpenLoop {
             let key = rng.gen_range(0..self.keys);
             out.push((origin, key));
         }
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        w.f64(self.acc);
+        self.remaining.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        self.acc = r.f64()?;
+        self.remaining = Option::load(r)?;
+        Ok(())
     }
 }
 
