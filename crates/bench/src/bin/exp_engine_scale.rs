@@ -23,6 +23,13 @@
 //!   the sweep records `available_parallelism` so a baseline from a
 //!   single-core CI container is not mistaken for a scaling regression.
 //!
+//! * **pool-synchronization sweep (E12e)** — `syncs/round`, `generations`,
+//!   and `steals` from [`ssim::Runtime::perf_counters`] per workload ×
+//!   daemon × thread count × hot-window size, with `force_parallel` so the
+//!   counters measure the pool path itself. `syncs/round` drops from 1.0
+//!   to `1/batch` with hot-window batching — the committed proof that the
+//!   batched run drivers amortize the condvar wake cost;
+//!
 //! * **scheduler sweep** — Avatar(CBT) stabilization under the four
 //!   shipped daemons (`sync`, `activity`, `random:p`, `rr:k`):
 //!   rounds-to-legality, ns/round, total activations, and mean active
@@ -199,6 +206,71 @@ fn main() {
         "E12b: thread sweep (deterministic parallel rounds, ssim::par pool)",
     );
 
+    // E12e: pool-synchronization sweep — how the batched run drivers spend
+    // the pool's wake budget, per workload × daemon × thread count × hot
+    // window size. `force_parallel` pins every round to the pool (the
+    // auto-sequential heuristic would otherwise keep these small fixtures
+    // sequential and the counters empty), so `generations` and
+    // `syncs/round` are exact functions of (workload, daemon, rounds,
+    // batch) — machine-independent, commit-safe. `syncs/round` is the
+    // headline: 1.0 unbatched, 1/batch with hot windows (the gate treats
+    // it lower-is-better). `steals` is which-thread-won-the-race data —
+    // recorded for eyeballing skew, skipped by the gate.
+    let mut e12e = Table::new(&[
+        "workload",
+        "sched",
+        "n",
+        "threads",
+        "batch",
+        "rounds",
+        "generations",
+        "syncs/round",
+        "steals",
+    ]);
+    let (e12e_n, e12e_rounds): (u32, u64) = (256, 32);
+    for workload in ["pulse", "crunch"] {
+        for spec in ["sync", "activity"] {
+            for threads in [2usize, 4] {
+                for batch in [1u32, 16] {
+                    let mut cfg = Config::seeded(seed)
+                        .threads(threads)
+                        .always_parallel()
+                        .batch_rounds(batch);
+                    cfg.record_rounds = false;
+                    let pc = match workload {
+                        "pulse" => {
+                            let mut rt = scaffold_bench::pulse_ring_cfg(e12e_n, cfg);
+                            rt.set_scheduler(ssim::sched::from_spec(spec, seed).expect("known"));
+                            rt.run(e12e_rounds);
+                            rt.perf_counters()
+                        }
+                        _ => {
+                            let mut rt = scaffold_bench::crunch_ring_cfg(e12e_n, SPINS, cfg);
+                            rt.set_scheduler(ssim::sched::from_spec(spec, seed).expect("known"));
+                            rt.run(e12e_rounds);
+                            rt.perf_counters()
+                        }
+                    };
+                    e12e.row(vec![
+                        workload.to_string(),
+                        spec.to_string(),
+                        e12e_n.to_string(),
+                        threads.to_string(),
+                        batch.to_string(),
+                        e12e_rounds.to_string(),
+                        pc.generations.to_string(),
+                        f2(pc.syncs as f64 / e12e_rounds as f64),
+                        pc.steals.to_string(),
+                    ]);
+                }
+            }
+        }
+    }
+    e12e.emit(
+        &args,
+        "E12e: pool synchronization (hot-window batching, K rounds per wake)",
+    );
+
     // E12c: daemon sweep — Avatar(CBT) stabilization under each scheduler.
     let mut daemons = Table::new(&[
         "sched",
@@ -351,7 +423,11 @@ fn main() {
         println!("threads up to the core count (recorded in the `cores` column) once");
         println!("rounds are big enough to amortize the pool wakeup — compute-heavy");
         println!("workloads (crunch) scale closer to linearly than send-bound ones");
-        println!("(pulse), whose apply phase stays on the driving thread.");
+        println!("(pulse), whose ordering-observable apply bookkeeping stays on the");
+        println!("driving thread. E12e: syncs/round = 1/batch with hot windows (the");
+        println!("batched drivers wake the pool once per window); generations count");
+        println!("pool broadcasts (emit, plus sharded delivery on send-heavy rounds);");
+        println!("steals vary run to run — scheduling data, not a metric.");
         println!("Daemon sweep: `activity` matches `sync` on legal@ exactly (execution");
         println!("equivalence) at fewer activations; `random`/`rr` may time out — the");
         println!("protocol's beacon freshness assumes the synchronous daemon, which is");

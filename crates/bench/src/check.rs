@@ -19,9 +19,13 @@
 //! * **throughput columns** (header ends in `/s`, e.g. `rounds/s`) — the
 //!   same machine-dependent wall-clock, inverted: higher is better, so the
 //!   gate fails when `fresh < baseline ÷ tolerance` and improvements pass.
-//! * **environment columns** (`cores`) and **derived-from-timing columns**
-//!   (`speedup`) — skipped: they legitimately differ between the committing
-//!   machine and the CI runner.
+//! * **environment columns** (`cores`), **derived-from-timing columns**
+//!   (`speedup`), and **scheduling-race columns** (`steals`) — skipped:
+//!   they legitimately differ between the committing machine and the CI
+//!   runner (or between two runs on the same machine, for `steals`).
+//! * **pool-synchronization columns** (`syncs/round`, E12e) — lower is
+//!   better; gated with the timing tolerance so a batching regression
+//!   (more pool wakeups per round) fails while improvements pass.
 //! * **everything else** — counters, round numbers, activations, request
 //!   accounting, success rates: fully deterministic per seed, compared for
 //!   exact equality. Any drift is a real behavior change, not noise.
@@ -303,7 +307,19 @@ enum Class {
 pub const TIMING_TOLERANCE: f64 = 1.75;
 
 fn classify(header: &str) -> Class {
-    if header.contains("ns/") {
+    if header == "syncs/round" {
+        // Pool wake accounting (E12e): lower is better, gated like a
+        // timing cell — batching regressions (more wakeups per round) trip
+        // the gate, improvements pass. Not Exact, because the committed
+        // value depends on the exact window alignment of the run drivers,
+        // which is allowed to improve without a baseline dance. Must be
+        // classified before the generic tests below.
+        Class::Timing
+    } else if header == "steals" {
+        // Work-stealing counts are timing-dependent (which thread grabs a
+        // chunk first) — never comparable.
+        Class::Skip
+    } else if header.contains("ns/") {
         Class::Timing
     } else if header.ends_with("/s") {
         Class::Throughput
@@ -533,6 +549,25 @@ mod tests {
         assert!(check_regression(&doc("100.0", "20"), &doc("200.0", "20"), 1.5).ok());
         // …and tiny slack turns noise into failures.
         assert!(!check_regression(&doc("100.0", "20"), &doc("120.0", "20"), 0.1).ok());
+    }
+
+    #[test]
+    fn syncs_per_round_is_lower_better_and_steals_skipped() {
+        let doc_e12e = |syncs: &str, steals: &str| {
+            format!(
+                "{{\"experiment\":\"E12e: sync\",\"headers\":[\"n\",\"syncs/round\",\"steals\"],\
+                 \"rows\":[[\"256\",\"{syncs}\",\"{steals}\"]]}}\n"
+            )
+        };
+        // An 8× wakeup regression (batching broke) trips the gate…
+        let r = check_regression(&doc_e12e("0.125", "7"), &doc_e12e("1.0", "7"), 1.0);
+        assert!(!r.ok());
+        assert!(r.failures[0].contains("syncs/round"), "{:?}", r.failures);
+        // …improvements pass, and `steals` drift is never compared.
+        assert!(check_regression(&doc_e12e("1.0", "7"), &doc_e12e("0.125", "999"), 1.0).ok());
+        let r = check_regression(&doc_e12e("1.0", "7"), &doc_e12e("1.0", "0"), 1.0);
+        assert!(r.ok(), "{:?}", r.failures);
+        assert_eq!(r.skipped, 1, "steals column skipped");
     }
 
     #[test]

@@ -463,6 +463,13 @@ pub fn pulse_ring(n: u32, seed: u64) -> Runtime<Pulse> {
 pub fn pulse_ring_threads(n: u32, seed: u64, threads: usize) -> Runtime<Pulse> {
     let mut cfg = Config::seeded(seed).threads(threads);
     cfg.record_rounds = false;
+    pulse_ring_cfg(n, cfg)
+}
+
+/// [`pulse_ring`] under an arbitrary [`Config`] — for sweeps that tune the
+/// execution-policy knobs (`force_parallel`, `batch_rounds`) directly,
+/// like E12e's pool-synchronization sweep.
+pub fn pulse_ring_cfg(n: u32, cfg: Config) -> Runtime<Pulse> {
     let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
     Runtime::new(cfg, (0..n).map(|i| (i, Pulse)), edges).with_spawner(|_| Pulse)
 }
@@ -511,6 +518,11 @@ impl Program for Crunch {
 pub fn crunch_ring(n: u32, seed: u64, spins: u32, threads: usize) -> Runtime<Crunch> {
     let mut cfg = Config::seeded(seed).threads(threads);
     cfg.record_rounds = false;
+    crunch_ring_cfg(n, spins, cfg)
+}
+
+/// [`crunch_ring`] under an arbitrary [`Config`] (see [`pulse_ring_cfg`]).
+pub fn crunch_ring_cfg(n: u32, spins: u32, cfg: Config) -> Runtime<Crunch> {
     let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
     Runtime::new(cfg, (0..n).map(|i| (i, Crunch::new(spins))), edges)
         .with_spawner(move |_| Crunch::new(spins))

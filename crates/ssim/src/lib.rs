@@ -54,7 +54,7 @@
 //! are recycled through a free list, and the id → slot map is consulted
 //! only at the membership boundary. Membership events are therefore O(deg)
 //! — no renumbering, no index rebuilds — and steady-state rounds allocate
-//! nothing: inboxes are double-buffered, action scratch is recycled, and
+//! nothing: inboxes are double-buffered, emit sinks are recycled, and
 //! edge/degree aggregates are tracked incrementally.
 
 // `deny` rather than `forbid`: the one sanctioned exception is the small,
@@ -77,7 +77,7 @@ pub mod topology;
 pub mod workload;
 
 pub use fault::Fault;
-pub use metrics::{RoundMetrics, RunMetrics};
+pub use metrics::{PerfCounters, RoundMetrics, RunMetrics};
 pub use monitor::{Monitor, MonitorExt, MonitorOutcome, RunVerdict, Verdict};
 pub use program::{Actions, Ctx, Program};
 pub use runtime::{Config, Runtime};

@@ -113,6 +113,33 @@ impl RunMetrics {
     }
 }
 
+/// Execution-machinery counters from [`crate::Runtime::perf_counters`]:
+/// how the parallel round engine spent its synchronization budget.
+///
+/// Deliberately **not** part of [`RoundMetrics`]/[`RunMetrics`] and never
+/// serialized (no `Persist`, no serde): `steals` is timing-dependent, and
+/// all of them vary with the thread count and the auto-sequential
+/// heuristic's timing estimates — folding them into the metrics stream
+/// would break the byte-identity story those types pin. `syncs` alone is
+/// deterministic for a fixed `(threads, batch_rounds, workload)` triple
+/// (see `ssim::par`), which is what lets E12e commit `syncs/round` cells.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PerfCounters {
+    /// Pool generations that (logically) woke parked workers: cold
+    /// broadcasts plus the first broadcast of each hot window.
+    pub syncs: u64,
+    /// Total pool broadcasts.
+    pub generations: u64,
+    /// Chunks executed by a non-home thread in the work-stealing emit
+    /// executor (timing-dependent; never pin it).
+    pub steals: u64,
+    /// Rounds whose emit phase ran on the pool.
+    pub par_rounds: u64,
+    /// Rounds the auto-sequential heuristic kept on the driving thread
+    /// (or that ran there because no pool exists).
+    pub seq_rounds: u64,
+}
+
 impl Persist for RoundMetrics {
     fn save(&self, w: &mut Writer) {
         w.u64(self.round);

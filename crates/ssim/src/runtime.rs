@@ -5,13 +5,14 @@
 //! fake with edge rewires.
 //!
 //! Storage is slot-based (see [`crate::topology::NodeSlot`]): every host
-//! occupies a stable slot in the per-node arrays (program, RNG, inboxes,
-//! action scratch) for its whole lifetime, and departures free the slot for
-//! reuse. Membership events therefore cost O(deg) — no id shifting, no
-//! index rebuild — and steady-state rounds are allocation-free: inboxes are
-//! recycled (cleared at consumption, never dropped), per-node [`Actions`]
-//! scratch is cleared (never dropped), and model-rule validation is fused
-//! into action emission against the round-start snapshot.
+//! occupies a stable slot in the per-node arrays (program, RNG, inboxes)
+//! for its whole lifetime, and departures free the slot for reuse.
+//! Membership events therefore cost O(deg) — no id shifting, no index
+//! rebuild — and steady-state rounds are allocation-free: inboxes are
+//! recycled (cleared at consumption, never dropped), emit output lands in
+//! recycled per-chunk sinks (reset each round, capacity kept), and
+//! model-rule validation is fused into action emission against the
+//! round-start snapshot.
 //!
 //! Which nodes actually step each round is decided by a pluggable
 //! [`Scheduler`] (see [`crate::sched`]): the default [`sched::Synchronous`]
@@ -23,7 +24,7 @@
 //! inboxes until the node is next activated; delivery is delayed, never
 //! dropped.
 
-use crate::metrics::{RoundMetrics, RunMetrics};
+use crate::metrics::{PerfCounters, RoundMetrics, RunMetrics};
 use crate::monitor::{Monitor, MonitorOutcome, RunVerdict, Verdict};
 use crate::par::{self, ThreadPool};
 use crate::program::{Actions, Ctx, Program};
@@ -60,6 +61,24 @@ pub struct Config {
     /// [`std::thread::available_parallelism`]". Ignored unless
     /// [`Config::parallel`] is set. See [`Config::effective_threads`].
     pub threads: usize,
+    /// Skip the auto-sequential heuristic: when a pool exists, every
+    /// non-empty round's emit phase runs on it, however cheap the round.
+    /// By default the runtime estimates the per-activation cost (an EWMA
+    /// of measured emit time) and keeps rounds below a parallelism
+    /// break-even threshold on the driving thread — tiny networks are
+    /// faster sequentially than a pool wakeup. Either choice produces
+    /// bit-identical results; this flag (like `threads`) only moves
+    /// wall-clock time, which is why snapshots don't save it. Benchmarks
+    /// that *measure* the parallel path set it.
+    pub force_parallel: bool,
+    /// Rounds per pool **hot window** in the batched run drivers
+    /// ([`Runtime::run`], [`Runtime::run_until`],
+    /// [`Runtime::run_monitored`]): the pool spins instead of parking
+    /// between the rounds of a window, amortizing the condvar wake/barrier
+    /// cost across the window (see [`crate::par`]). Monitors and legality
+    /// checks still run on the driving thread at every round boundary.
+    /// Single [`Runtime::step`] calls are unaffected. `0` behaves as `1`.
+    pub batch_rounds: u32,
     /// Seed for all node PRNGs (node `v` gets `seed ⊕ splitmix(v)`).
     pub seed: u64,
     /// Record per-round metric rows (otherwise only aggregates are kept).
@@ -72,6 +91,8 @@ impl Default for Config {
             strict: true,
             parallel: false,
             threads: 0,
+            force_parallel: false,
+            batch_rounds: 16,
             seed: 0xC0FFEE,
             record_rounds: true,
         }
@@ -136,6 +157,21 @@ impl Config {
         self
     }
 
+    /// Builder-style [`Config::force_parallel`]: always use the pool (skip
+    /// the auto-sequential heuristic). Never changes results, only where
+    /// the emit phase runs.
+    pub fn always_parallel(mut self) -> Self {
+        self.force_parallel = true;
+        self
+    }
+
+    /// Builder-style [`Config::batch_rounds`]: rounds per pool hot window
+    /// in the batched run drivers (`0` behaves as `1`).
+    pub fn batch_rounds(mut self, k: u32) -> Self {
+        self.batch_rounds = k;
+        self
+    }
+
     /// The thread count a runtime built from this config will actually use:
     /// `1` when parallel execution is off, the detected available
     /// parallelism when [`Config::threads`] is `0`, the configured count
@@ -190,6 +226,89 @@ fn mark(dirty: &mut [bool], list: &mut Vec<u32>, i: usize) {
 /// needs no extra bounds (same trick as [`ShadowFn`]).
 type RouteFn<P> = Box<dyn Fn(&P, Key, &[NodeId]) -> RouteStep + Send>;
 
+/// Parallelism break-even: rounds whose estimated emit cost
+/// (`selection × EWMA ns/activation`) falls below this run on the driving
+/// thread. A pool generation costs single-digit microseconds even hot and
+/// low-tens cold, and splitting work that barely covers the wake cost
+/// gains nothing even on real cores — so the threshold sits well above
+/// break-even: small-network rounds (e.g. 256-node gossip, ~25 µs) stay
+/// sequential, protocol-weight rounds (hundreds of ns per activation)
+/// parallelize.
+const PAR_THRESHOLD_NS: f64 = 50_000.0;
+
+/// Minimum sends in a round before inbox delivery is worth a second pool
+/// generation (the sharded scatter pass); below it the driver delivers
+/// inline during the bookkeeping walk.
+const PAR_DELIVERY_MIN: usize = 256;
+
+/// One message leaving the emit phase, with everything the apply phase
+/// needs precomputed on the worker: recipient and sender *slots* (the
+/// id → slot hash lookups happen in parallel, not on the driver) and the
+/// sender id the recipient's inbox records.
+struct Outgoing<M> {
+    to_slot: u32,
+    from_slot: u32,
+    from: NodeId,
+    msg: M,
+}
+
+/// Per-activation record in a [`ChunkSink`]: which slot ran, and how far
+/// its outputs extend into the sink's flat `sends`/`unlinks` arrays
+/// (cumulative end offsets — activation `k`'s sends are
+/// `sends[slots[k-1].sends_end..slots[k].sends_end]`). Links carry both
+/// endpoints explicitly, so the flat `links` array needs no per-slot
+/// attribution.
+#[derive(Clone, Copy)]
+struct SlotRec {
+    slot: u32,
+    id: NodeId,
+    sends_end: u32,
+    unlinks_end: u32,
+    violations: u64,
+    wake_in: Option<u64>,
+    quiescent: bool,
+}
+
+/// Where one chunk of the selection writes its emit-phase output. The
+/// executing worker owns the sink exclusively for the chunk's duration
+/// (see [`par::for_each_selected_chunks_mut2`]); the driver then walks
+/// sinks in chunk order, which — chunks being ascending selection ranges —
+/// reproduces the exact selection-order apply a sequential run performs.
+/// All buffers are recycled across rounds.
+struct ChunkSink<M> {
+    /// Per-activation [`Actions`] staging for [`Ctx`] (cleared per slot,
+    /// capacity kept); its contents are flattened into the arrays below
+    /// right after each `step` returns.
+    scratch: Actions<M>,
+    slots: Vec<SlotRec>,
+    sends: Vec<Outgoing<M>>,
+    links: Vec<(NodeId, NodeId)>,
+    unlinks: Vec<NodeId>,
+}
+
+impl<M> Default for ChunkSink<M> {
+    fn default() -> Self {
+        Self {
+            scratch: Actions::default(),
+            slots: Vec::new(),
+            sends: Vec::new(),
+            links: Vec::new(),
+            unlinks: Vec::new(),
+        }
+    }
+}
+
+impl<M> ChunkSink<M> {
+    /// Empty the sink for the next round, keeping every allocation.
+    fn reset(&mut self) {
+        self.scratch.clear();
+        self.slots.clear();
+        self.sends.clear();
+        self.links.clear();
+        self.unlinks.clear();
+    }
+}
+
 /// Runtime-side state of an attached [`Workload`] (see [`crate::workload`]):
 /// the generator, the erased router, and the per-slot request queues —
 /// slot-parallel with the runtime's other per-node arrays.
@@ -204,6 +323,32 @@ struct Traffic<P: Program> {
     next_id: u64,
     /// Recycled injection buffer.
     inject_buf: Vec<(NodeId, Key)>,
+    /// Per-slot "this queue is non-empty" flag, kept exactly in sync with
+    /// `queues` at every round boundary; `has_req[i]` ⟺ `i ∈ holders`.
+    has_req: Vec<bool>,
+    /// Unordered index of slots with non-empty queues — request
+    /// advancement iterates this instead of re-scanning every selected
+    /// slot's queue, so serving cost scales with the in-flight count, not
+    /// the host count.
+    holders: Vec<u32>,
+    /// Recycled per-round "holders to serve" buffer.
+    holder_scratch: Vec<u32>,
+}
+
+impl<P: Program> Traffic<P> {
+    /// Rebuild the holder index from the queues (used when attaching over
+    /// restored queues, which may arrive non-empty).
+    fn rebuild_holders(&mut self) {
+        self.has_req.clear();
+        self.has_req.resize(self.queues.len(), false);
+        self.holders.clear();
+        for (i, q) in self.queues.iter().enumerate() {
+            if !q.is_empty() {
+                self.has_req[i] = true;
+                self.holders.push(i as u32);
+            }
+        }
+    }
 }
 
 /// Traffic state restored from a snapshot, parked until the caller
@@ -241,10 +386,13 @@ struct PendingTraffic {
 ///
 /// With [`Config::parallel`], the runtime owns a persistent
 /// [`crate::par::ThreadPool`] (created once, reused every round) that
-/// executes the emit phase of each [`Runtime::step`] over per-thread chunks
-/// of the selection; the apply phase stays selection-ordered on the driving
-/// thread, so results are bit-identical to sequential execution at any
-/// thread count.
+/// executes the emit phase of each [`Runtime::step`] over work-stealing
+/// chunks of the selection, each chunk writing into its own sink, and —
+/// on send-heavy rounds — shards inbox delivery over the same pool by
+/// recipient range. Everything whose *order* is observable (edge
+/// mutation, dirty marking, timers, metrics) runs on the driving thread
+/// by walking the sinks in canonical selection order, so results are
+/// bit-identical to sequential execution at any thread count.
 pub struct Runtime<P: Program> {
     cfg: Config,
     topo: Topology,
@@ -263,8 +411,23 @@ pub struct Runtime<P: Program> {
     /// `inboxes` — lets consumption release the senders' `sent_to` entries
     /// without a per-message id → slot hash lookup on the hot path.
     inbox_senders: Vec<Vec<u32>>,
-    /// Per-slot recycled action buffers (cleared each round, capacity kept).
-    scratch: Vec<Actions<P::Msg>>,
+    /// Per-chunk recycled emit sinks (reset each round, capacity kept);
+    /// only the first [`sched::ChunkPlan::chunks`] entries are active in a
+    /// given round. See [`ChunkSink`].
+    sinks: Vec<ChunkSink<P::Msg>>,
+    /// The selection→chunk plan of the current round (recycled).
+    plan: sched::ChunkPlan,
+    /// EWMA of measured emit cost per activation, feeding the
+    /// auto-sequential heuristic (`0.0` until the first non-empty round).
+    /// Never observable in results — it only picks *where* the emit phase
+    /// runs, and both paths are bit-identical.
+    est_ns_per_act: f64,
+    /// Rounds whose emit phase ran on the pool / stayed sequential (see
+    /// [`Runtime::perf_counters`]).
+    par_rounds: u64,
+    seq_rounds: u64,
+    /// Recycled recipient-range bounds for the sharded delivery pass.
+    delivery_cuts: Vec<usize>,
     /// Per-slot target slots holding *unconsumed* messages from this slot
     /// (one entry per pending message) — lets a departure purge its
     /// in-flight messages in O(pending) instead of scanning every inbox.
@@ -357,7 +520,12 @@ impl<P: Program> Runtime<P> {
             rngs,
             inboxes: std::iter::repeat_with(Vec::new).take(n).collect(),
             inbox_senders: std::iter::repeat_with(Vec::new).take(n).collect(),
-            scratch: std::iter::repeat_with(Actions::default).take(n).collect(),
+            sinks: Vec::new(),
+            plan: sched::ChunkPlan::default(),
+            est_ns_per_act: 0.0,
+            par_rounds: 0,
+            seq_rounds: 0,
+            delivery_cuts: Vec::new(),
             sent_to: std::iter::repeat_with(Vec::new).take(n).collect(),
             inflight: 0,
             round: 0,
@@ -536,15 +704,22 @@ impl<P: Program> Runtime<P> {
                 )
             }
         };
-        self.traffic = Some(Traffic {
+        let mut tr = Traffic {
             gen,
             cfg: wcfg,
-            route: Box::new(|p, key, neighbors| p.route(key, neighbors)),
+            route: Box::new(|p: &P, key, neighbors| p.route(key, neighbors)),
             rng,
             queues,
             next_id,
             inject_buf: Vec::new(),
-        });
+            has_req: Vec::new(),
+            holders: Vec::new(),
+            holder_scratch: Vec::new(),
+        };
+        // Restored queues may arrive non-empty; freshly attached ones are
+        // all empty and the rebuild is a cheap scan either way.
+        tr.rebuild_holders();
+        self.traffic = Some(tr);
     }
 
     /// True iff a workload is attached.
@@ -611,6 +786,10 @@ impl<P: Program> Runtime<P> {
             retries: 0,
             ready_round,
         });
+        if !tr.has_req[slot] {
+            tr.has_req[slot] = true;
+            tr.holders.push(slot as u32);
+        }
         self.metrics.requests.issued += 1;
         self.metrics.requests.in_flight += 1;
         // A held request is pending work: the holder must be activated
@@ -655,10 +834,45 @@ impl<P: Program> Runtime<P> {
     /// order, so traffic is deterministic at any thread count and
     /// activity-driven execution (which always selects request holders —
     /// they are dirty) reproduces the synchronous execution exactly.
+    ///
+    /// Cost scales with the **in-flight count**, not the host count: the
+    /// slots to serve come from the maintained holder index
+    /// (`Traffic::holders`) whenever the scheduler activates in canonical
+    /// member order ([`Scheduler::selects_in_member_order`]) — sorting the
+    /// selected holders by member rank then reproduces the selection-scan
+    /// order exactly. Only order-bending schedulers (scripts) fall back to
+    /// scanning the selection. Equivalence with the selection scan: a
+    /// selected slot with an empty round-start queue is visited by the
+    /// scan only if an earlier-served holder forwarded to it this round,
+    /// and such a visit is a no-op — the forwarded requests carry
+    /// `ready_round = round + 1` (kept untouched) and the slot was already
+    /// marked dirty at forward time.
     fn advance_requests(&mut self, tr: &mut Traffic<P>, selection: &[NodeSlot], round: u64) {
         let record = tr.cfg.record_requests;
-        for &slot in selection {
-            let i = slot.index();
+        let mut hs = std::mem::take(&mut tr.holder_scratch);
+        hs.clear();
+        if self.sched.selects_in_member_order() {
+            for &i in &tr.holders {
+                if self.selected[i as usize] && !tr.queues[i as usize].is_empty() {
+                    hs.push(i);
+                }
+            }
+            let topo = &self.topo;
+            hs.sort_unstable_by_key(|&i| {
+                topo.member_rank(NodeSlot::new(i as usize))
+                    .expect("request holder is live")
+            });
+        } else {
+            hs.extend(
+                selection
+                    .iter()
+                    .map(|s| s.index() as u32)
+                    .filter(|&i| !tr.queues[i as usize].is_empty()),
+            );
+        }
+        for &hi in &hs {
+            let i = hi as usize;
+            let slot = NodeSlot::new(i);
             if tr.queues[i].is_empty() {
                 continue;
             }
@@ -709,6 +923,10 @@ impl<P: Program> Runtime<P> {
                             .expect("current neighbor is a member")
                             .index();
                         tr.queues[ts].push(req);
+                        if !tr.has_req[ts] {
+                            tr.has_req[ts] = true;
+                            tr.holders.push(ts as u32);
+                        }
                         mark(&mut self.dirty, &mut self.dirty_list, ts);
                     }
                     // The chosen next hop is gone (stabilization rewired
@@ -732,6 +950,20 @@ impl<P: Program> Runtime<P> {
             }
             tr.queues[i] = q;
         }
+        // Drop drained slots from the holder index (serving is the only
+        // way a queue shrinks, so this sweep restores `has_req[i]` ⟺
+        // "queue i non-empty" exactly). O(holders), order irrelevant —
+        // service order is re-derived per round above.
+        let queues = &tr.queues;
+        let has_req = &mut tr.has_req;
+        tr.holders.retain(|&i| {
+            let keep = !queues[i as usize].is_empty();
+            if !keep {
+                has_req[i as usize] = false;
+            }
+            keep
+        });
+        tr.holder_scratch = hs;
     }
 
     /// Register the factory that builds programs for hosts joining mid-run
@@ -872,14 +1104,16 @@ impl<P: Program> Runtime<P> {
     /// selected programs run the emit phase against the round-start
     /// snapshot, and their actions are applied in selection order.
     ///
-    /// Steady-state rounds perform no heap allocation: action scratch,
-    /// inbox buffers, and the selection/dirty buffers are all recycled, and
-    /// validation happens at emit time against the round-start snapshot (no
-    /// intermediate validity tables). In parallel mode the emit phase runs
-    /// chunked over the selection on the runtime's persistent pool (still
-    /// allocation- and spawn-free — workers are woken, not created); the
-    /// apply phase is always selection-ordered on this thread, which is why
-    /// results never depend on the thread count.
+    /// Steady-state rounds perform no heap allocation: the per-chunk emit
+    /// sinks, inbox buffers, and the selection/dirty buffers are all
+    /// recycled, and validation happens at emit time against the
+    /// round-start snapshot (no intermediate validity tables). In parallel
+    /// mode the emit phase runs work-stealing-chunked over the selection on
+    /// the runtime's persistent pool (still allocation- and spawn-free —
+    /// workers are woken, not created), and heavy rounds shard inbox
+    /// delivery over the same pool by recipient range; all ordering-
+    /// observable bookkeeping stays on this thread in canonical selection
+    /// order, which is why results never depend on the thread count.
     pub fn step(&mut self) {
         assert!(
             self.pending_traffic.is_none(),
@@ -1008,15 +1242,49 @@ impl<P: Program> Runtime<P> {
         // ---- Phase 1 (emit): run the selected programs against the
         // round-start topology snapshot. Illegal sends/links are rejected
         // at emission (see `Ctx`), so everything enqueued below is valid.
+        //
+        // The selection is cut into contiguous chunks (see
+        // [`sched::ChunkPlan`] — sized by activation count, so sparse
+        // post-convergence rounds build few chunks) and each chunk's output
+        // lands in its own [`ChunkSink`], indexed by **chunk**, not thread:
+        // the sink contents are therefore independent of which worker ran
+        // the chunk, or whether a pool ran at all. The emit cost per
+        // activation is measured (EWMA) to drive the auto-sequential
+        // heuristic — rounds cheaper than a pool generation stay on this
+        // thread; either path produces bit-identical sinks.
+        let threads = self.threads();
+        self.plan.rebuild(selection.len(), threads);
+        let nchunks = self.plan.chunks();
+        if self.sinks.len() < nchunks {
+            self.sinks.resize_with(nchunks, ChunkSink::default);
+        }
+        for sink in &mut self.sinks[..nchunks] {
+            sink.reset();
+        }
+        let use_pool = self.pool.is_some()
+            && !selection.is_empty()
+            && (self.cfg.force_parallel
+                || selection.len() as f64 * self.est_ns_per_act > PAR_THRESHOLD_NS);
+        let emit_start = std::time::Instant::now();
         {
             let topo = &self.topo;
             let inboxes = &self.inboxes;
-            let run_one =
-                |i: usize, prog: &mut Option<P>, rng: &mut SmallRng, acts: &mut Actions<P::Msg>| {
-                    let prog = prog.as_mut().expect("selected slot is live");
-                    acts.clear();
-                    let slot = NodeSlot::new(i);
-                    let id = topo.id_at(slot).expect("selected slot is live");
+            let emit_one = |i: usize,
+                            prog: &mut Option<P>,
+                            rng: &mut SmallRng,
+                            sink: &mut ChunkSink<P::Msg>| {
+                let prog = prog.as_mut().expect("selected slot is live");
+                let slot = NodeSlot::new(i);
+                let id = topo.id_at(slot).expect("selected slot is live");
+                let ChunkSink {
+                    scratch,
+                    slots,
+                    sends,
+                    links,
+                    unlinks,
+                } = sink;
+                scratch.clear();
+                {
                     let mut ctx = Ctx::new(
                         id,
                         round,
@@ -1024,70 +1292,118 @@ impl<P: Program> Runtime<P> {
                         topo.neighbors_at(slot),
                         &inboxes[i],
                         rng,
-                        acts,
+                        scratch,
                     );
                     prog.step(&mut ctx);
-                    acts.quiescent = prog.is_quiescent();
-                };
+                }
+                // Flatten the staged actions into the sink's chunk-flat
+                // arrays. The id → slot lookups for sends happen here, on
+                // the emitting worker, against the round-start member map
+                // (membership never changes mid-step), not on the driver.
+                for (to, msg) in scratch.sends.drain(..) {
+                    let ts = topo
+                        .slot_of(to)
+                        .expect("round-start neighbor is a member")
+                        .index() as u32;
+                    sends.push(Outgoing {
+                        to_slot: ts,
+                        from_slot: i as u32,
+                        from: id,
+                        msg,
+                    });
+                }
+                links.append(&mut scratch.links);
+                unlinks.append(&mut scratch.unlinks);
+                slots.push(SlotRec {
+                    slot: i as u32,
+                    id,
+                    sends_end: sends.len() as u32,
+                    unlinks_end: unlinks.len() as u32,
+                    violations: scratch.violations,
+                    wake_in: scratch.wake_in,
+                    quiescent: prog.is_quiescent(),
+                });
+            };
 
-            if let Some(pool) = &self.pool {
-                // Emit in parallel over per-thread chunks of the selection:
-                // reads go only to the shared round-start snapshot (`topo`,
-                // `inboxes`), writes go only to the thread's own selected
-                // slots (distinct by the sanitization above), so any
-                // schedule produces the same per-slot scratch and the
-                // selection-ordered apply phase below makes the whole round
-                // bit-identical to sequential execution.
-                par::for_each_selected_mut3(
+            if use_pool {
+                // Chunks are claimed atomically (work stealing, for
+                // selections with skewed per-slot costs); reads go only to
+                // the shared round-start snapshot (`topo`, `inboxes`),
+                // writes go only to the claimed chunk's slots and sink
+                // (slots distinct by the sanitization above, sinks
+                // distinct by chunk index), so every thread schedule
+                // produces the same sink contents.
+                let pool = self.pool.as_ref().expect("use_pool implies a pool");
+                par::for_each_selected_chunks_mut2(
                     pool,
                     &selection,
+                    self.plan.bounds(),
+                    &mut self.sinks[..nchunks],
                     &mut self.programs,
                     &mut self.rngs,
-                    &mut self.scratch,
-                    run_one,
+                    emit_one,
                 );
             } else {
-                for &s in &selection {
-                    let i = s.index();
-                    run_one(
-                        i,
-                        &mut self.programs[i],
-                        &mut self.rngs[i],
-                        &mut self.scratch[i],
-                    );
+                for c in 0..nchunks {
+                    let sink = &mut self.sinks[c];
+                    for &s in &selection[self.plan.range(c)] {
+                        let i = s.index();
+                        emit_one(i, &mut self.programs[i], &mut self.rngs[i], sink);
+                    }
                 }
             }
         }
+        if !selection.is_empty() {
+            let obs = emit_start.elapsed().as_nanos() as f64 / selection.len() as f64;
+            self.est_ns_per_act = if self.est_ns_per_act == 0.0 {
+                obs
+            } else {
+                0.75 * self.est_ns_per_act + 0.25 * obs
+            };
+            if use_pool {
+                self.par_rounds += 1;
+            } else {
+                self.seq_rounds += 1;
+            }
+        }
 
-        // ---- Phase 2 (apply): process the selected nodes' actions in
-        // selection order with round-start snapshot semantics. Unlinks
-        // first, then links (an edge both removed and introduced in the
-        // same round ends up present), then inbox consumption, then sends
+        // ---- Phase 2 (apply): walk the sinks in chunk order — chunks are
+        // ascending contiguous selection ranges, so chunk-order
+        // concatenation IS selection order, whatever the chunk count —
+        // applying with round-start snapshot semantics. Unlinks first,
+        // then links (an edge both removed and introduced in the same
+        // round ends up present), then inbox consumption, then sends
         // (already validated against round-START adjacency at emission).
-        // Every loop walks the selection only, so a quiet network does not
-        // pay for its size. Edge changes and deliveries mark the affected
-        // slots dirty for the next round.
+        // Every pass walks the selection's output only, so a quiet network
+        // does not pay for its size. Edge changes and deliveries mark the
+        // affected slots dirty for the next round; all marking happens on
+        // this thread in canonical order, so the raw-serialized dirty list
+        // stays thread-count invariant.
         let mut row = RoundMetrics {
             round,
             active_nodes: selection.len() as u64,
             ..RoundMetrics::default()
         };
-        for &slot in &selection {
-            let i = slot.index();
-            let me = self.topo.id_at(slot).expect("selected slot is live");
-            row.violations += self.scratch[i].violations;
-            for j in 0..self.scratch[i].unlinks.len() {
-                let v = self.scratch[i].unlinks[j];
-                if self.topo.remove_edge(me, v) {
-                    row.links_removed += 1;
-                    self.mark_edge(me, v);
+        let mut sinks = std::mem::take(&mut self.sinks);
+        for sink in &sinks[..nchunks] {
+            let mut ucur = 0usize;
+            for rec in &sink.slots {
+                row.violations += rec.violations;
+                let me = rec.id;
+                while ucur < rec.unlinks_end as usize {
+                    let v = sink.unlinks[ucur];
+                    ucur += 1;
+                    if self.topo.remove_edge(me, v) {
+                        row.links_removed += 1;
+                        self.mark_edge(me, v);
+                    }
                 }
             }
         }
-        for &slot in &selection {
-            let i = slot.index();
-            for j in 0..self.scratch[i].links.len() {
-                let (x, y) = self.scratch[i].links[j];
+        for sink in &sinks[..nchunks] {
+            // No per-slot state needed: the flat chunk array already holds
+            // the links in selection-then-emission order.
+            for &(x, y) in &sink.links {
                 if self.topo.add_edge(x, y) {
                     row.links_added += 1;
                     self.mark_edge(x, y);
@@ -1122,47 +1438,102 @@ impl<P: Program> Runtime<P> {
             self.inboxes[i].clear();
             self.inbox_senders[i].clear();
         }
-        for &slot in &selection {
-            let i = slot.index();
-            // Wake-up requests and quiescence bookkeeping ride the same
-            // pass. A node that stepped and is still non-quiescent
-            // re-marks itself (it has work of its own), which is what
-            // keeps the dirty set a superset of the non-quiescent live
-            // nodes under every scheduler.
-            if let Some(d) = self.scratch[i].wake_in {
-                if d <= 1 {
-                    mark(&mut self.dirty, &mut self.dirty_list, i);
-                } else {
-                    let id = self.topo.id_at(slot).expect("selected slot is live");
-                    self.timers.push(Reverse((round + d, i as u32, id)));
+        // Wake-up requests, quiescence bookkeeping, `sent_to`/dirty
+        // maintenance, and message delivery. A node that stepped and is
+        // still non-quiescent re-marks itself (it has work of its own),
+        // which is what keeps the dirty set a superset of the
+        // non-quiescent live nodes under every scheduler. The bookkeeping
+        // always runs here in canonical order (the mark order is
+        // observable: snapshots serialize the dirty list raw); the inbox
+        // appends themselves are sharded across the pool by
+        // recipient-slot range when the round's send volume pays for a
+        // second pool generation — each shard owns a disjoint recipient
+        // range and scans the sinks in chunk order, so every inbox
+        // receives exactly the sequential append order.
+        let total_sends: usize = sinks[..nchunks].iter().map(|s| s.sends.len()).sum();
+        let par_delivery = use_pool && total_sends >= PAR_DELIVERY_MIN;
+        if par_delivery {
+            // D1: driver-side bookkeeping, canonical order.
+            for sink in &sinks[..nchunks] {
+                let mut scur = 0usize;
+                for rec in &sink.slots {
+                    let i = rec.slot as usize;
+                    if let Some(d) = rec.wake_in {
+                        if d <= 1 {
+                            mark(&mut self.dirty, &mut self.dirty_list, i);
+                        } else {
+                            self.timers.push(Reverse((round + d, rec.slot, rec.id)));
+                        }
+                    }
+                    let q = rec.quiescent;
+                    self.set_quiescent(i, q);
+                    if !q {
+                        mark(&mut self.dirty, &mut self.dirty_list, i);
+                    }
+                    while scur < rec.sends_end as usize {
+                        let ts = sink.sends[scur].to_slot as usize;
+                        scur += 1;
+                        self.sent_to[i].push(ts as u32);
+                        mark(&mut self.dirty, &mut self.dirty_list, ts);
+                        row.messages += 1;
+                    }
                 }
             }
-            let q = self.scratch[i].quiescent;
-            self.set_quiescent(i, q);
-            if !q {
-                mark(&mut self.dirty, &mut self.dirty_list, i);
+            // D2: sharded delivery — shard t owns recipient slots
+            // [cuts[t], cuts[t+1]).
+            let n = self.inboxes.len();
+            let mut cuts = std::mem::take(&mut self.delivery_cuts);
+            cuts.clear();
+            cuts.extend((0..=threads).map(|t| t * n / threads));
+            let pool = self.pool.as_ref().expect("par_delivery implies a pool");
+            par::scatter_sharded(
+                pool,
+                &mut sinks[..nchunks],
+                |s| &mut s.sends,
+                &cuts,
+                &mut self.inboxes,
+                &mut self.inbox_senders,
+                |o| o.to_slot as usize,
+                |o, inbox, senders| {
+                    inbox.push((o.from, o.msg));
+                    senders.push(o.from_slot);
+                },
+            );
+            self.delivery_cuts = cuts;
+        } else {
+            for sink in &mut sinks[..nchunks] {
+                let ChunkSink { slots, sends, .. } = sink;
+                let mut drain = sends.drain(..);
+                let mut scur = 0usize;
+                for rec in slots.iter() {
+                    let i = rec.slot as usize;
+                    if let Some(d) = rec.wake_in {
+                        if d <= 1 {
+                            mark(&mut self.dirty, &mut self.dirty_list, i);
+                        } else {
+                            self.timers.push(Reverse((round + d, rec.slot, rec.id)));
+                        }
+                    }
+                    let q = rec.quiescent;
+                    self.set_quiescent(i, q);
+                    if !q {
+                        mark(&mut self.dirty, &mut self.dirty_list, i);
+                    }
+                    while scur < rec.sends_end as usize {
+                        let o = drain.next().expect("send cursor within chunk");
+                        scur += 1;
+                        let ts = o.to_slot as usize;
+                        self.inboxes[ts].push((o.from, o.msg));
+                        self.inbox_senders[ts].push(o.from_slot);
+                        self.sent_to[i].push(o.to_slot);
+                        mark(&mut self.dirty, &mut self.dirty_list, ts);
+                        row.messages += 1;
+                    }
+                }
             }
-            self.selected[i] = false; // reset the scratch for the next round
-            if self.scratch[i].sends.is_empty() {
-                continue;
-            }
-            let me = self.topo.id_at(slot).expect("selected slot is live");
-            let mut sends = std::mem::take(&mut self.scratch[i].sends);
-            for (to, msg) in sends.drain(..) {
-                let ts = self
-                    .topo
-                    .slot_of(to)
-                    .expect("round-start neighbor is a member")
-                    .index();
-                self.inboxes[ts].push((me, msg));
-                self.inbox_senders[ts].push(i as u32);
-                self.sent_to[i].push(ts as u32);
-                mark(&mut self.dirty, &mut self.dirty_list, ts);
-                row.messages += 1;
-            }
-            self.scratch[i].sends = sends; // recycle the buffer's capacity
         }
         self.inflight += row.messages;
+        self.sinks = sinks;
 
         // ---- Phase 3 (traffic): advance held requests one hop over the
         // post-apply topology, in selection order on this thread.
@@ -1170,6 +1541,11 @@ impl<P: Program> Runtime<P> {
             let mut tr = self.traffic.take().expect("checked above");
             self.advance_requests(&mut tr, &selection, round);
             self.traffic = Some(tr);
+        }
+        // Reset the per-slot "selected" scratch for the next round — after
+        // Phase 3, because the workload's holder fast path reads it.
+        for &slot in &selection {
+            self.selected[slot.index()] = false;
         }
         let r = &self.metrics.requests;
         row.requests_issued = r.issued - self.req_reported.0;
@@ -1203,38 +1579,88 @@ impl<P: Program> Runtime<P> {
         }
     }
 
+    /// A pool **hot window** guard for the batched run drivers: when the
+    /// coming rounds are expected to use the pool, keep the workers
+    /// spinning between rounds instead of parking them (see
+    /// [`crate::par::ThreadPool::hot_window`]) — this is what amortizes the
+    /// condvar wake cost across a [`Config::batch_rounds`] window. The
+    /// expectation mirrors the auto-sequential heuristic on the *last*
+    /// round's selection size; a wrong guess costs only wall-clock time
+    /// (spinning workers, or one cold wake), never correctness.
+    fn hot_guard(&self) -> Option<par::HotWindow> {
+        let pool = self.pool.as_ref()?;
+        let expect_par = self.cfg.force_parallel
+            || self.selection.len() as f64 * self.est_ns_per_act > PAR_THRESHOLD_NS;
+        expect_par.then(|| pool.hot_window())
+    }
+
+    /// Execution-machinery counters: pool synchronization, work-stealing,
+    /// and par/seq round totals since construction (pool counters are zero
+    /// when sequential). Deliberately not part of [`Runtime::metrics`] —
+    /// see [`PerfCounters`] for the boundary argument.
+    pub fn perf_counters(&self) -> PerfCounters {
+        let (syncs, generations, steals) =
+            self.pool.as_ref().map_or((0, 0, 0), ThreadPool::counters);
+        PerfCounters {
+            syncs,
+            generations,
+            steals,
+            par_rounds: self.par_rounds,
+            seq_rounds: self.seq_rounds,
+        }
+    }
+
     /// Run until `legal(self)` holds (checked *before* each round, so a
     /// runtime already in a legal state returns 0) or `max_rounds` rounds
     /// elapse. Returns the number of rounds executed on success, `None` on
     /// timeout (after executing exactly `max_rounds` rounds).
+    ///
+    /// Rounds execute in pool hot windows of [`Config::batch_rounds`];
+    /// `legal` is still consulted on this thread before every single round.
     pub fn run_until(
         &mut self,
         mut legal: impl FnMut(&Self) -> bool,
         max_rounds: u64,
     ) -> Option<u64> {
         let start = self.round;
+        let k = u64::from(self.cfg.batch_rounds.max(1));
         loop {
-            let executed = self.round - start;
-            if legal(self) {
-                return Some(executed);
+            let _hot = self.hot_guard();
+            for _ in 0..k {
+                let executed = self.round - start;
+                if legal(self) {
+                    return Some(executed);
+                }
+                if executed == max_rounds {
+                    return None;
+                }
+                self.step();
             }
-            if executed == max_rounds {
-                return None;
-            }
-            self.step();
         }
     }
 
-    /// Run a fixed number of rounds.
+    /// Run a fixed number of rounds, in pool hot windows of
+    /// [`Config::batch_rounds`] rounds.
     pub fn run(&mut self, rounds: u64) {
-        for _ in 0..rounds {
-            self.step();
+        let k = u64::from(self.cfg.batch_rounds.max(1));
+        let mut left = rounds;
+        while left > 0 {
+            let window = left.min(k);
+            let _hot = self.hot_guard();
+            for _ in 0..window {
+                self.step();
+            }
+            left -= window;
         }
     }
 
     /// Run until `monitor` is satisfied or violated, or `max_rounds` elapse.
     /// The monitor observes the runtime *before* the first round (a runtime
     /// that already satisfies it executes 0 rounds) and after every round.
+    ///
+    /// Rounds execute in pool hot windows of [`Config::batch_rounds`]; the
+    /// monitor still observes on this thread at every round boundary,
+    /// exactly as in the unbatched driver.
     ///
     /// This is the one generic run-to-convergence driver, shared by every
     /// protocol crate; see [`crate::monitor`] for composition.
@@ -1244,33 +1670,37 @@ impl<P: Program> Runtime<P> {
         max_rounds: u64,
     ) -> MonitorOutcome {
         let start = self.round;
+        let k = u64::from(self.cfg.batch_rounds.max(1));
         loop {
-            let executed = self.round - start;
-            match monitor.observe(self) {
-                Verdict::Satisfied => {
+            let _hot = self.hot_guard();
+            for _ in 0..k {
+                let executed = self.round - start;
+                match monitor.observe(self) {
+                    Verdict::Satisfied => {
+                        return MonitorOutcome {
+                            rounds: executed,
+                            verdict: RunVerdict::Satisfied,
+                            reason: None,
+                        }
+                    }
+                    Verdict::Violated(why) => {
+                        return MonitorOutcome {
+                            rounds: executed,
+                            verdict: RunVerdict::Violated,
+                            reason: Some(why),
+                        }
+                    }
+                    Verdict::Pending => {}
+                }
+                if executed == max_rounds {
                     return MonitorOutcome {
                         rounds: executed,
-                        verdict: RunVerdict::Satisfied,
+                        verdict: RunVerdict::Timeout,
                         reason: None,
-                    }
+                    };
                 }
-                Verdict::Violated(why) => {
-                    return MonitorOutcome {
-                        rounds: executed,
-                        verdict: RunVerdict::Violated,
-                        reason: Some(why),
-                    }
-                }
-                Verdict::Pending => {}
+                self.step();
             }
-            if executed == max_rounds {
-                return MonitorOutcome {
-                    rounds: executed,
-                    verdict: RunVerdict::Timeout,
-                    reason: None,
-                };
-            }
-            self.step();
         }
     }
 
@@ -1306,13 +1736,13 @@ impl<P: Program> Runtime<P> {
             self.rngs.push(rng);
             self.inboxes.push(Vec::new());
             self.inbox_senders.push(Vec::new());
-            self.scratch.push(Actions::default());
             self.sent_to.push(Vec::new());
             self.dirty.push(false);
             self.selected.push(false);
             self.quiescent.push(false);
             if let Some(tr) = &mut self.traffic {
                 tr.queues.push(Vec::new());
+                tr.has_req.push(false);
             }
         } else {
             // Recycled slot: the departure left the buffers empty.
@@ -1409,6 +1839,10 @@ impl<P: Program> Runtime<P> {
                     .requests
                     .fail(&req, RequestOutcome::HostDeparted, self.round, record);
             }
+            if tr.has_req[slot] {
+                tr.has_req[slot] = false;
+                tr.holders.retain(|&i| i as usize != slot);
+            }
             self.traffic = Some(tr);
         }
         // The departed host's own messages: consume the mailbox (releasing
@@ -1447,7 +1881,6 @@ impl<P: Program> Runtime<P> {
             self.inflight -= (before - w) as u64;
         }
         self.sent_to[slot].clear();
-        self.scratch[slot].clear();
         if self.quiescent[slot] {
             self.quiescent[slot] = false;
             self.quiescent_count -= 1;
@@ -1739,7 +2172,12 @@ where
             rngs,
             inboxes,
             inbox_senders,
-            scratch: std::iter::repeat_with(Actions::default).take(n).collect(),
+            sinks: Vec::new(),
+            plan: sched::ChunkPlan::default(),
+            est_ns_per_act: 0.0,
+            par_rounds: 0,
+            seq_rounds: 0,
+            delivery_cuts: Vec::new(),
             sent_to,
             inflight,
             round,

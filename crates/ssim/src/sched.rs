@@ -135,6 +135,19 @@ pub trait Scheduler: Send {
     fn uses_dirty_set(&self) -> bool {
         true
     }
+
+    /// True iff every selection this scheduler emits is ordered by
+    /// **canonical member rank** ([`Topology::member_rank`]). The runtime
+    /// uses this to take order-preserving fast paths that reconstruct the
+    /// selection-order walk from an unordered index (e.g. the workload's
+    /// pending-request index): when this holds, "filter by the selected
+    /// flag, then sort by member rank" is exactly the selection-scan
+    /// order. Schedulers that can emit arbitrary orders (scripted
+    /// adversaries) must return `false`. Defaults to `false` — the slow
+    /// path is always correct.
+    fn selects_in_member_order(&self) -> bool {
+        false
+    }
 }
 
 /// The paper's fully synchronous daemon (the default): every live node
@@ -158,6 +171,10 @@ impl Scheduler for Synchronous {
 
     fn uses_dirty_set(&self) -> bool {
         false
+    }
+
+    fn selects_in_member_order(&self) -> bool {
+        true // live_slots() iterates in member order
     }
 }
 
@@ -199,6 +216,10 @@ impl Scheduler for RandomSubset {
 
     fn uses_dirty_set(&self) -> bool {
         false
+    }
+
+    fn selects_in_member_order(&self) -> bool {
+        true // one in-order draw per live node
     }
 }
 
@@ -280,6 +301,12 @@ impl Scheduler for Adversarial {
     fn uses_dirty_set(&self) -> bool {
         false
     }
+
+    fn selects_in_member_order(&self) -> bool {
+        // Round-robin filters the member-order walk; scripts pick their
+        // own order (controlling apply order is the adversary's power).
+        matches!(self.plan, Plan::RoundRobin { .. })
+    }
 }
 
 /// The activity-driven daemon: activates exactly the runtime's dirty set
@@ -305,6 +332,69 @@ impl Scheduler for ActivityDriven {
 
     fn claims_equivalence(&self) -> bool {
         true
+    }
+
+    fn selects_in_member_order(&self) -> bool {
+        true // the dirty set arrives pre-sorted by member rank
+    }
+}
+
+/// Selection→chunk plan for the density-aware parallel emit phase.
+///
+/// The parallel executor used to cut the selection into exactly one chunk
+/// per thread; a sparse post-convergence selection (a handful of dirty
+/// slots) then paid full broadcast overhead for near-empty chunks, and a
+/// skewed one (a few expensive slots clustered in one chunk) serialized on
+/// the unlucky thread. A `ChunkPlan` instead sizes chunks by **activation
+/// count**: at least [`ChunkPlan::MIN_CHUNK`] selected slots per chunk
+/// (tiny selections collapse to one chunk), at most
+/// [`ChunkPlan::CHUNKS_PER_THREAD`] chunks per thread (enough granularity
+/// for the pool's work stealing to even out skew without drowning in claim
+/// traffic).
+///
+/// The bounds are a pure function of `(selection length, thread count)`.
+/// The chunk *count* therefore varies with the thread count — which is
+/// fine for determinism, because the apply phase drains chunk sinks in
+/// chunk order and chunks partition the selection contiguously, so the
+/// merged order is the selection order regardless of how many chunks it
+/// was cut into (see `ARCHITECTURE.md`, "Execution model").
+#[derive(Debug, Default)]
+pub struct ChunkPlan {
+    /// `chunks + 1` monotone selection offsets; `bounds[c]..bounds[c+1]`
+    /// is chunk `c`.
+    bounds: Vec<u32>,
+}
+
+impl ChunkPlan {
+    /// Minimum selected slots per chunk — below this, per-chunk claim and
+    /// sink bookkeeping costs more than the parallelism is worth.
+    pub const MIN_CHUNK: usize = 16;
+    /// Upper bound on chunks, as a multiple of the thread count.
+    pub const CHUNKS_PER_THREAD: usize = 4;
+
+    /// Recompute the plan for a selection of `selected` slots on `threads`
+    /// threads. Keeps the allocation.
+    pub fn rebuild(&mut self, selected: usize, threads: usize) {
+        let cap = (threads * Self::CHUNKS_PER_THREAD).max(1);
+        let n = selected.div_ceil(Self::MIN_CHUNK).clamp(1, cap);
+        self.bounds.clear();
+        self.bounds
+            .extend((0..=n).map(|c| (c * selected / n) as u32));
+    }
+
+    /// The chunk edges: `chunks() + 1` monotone selection offsets.
+    pub fn bounds(&self) -> &[u32] {
+        &self.bounds
+    }
+
+    /// Number of chunks in the current plan (0 before the first rebuild).
+    pub fn chunks(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+
+    /// Selection range of chunk `c`.
+    pub fn range(&self, c: usize) -> std::ops::Range<usize> {
+        self.bounds[c] as usize..self.bounds[c + 1] as usize
     }
 }
 
@@ -416,5 +506,37 @@ mod tests {
         assert!(ActivityDriven.claims_equivalence());
         assert!(!RandomSubset::new(0.5, 1).claims_equivalence());
         assert!(!Adversarial::round_robin(2).claims_equivalence());
+    }
+
+    #[test]
+    fn member_order_claims() {
+        assert!(Synchronous.selects_in_member_order());
+        assert!(ActivityDriven.selects_in_member_order());
+        assert!(RandomSubset::new(0.5, 1).selects_in_member_order());
+        assert!(Adversarial::round_robin(2).selects_in_member_order());
+        assert!(!Adversarial::script(vec![vec![5, 0]]).selects_in_member_order());
+    }
+
+    #[test]
+    fn chunk_plan_partitions_every_selection() {
+        let mut plan = ChunkPlan::default();
+        for threads in 1..=8 {
+            for selected in [0usize, 1, 15, 16, 17, 100, 1000, 100_000] {
+                plan.rebuild(selected, threads);
+                let b = plan.bounds();
+                assert!(plan.chunks() >= 1, "always at least one chunk");
+                assert!(plan.chunks() <= (threads * ChunkPlan::CHUNKS_PER_THREAD).max(1));
+                assert_eq!(b[0], 0);
+                assert_eq!(*b.last().unwrap() as usize, selected);
+                assert!(b.windows(2).all(|w| w[0] <= w[1]), "monotone bounds");
+                let covered: usize = (0..plan.chunks()).map(|c| plan.range(c).len()).sum();
+                assert_eq!(covered, selected, "chunks partition the selection");
+            }
+        }
+        // Tiny selections collapse to one chunk; big ones hit the cap.
+        plan.rebuild(7, 4);
+        assert_eq!(plan.chunks(), 1);
+        plan.rebuild(100_000, 4);
+        assert_eq!(plan.chunks(), 16);
     }
 }

@@ -46,8 +46,11 @@ fn ring_runtime(n: u32, seed: u64) -> Runtime<Mixer> {
 
 fn ring_runtime_threads(n: u32, seed: u64, threads: usize) -> Runtime<Mixer> {
     let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    // `always_parallel` pins the pool path: a few dozen hosts would never
+    // clear the auto-sequential threshold, and these storms exist to stress
+    // the chunked apply against slot arrays that resize mid-run.
     Runtime::new(
-        Config::seeded(seed).threads(threads),
+        Config::seeded(seed).threads(threads).always_parallel(),
         (0..n).map(|i| (i, Mixer::default())),
         edges,
     )
@@ -151,14 +154,14 @@ fn hundreds_of_events_keep_invariants_and_stay_deterministic() {
 }
 
 /// Parallel/sequential equivalence under churn: a 300-event storm must
-/// produce byte-identical metrics JSON on 1, 2, and 4 round-execution
+/// produce byte-identical metrics JSON on 1, 2, 4, and 8 round-execution
 /// threads — membership events resize the slot arrays mid-run, so this also
 /// pins the pool's chunking against a width that changes between rounds.
 #[test]
 fn storm_metrics_are_bit_identical_across_thread_counts() {
     for seed in [3u64, 42] {
         let sequential = churn_storm_threads(24, 300, seed, true, 1);
-        for threads in [2usize, 4] {
+        for threads in [2usize, 4, 8] {
             let parallel = churn_storm_threads(24, 300, seed, false, threads);
             assert_eq!(
                 sequential, parallel,
@@ -170,7 +173,7 @@ fn storm_metrics_are_bit_identical_across_thread_counts() {
 
 /// The same storms under every shipped daemon: identical (seed, scheduler)
 /// runs must produce byte-identical metrics JSON across thread counts
-/// {1, 2, 4}. RandomSubset and the round-robin adversary leave messages
+/// {1, 2, 4, 8}. RandomSubset and the round-robin adversary leave messages
 /// queued across joins/leaves/crashes, so this also pins the engine's
 /// pending-inbox accounting (consumption-time `sent_to` release, departure
 /// purges of multi-round-old messages) under churn.
@@ -185,7 +188,7 @@ fn storms_under_every_scheduler_are_thread_count_invariant() {
     for (name, make) in schedulers {
         for seed in [5u64, 99] {
             let baseline = churn_storm_sched(20, 200, seed, true, 1, Some(make(seed)));
-            for threads in [2usize, 4] {
+            for threads in [2usize, 4, 8] {
                 let parallel = churn_storm_sched(20, 200, seed, false, threads, Some(make(seed)));
                 assert_eq!(
                     baseline, parallel,
@@ -214,7 +217,7 @@ proptest! {
     fn churn_interleavings_are_thread_count_invariant(
         seed in 0u64..3000,
         n in 8u32..32,
-        threads in 2usize..5,
+        threads in 2usize..9,
     ) {
         let sequential = churn_storm_threads(n, 60, seed, false, 1);
         let parallel = churn_storm_threads(n, 60, seed, true, threads);

@@ -172,8 +172,15 @@ fn closed_loop_keeps_concurrency_and_open_loop_paces() {
 /// (request holders are dirty, so the activity daemon keeps serving).
 #[test]
 fn traffic_is_thread_count_invariant_and_scheduler_equivalent() {
+    // Pool path pinned (`always_parallel`) and the driver batched (K = 8),
+    // so the run also covers hot-window generations with the debug
+    // shadow-step check armed on every round.
     let run = |threads: usize, activity: bool| {
-        let mut rt = line(16, Config::seeded(9).threads(threads));
+        let cfg = Config::seeded(9)
+            .threads(threads)
+            .always_parallel()
+            .batch_rounds(8);
+        let mut rt = line(16, cfg);
         if activity {
             rt.set_scheduler(Box::new(ActivityDriven));
         }
@@ -185,6 +192,7 @@ fn traffic_is_thread_count_invariant_and_scheduler_equivalent() {
     let base = run(1, false);
     assert_eq!(base, run(2, false), "2 threads");
     assert_eq!(base, run(4, false), "4 threads");
+    assert_eq!(base, run(8, false), "8 threads");
     // Activity-driven: same requests, same hops, same latencies — only the
     // activation columns may differ. With idle IdHost programs the dirty
     // set is exactly the traffic, so scrub activations before comparing.

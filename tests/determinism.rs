@@ -20,17 +20,32 @@ fn fingerprint(
 fn parallel_execution_matches_sequential() {
     let n = 128u32;
     let hosts = 12usize;
-    let run = |threads: usize| {
+    // `always_parallel` pins the pool path: without it the auto-sequential
+    // heuristic would keep a 12-host fixture off the pool entirely and the
+    // test would only re-check the sequential path against itself. Batched
+    // windows (K = 16) route `run` through the hot-window driver, so the
+    // spin-wait generations are under test too.
+    let run = |threads: usize, batch: u32| {
         let target = ChordTarget::classic(n);
-        let mut cfg = Config::seeded(0xD00D).threads(threads);
+        let mut cfg = Config::seeded(0xD00D)
+            .threads(threads)
+            .always_parallel()
+            .batch_rounds(batch);
         cfg.record_rounds = false;
         let mut rt = chord::runtime_from_shape(target, hosts, Shape::Random, cfg);
         rt.run(1500);
         fingerprint(&rt)
     };
-    let sequential = run(1);
-    assert_eq!(sequential, run(2));
-    assert_eq!(sequential, run(4));
+    let sequential = run(1, 1);
+    for threads in [2usize, 4, 8] {
+        for batch in [1u32, 16] {
+            assert_eq!(
+                sequential,
+                run(threads, batch),
+                "{threads} threads, batch {batch}"
+            );
+        }
+    }
 }
 
 /// With a request workload attached, the determinism guarantees extend to
@@ -42,7 +57,7 @@ fn workload_runs_are_thread_and_seed_deterministic() {
     use chord_scaffolding::sim::{OpenLoop, WorkloadConfig};
     let run = |threads: usize| {
         let target = ChordTarget::classic(128);
-        let mut cfg = Config::seeded(0xBEA7).threads(threads);
+        let mut cfg = Config::seeded(0xBEA7).threads(threads).always_parallel();
         cfg.record_rounds = false;
         let mut rt = chord::runtime_from_shape(target, 12, Shape::Random, cfg);
         rt.attach_workload(OpenLoop::new(1.0, 128), WorkloadConfig::default());
@@ -60,6 +75,7 @@ fn workload_runs_are_thread_and_seed_deterministic() {
     assert!(sequential.contains("\"latency_histogram\""));
     assert_eq!(sequential, run(2));
     assert_eq!(sequential, run(4));
+    assert_eq!(sequential, run(8));
     assert_eq!(sequential, run(1), "same seed reproduces the traffic");
 }
 

@@ -49,12 +49,12 @@ proptest! {
         split in 1u64..160,
         churn_bit in 0u8..2,
         sched_bit in 0u8..2,
-        thread_ix in 0usize..3,
+        thread_ix in 0usize..4,
     ) {
         let total = 160u64;
         let churn = churn_bit == 1;
         let spec = if sched_bit == 1 { "activity" } else { "sync" };
-        let threads = [1usize, 2, 4][thread_ix];
+        let threads = [1usize, 2, 4, 8][thread_ix];
         let build = || {
             let target = ChordTarget::classic(64);
             let mut cfg = Config::seeded(seed);
@@ -74,9 +74,11 @@ proptest! {
 
         // seed / strict / record_rounds are pinned from the payload — pass
         // a deliberately wrong seed to prove it — while the caller picks
-        // the execution strategy (thread count).
-        let mut tail = chord::restore_runtime(&bytes, Config::seeded(!seed).threads(threads))
-            .expect("snapshot restores");
+        // the execution strategy (thread count). `always_parallel` pins the
+        // pool path on the tail, so a sequential head must continue
+        // byte-identically on the chunked parallel apply.
+        let tail_cfg = Config::seeded(!seed).threads(threads).always_parallel();
+        let mut tail = chord::restore_runtime(&bytes, tail_cfg).expect("snapshot restores");
         prop_assert_eq!(tail.config().seed, seed, "restore pins the snapshot's seed");
         tail.set_scheduler(sched::from_spec(spec, seed).expect("known spec"));
         drive(&mut tail, total - split, churn);
@@ -156,9 +158,9 @@ fn converged_legal_snapshot_restores_legal_and_identical() {
         &["total_activations", "active_nodes"],
     );
 
-    for threads in [1usize, 2, 4] {
+    for threads in [1usize, 2, 4, 8] {
         for spec in ["sync", "activity"] {
-            let mut r2 = chord::restore_runtime(&bytes, cfg.threads(threads))
+            let mut r2 = chord::restore_runtime(&bytes, cfg.threads(threads).always_parallel())
                 .expect("converged snapshot restores");
             assert!(
                 chord::runtime_is_legal(&r2),

@@ -17,7 +17,10 @@ use rand::SeedableRng;
 /// the conservation law from the per-round rows; fingerprint the metrics.
 fn traffic_run(seed: u64, hosts: usize, storm: usize, threads: usize, activity: bool) -> String {
     let n = 64u32;
-    let cfg = Config::seeded(seed).threads(threads); // record_rounds: true
+    // record_rounds: true; `always_parallel` pins the pool path whenever
+    // threads > 1 — small fixtures would otherwise fall under the
+    // auto-sequential threshold and never exercise the chunked apply.
+    let cfg = Config::seeded(seed).threads(threads).always_parallel();
     let mut rt = chord::runtime_from_shape(ChordTarget::classic(n), hosts, Shape::Random, cfg);
     if activity {
         rt.set_scheduler(Box::new(ActivityDriven));
@@ -83,6 +86,7 @@ fn churny_traffic_is_thread_invariant_and_scheduler_equivalent() {
     assert!(base.contains("\"hop_histogram\""), "histograms serialized");
     assert_eq!(base, traffic_run(42, 8, 2, 2, false), "2 threads");
     assert_eq!(base, traffic_run(42, 8, 2, 4, false), "4 threads");
+    assert_eq!(base, traffic_run(42, 8, 2, 8, false), "8 threads");
     let act = traffic_run(42, 8, 2, 1, true);
     assert_eq!(
         activity_blind(&base),
@@ -136,7 +140,7 @@ proptest! {
         seed in 0u64..100_000,
         hosts in 5usize..8,
         storm in 0usize..3,
-        threads in 2usize..5,
+        threads in 2usize..9,
         sched in 0u32..2,
     ) {
         let activity = sched == 1;
