@@ -80,14 +80,56 @@ pub fn runtime(
     edges: Vec<(NodeId, NodeId)>,
     cfg: Config,
 ) -> Runtime<CbtProgram> {
+    runtime_with_net(n, ids, edges, cfg, ssim::NetModel::ideal())
+}
+
+/// [`runtime`] under a network-conditions model: every host's epoch
+/// schedule, beacon staleness horizon, and grace windows are re-budgeted
+/// for the model's per-hop delivery bound `Δ = 1 + delay + jitter`
+/// ([`ssim::NetModel::delivery_bound`]), and mid-run joiners inherit the
+/// same budget from the spawner. With [`ssim::NetModel::ideal`] this is
+/// exactly [`runtime`] (`Δ = 1` is the identity).
+pub fn runtime_with_net(
+    n: u32,
+    ids: &[NodeId],
+    edges: Vec<(NodeId, NodeId)>,
+    cfg: Config,
+    model: ssim::NetModel,
+) -> Runtime<CbtProgram> {
     let seed = cfg.seed;
-    let nodes = ids
-        .iter()
-        .map(|&v| (v, CbtProgram::new(v, n, join_nonce(seed, v))));
+    let delta = model.delivery_bound();
+    // A lossy channel can swallow the first post-commit beacon of an edge,
+    // keeping the detector's cover fault alive for a further `Δ` rounds
+    // per loss — so the detector waits out two consecutive losses before
+    // treating the fault as real (see `CbtCore::fault_patience`). Jitter
+    // needs the same slack without any loss at all: consecutive beacons
+    // legitimately arrive up to `1 + jitter` rounds apart, and a detector
+    // holding hosts to the tight `Δ` budget mistakes reordering for
+    // silence.
+    let patience = if model.loss > 0.0 || model.jitter > 0 {
+        3 * delta
+    } else {
+        delta
+    };
+    // Merge-critical messages are retransmitted on lossy channels: the
+    // zipper commit is local per host, so one lost zip message produces a
+    // one-sided commit and a guaranteed reset (see
+    // `CbtCore::zip_redundancy`). Two copies drop the effective loss to
+    // `p²` — at the wan preset's 2% that is 4·10⁻⁴ per message.
+    let redundancy = if model.loss > 0.0 { 2 } else { 1 };
+    let mk = move |v: NodeId| {
+        CbtProgram::new(v, n, join_nonce(seed, v))
+            .with_delta(delta)
+            .with_fault_patience(patience)
+            .with_zip_redundancy(redundancy)
+    };
+    let nodes = ids.iter().map(|&v| (v, mk(v)));
     // Hosts joining mid-run (scenario churn) boot exactly like constructed
-    // hosts: fresh singleton clusters with the seed-derived nonce.
+    // hosts: fresh singleton clusters with the seed-derived nonce (and the
+    // same delivery-bound budget).
     let mut rt = Runtime::new(cfg, nodes, edges)
-        .with_spawner(move |v| CbtProgram::new(v, n, join_nonce(seed, v)));
+        .with_spawner(mk)
+        .with_net_model(model);
     // Debug builds continuously audit the quiescence contract: if an
     // equivalence-claiming scheduler ever skips a host whose step is not a
     // no-op, the run panics (see `Runtime::enable_shadow_check`).

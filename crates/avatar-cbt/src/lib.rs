@@ -50,6 +50,7 @@ pub mod state;
 pub use io::{CtxIo, NetIo};
 pub use legal::{
     is_legal_cbt, legality, restore_runtime, runtime, runtime_from_shape, runtime_is_legal,
+    runtime_with_net,
 };
 pub use msg::{Beacon, CbtMsg};
 pub use program::CbtProgram;

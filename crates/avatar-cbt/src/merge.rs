@@ -140,7 +140,8 @@ impl CbtCore {
                         (mm.new_cid, mm.new_min)
                     };
                     if !entries.is_empty() {
-                        io.send(
+                        self.send_critical(
+                            io,
                             from,
                             CbtMsg::ZipChildInfo {
                                 epoch,
@@ -191,7 +192,8 @@ impl CbtCore {
                             continue;
                         }
                         io.link(mine, their_host);
-                        io.send(
+                        self.send_critical(
+                            io,
                             mine,
                             CbtMsg::ZipExpect {
                                 epoch,
@@ -263,7 +265,8 @@ impl CbtCore {
                     (self.core.range, self.core.cid, self.core.cluster_min);
                 for (l, cp) in due {
                     if io.is_neighbor(cp) {
-                        io.send(
+                        self.send_critical(
+                            io,
                             cp,
                             CbtMsg::ZipMeet {
                                 epoch,
@@ -296,7 +299,7 @@ impl CbtCore {
         // Replies to the last level's meets arrived two rounds before the
         // commit offset; anything still awaited was never answered.
         if merge.failed || !merge.awaiting.is_empty() || merge.won.is_empty() {
-            self.grace = 3;
+            self.grace = self.grace_hops(3);
             return;
         }
         merge.won.sort_unstable();
@@ -305,7 +308,7 @@ impl CbtCore {
         for &(a, b) in &merge.won[1..] {
             if a != hi {
                 // Non-contiguous wins: incoherent merge; abort.
-                self.grace = 3;
+                self.grace = self.grace_hops(3);
                 return;
             }
             hi = b;
@@ -317,7 +320,7 @@ impl CbtCore {
             && self.id < range.1
             && (range.0 == self.id || (range.0 == 0 && merge.new_min == self.id));
         if !ok {
-            self.grace = 3;
+            self.grace = self.grace_hops(3);
             return;
         }
         self.core = ClusterCore {
@@ -329,7 +332,8 @@ impl CbtCore {
         self.scratch.committed = true;
         // Suppress the missing-cover / unexplained-edge rules until beacons
         // refresh and the prune pass has run.
-        self.grace = (self.sched.t_prune() - self.sched.t_commit() + 3) as u8;
+        self.grace = (self.sched.t_prune() - self.sched.t_commit() + 3 * self.sched.delta())
+            .min(u8::MAX as u64) as u8;
     }
 
     /// Drop intra-cluster edges the merged embedding does not require.

@@ -76,6 +76,33 @@ pub struct CbtCore {
     pub stale_grace: u8,
     /// Number of times this host fell asleep (statistic).
     pub sleeps: u64,
+    /// Consecutive rounds the detector has reported a fault. A reset fires
+    /// only once the fault has persisted for [`CbtCore::fault_patience`]
+    /// rounds: beacons spend up to `Δ` rounds in flight, so for up to
+    /// `Δ - 1` rounds after a merge commit the neighbors' in-flight
+    /// beacons still carry the pre-merge cluster id and the cover rule
+    /// *transiently* fails.
+    pub fault_streak: u8,
+    /// Rounds a detector fault must persist before the reset fires.
+    /// `Δ` under a pure-latency channel ([`CbtCore::with_delta`] sets
+    /// this; `Δ = 1` resets on the first faulty round — bit-for-bit the
+    /// classic detector). A *lossy* channel needs more: after a commit
+    /// only a new-cid beacon can re-cover a crossing edge, so losing the
+    /// first post-commit beacon keeps the fault alive for a further `Δ`
+    /// rounds per loss. [`crate::legal::runtime_with_net`] uses `3Δ`
+    /// when `loss > 0` (two consecutive critical losses tolerated).
+    pub fault_patience: u8,
+    /// Copies sent of each merge-critical message (`MergeHello` and the
+    /// three zip kinds). The zipper's commit is evaluated *locally* per
+    /// host, so a single lost zip message yields asymmetric outcomes: one
+    /// side commits, the other aborts, and the half-merged cluster resets.
+    /// Retransmission drops the per-message effective loss from `p` to
+    /// `p^k` (draws are independent); the handlers are idempotent, so
+    /// extra copies are harmless. 1 (the default, and the ideal-channel
+    /// setting) is bit-for-bit the classic single-send protocol. Walk
+    /// messages must never be duplicated — each receipt forwards, so
+    /// copies would multiply hop over hop.
+    pub zip_redundancy: u8,
 }
 
 impl CbtCore {
@@ -99,7 +126,61 @@ impl CbtCore {
             sleep_neighbors: None,
             stale_grace: 0,
             sleeps: 0,
+            fault_streak: 0,
+            fault_patience: 1,
+            zip_redundancy: 1,
         }
+    }
+
+    /// Re-budget this host for a per-hop delivery bound of `delta` rounds
+    /// (see [`Schedule::with_delta`]): the epoch schedule stretches
+    /// uniformly, the beacon staleness horizon scales, and every grace
+    /// window is re-derived. `with_delta(1)` is the identity. Call before
+    /// the first step — the schedule realigns epoch arithmetic.
+    #[must_use]
+    pub fn with_delta(mut self, delta: u64) -> Self {
+        let delta = delta.max(1);
+        self.sched = self.sched.with_delta(delta);
+        self.view.set_delta(delta);
+        self.grace = Self::hops(delta, 2);
+        self.fault_patience = Self::hops(delta, 1);
+        self
+    }
+
+    /// Override the detector's fault patience (clamped to ≥ 1 round); see
+    /// [`CbtCore::fault_patience`]. Call after [`CbtCore::with_delta`],
+    /// which re-derives the pure-latency default.
+    #[must_use]
+    pub fn with_fault_patience(mut self, rounds: u64) -> Self {
+        self.fault_patience = rounds.clamp(1, u8::MAX as u64) as u8;
+        self
+    }
+
+    /// Send `copies` of each merge-critical message
+    /// (see [`CbtCore::zip_redundancy`]); clamped to ≥ 1.
+    #[must_use]
+    pub fn with_zip_redundancy(mut self, copies: u8) -> Self {
+        self.zip_redundancy = copies.max(1);
+        self
+    }
+
+    /// Send a merge-critical message [`CbtCore::zip_redundancy`] times.
+    pub(crate) fn send_critical(&self, io: &mut impl NetIo, to: NodeId, msg: CbtMsg) {
+        for _ in 1..self.zip_redundancy {
+            io.send(to, msg.clone());
+        }
+        io.send(to, msg);
+    }
+
+    /// A grace window of `hops` message hops expressed in rounds under
+    /// delivery bound `delta`, clamped to the `u8` counters.
+    fn hops(delta: u64, hops: u64) -> u8 {
+        (delta.max(1) * hops).min(u8::MAX as u64) as u8
+    }
+
+    /// Grace window of `hops` hops under this host's own delivery bound.
+    pub(crate) fn grace_hops(&self, hops: u64) -> u8 {
+        Self::hops(self.sched.delta(), hops)
     }
 
     /// This host's beacon for the current epoch.
@@ -123,7 +204,8 @@ impl CbtCore {
         let nonce = io.rng().gen::<u64>();
         self.core = ClusterCore::singleton(self.id, self.n, nonce);
         self.scratch = Scratch::new(self.scratch.epoch);
-        self.grace = 3;
+        self.grace = self.grace_hops(3);
+        self.fault_streak = 0;
         self.resets += 1;
         // A reset host is wide awake and beaconing.
         self.asleep = false;
@@ -235,7 +317,8 @@ impl CbtCore {
         // keeps arriving until the wave has flooded the whole network and
         // the last beacons have drained — tolerate it for a grace window.
         self.sleep_neighbors = None;
-        self.sleep_grace = (2 * (self.sched.height() + 1) + 8).min(u8::MAX as u64) as u8;
+        self.sleep_grace =
+            ((2 * (self.sched.height() + 1) + 8) * self.sched.delta()).min(u8::MAX as u64) as u8;
         self.sleeps += 1;
     }
 
@@ -248,8 +331,8 @@ impl CbtCore {
         self.beacons_enabled = true;
         self.sleep_neighbors = None;
         self.sleep_grace = 0;
-        self.stale_grace = 6;
-        self.grace = self.grace.max(2);
+        self.stale_grace = self.grace_hops(6);
+        self.grace = self.grace.max(self.grace_hops(2));
     }
 
     /// Execute one synchronous round.
@@ -331,7 +414,14 @@ impl CbtCore {
             )
         };
         self.grace = self.grace.saturating_sub(1);
-        if fault.is_some() {
+        // Debounce: reset only when the fault has persisted (see
+        // [`CbtCore::fault_patience`]). Patience 1 resets on the first one.
+        self.fault_streak = if fault.is_some() {
+            self.fault_streak.saturating_add(1)
+        } else {
+            0
+        };
+        if self.fault_streak >= self.fault_patience {
             self.reset(io);
             ev.reset = true;
             self.emit_beacon(io, &neighbors);
@@ -723,7 +813,8 @@ impl CbtCore {
                 }
                 WalkKind::MatchW2 => {
                     // endpoint is the partner cluster's root: handshake.
-                    io.send(
+                    self.send_critical(
+                        io,
                         endpoint,
                         CbtMsg::MergeHello {
                             epoch,
@@ -862,7 +953,8 @@ impl CbtCore {
         }
         if self.is_root() {
             // Degenerate: I am my cluster's root; handshake directly.
-            io.send(
+            self.send_critical(
+                io,
                 anchor,
                 CbtMsg::MergeHello {
                     epoch,
@@ -902,7 +994,8 @@ impl CbtCore {
         let fresh = self.scratch.merge.is_none();
         self.prime_merge(from, cid, cluster_min);
         if fresh {
-            io.send(
+            self.send_critical(
+                io,
                 from,
                 CbtMsg::MergeHello {
                     epoch,
@@ -948,8 +1041,10 @@ impl Persist for CbtCore {
     fn save(&self, w: &mut Writer) {
         w.u32(self.id);
         w.u32(self.n);
-        // `cbt` and `sched` are pure functions of `n` — rebuilt on load,
-        // not serialized (they dominate the state size and cannot drift).
+        // `cbt` is a pure function of `n` and `sched` of `(n, Δ)` — rebuilt
+        // on load, not serialized (they dominate the state size and cannot
+        // drift). Only the delivery bound Δ needs to travel.
+        w.u64(self.sched.delta());
         self.core.save(w);
         self.view.save(w);
         self.scratch.save(w);
@@ -963,6 +1058,9 @@ impl Persist for CbtCore {
         self.sleep_neighbors.save(w);
         w.u8(self.stale_grace);
         w.u64(self.sleeps);
+        w.u8(self.fault_streak);
+        w.u8(self.fault_patience);
+        w.u8(self.zip_redundancy);
     }
     fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
         let id = r.u32()?;
@@ -970,11 +1068,15 @@ impl Persist for CbtCore {
         if n == 0 {
             return Err(SnapshotError::Corrupt("CbtCore with n = 0".into()));
         }
+        let delta = r.u64()?;
+        if delta == 0 {
+            return Err(SnapshotError::Corrupt("CbtCore with Δ = 0".into()));
+        }
         Ok(Self {
             id,
             n,
             cbt: Cbt::new(n),
-            sched: Schedule::new(n),
+            sched: Schedule::new(n).with_delta(delta),
             core: ClusterCore::load(r)?,
             view: NeighborView::load(r)?,
             scratch: Scratch::load(r)?,
@@ -988,6 +1090,15 @@ impl Persist for CbtCore {
             sleep_neighbors: Option::load(r)?,
             stale_grace: r.u8()?,
             sleeps: r.u64()?,
+            fault_streak: r.u8()?,
+            fault_patience: match r.u8()? {
+                0 => return Err(SnapshotError::Corrupt("zero fault patience".into())),
+                p => p,
+            },
+            zip_redundancy: match r.u8()? {
+                0 => return Err(SnapshotError::Corrupt("zero zip redundancy".into())),
+                k => k,
+            },
         })
     }
 }

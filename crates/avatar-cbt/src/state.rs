@@ -49,12 +49,27 @@ impl ClusterCore {
 }
 
 /// The most recent beacon received from each neighbor, with receipt round.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct NeighborView {
     beacons: HashMap<NodeId, (u64, Beacon)>,
+    /// Staleness horizon in rounds. `BEACON_TTL` on the classic channel;
+    /// scaled by the delivery bound `Δ` under a latency/jitter model, where
+    /// arrival gaps of up to `1 + jitter` rounds are legitimate
+    /// (see [`crate::Schedule::with_delta`]).
+    ttl: u64,
 }
 
-/// Beacons older than this many rounds are considered stale.
+impl Default for NeighborView {
+    fn default() -> Self {
+        Self {
+            beacons: HashMap::new(),
+            ttl: BEACON_TTL,
+        }
+    }
+}
+
+/// Beacons older than this many rounds are considered stale (per delivery
+/// bound unit; a view under delivery bound `Δ` uses `Δ × BEACON_TTL`).
 pub const BEACON_TTL: u64 = 3;
 
 impl NeighborView {
@@ -63,11 +78,22 @@ impl NeighborView {
         self.beacons.insert(from, (round, b));
     }
 
+    /// Re-budget the staleness horizon for a per-hop delivery bound of
+    /// `delta` rounds: beacons stay fresh for `Δ × BEACON_TTL` rounds.
+    pub fn set_delta(&mut self, delta: u64) {
+        self.ttl = delta.max(1) * BEACON_TTL;
+    }
+
+    /// The staleness horizon currently in force.
+    pub fn ttl(&self) -> u64 {
+        self.ttl
+    }
+
     /// The fresh beacon of `v`, if any.
     pub fn get(&self, now: u64, v: NodeId) -> Option<&Beacon> {
         self.beacons
             .get(&v)
-            .filter(|(r, _)| now.saturating_sub(*r) < BEACON_TTL)
+            .filter(|(r, _)| now.saturating_sub(*r) < self.ttl)
             .map(|(_, b)| b)
     }
 
@@ -125,6 +151,7 @@ impl Persist for NeighborView {
             w.u64(*round);
             b.save(w);
         }
+        w.u64(self.ttl);
     }
     fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
         let n = r.seq()?;
@@ -137,7 +164,11 @@ impl Persist for NeighborView {
                 return Err(SnapshotError::Corrupt(format!("duplicate beacon for {v}")));
             }
         }
-        Ok(Self { beacons })
+        let ttl = r.u64()?;
+        if ttl == 0 {
+            return Err(SnapshotError::Corrupt("zero beacon ttl".into()));
+        }
+        Ok(Self { beacons, ttl })
     }
 }
 

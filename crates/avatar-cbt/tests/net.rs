@@ -1,0 +1,91 @@
+//! Stabilization under WAN network conditions ([`ssim::net`]): latency and
+//! jitter exercise the delivery-bound re-budgeting ([`Schedule::with_delta`]),
+//! loss and duplication exercise the epoch-retry argument, and partitions +
+//! churn force re-stabilization after the network is spliced back together.
+
+use avatar_cbt::{legality, runtime, runtime_is_legal, runtime_with_net, Schedule};
+use ssim::monitor::RunVerdict;
+use ssim::{Config, NetModel};
+
+/// Convergence budget in rounds for `hosts` hosts on guest capacity `n`
+/// under delivery bound `delta` — the epoch length scales with `Δ`, so the
+/// budget must too.
+fn budget(n: u32, hosts: usize, delta: u64) -> u64 {
+    let e = Schedule::new(n).with_delta(delta).epoch_len();
+    let logn = (usize::BITS - hosts.leading_zeros()) as u64;
+    e * (6 * logn + 12)
+}
+
+fn ring_ids() -> Vec<u32> {
+    vec![1, 9, 17, 25, 33, 41, 49, 57]
+}
+
+#[test]
+fn eight_hosts_stabilize_under_lossy_wan() {
+    let model = NetModel::wan();
+    let delta = model.delivery_bound();
+    let ids = ring_ids();
+    let edges = ssim::init::ring(&ids);
+    let mut rt = runtime_with_net(64, &ids, edges, Config::seeded(31), model);
+    let out = rt.run_monitored(&mut legality(), 6 * budget(64, 8, delta));
+    assert_eq!(out.verdict, RunVerdict::Satisfied, "lossy WAN stalls");
+    let net = rt.net_stats();
+    assert!(net.conserved(), "{net:?}");
+    assert!(net.dropped_loss > 0, "the WAN preset must actually drop");
+}
+
+#[test]
+fn deterministic_latency_alone_stabilizes() {
+    // Pure delay + jitter, zero loss: without the `Δ`-scaled schedule this
+    // configuration stalls *forever* (every fixed window is missed every
+    // epoch — deterministically, unlike loss which merely costs retries).
+    let model = NetModel {
+        delay: 2,
+        jitter: 1,
+        ..NetModel::ideal()
+    };
+    let delta = model.delivery_bound();
+    let ids = ring_ids();
+    let edges = ssim::init::ring(&ids);
+    let mut rt = runtime_with_net(64, &ids, edges, Config::seeded(33), model);
+    let out = rt.run_monitored(&mut legality(), 4 * budget(64, 8, delta));
+    assert_eq!(out.verdict, RunVerdict::Satisfied, "latency stalls");
+    assert!(rt.net_stats().conserved());
+}
+
+#[test]
+fn partition_with_churn_heals_back_to_legal() {
+    let ids = ring_ids();
+    let edges = ssim::init::ring(&ids);
+    let mut rt = runtime(64, &ids, edges, Config::seeded(32));
+    let out = rt.run_monitored(&mut legality(), budget(64, 8, 1));
+    assert_eq!(out.verdict, RunVerdict::Satisfied, "ideal convergence");
+
+    // Cut the converged overlay in half and churn both sides while the
+    // cut is up: a partition alone never breaks legality (edges are node
+    // state and stay untouched), but departures during the cut force the
+    // survivors to rebuild across a boundary they cannot talk over.
+    // (17 and 33 are safe departures: the legal topology keeps direct
+    // 9–25 and 25–41 edges, so the survivor graph stays connected —
+    // self-stabilization cannot reconnect a disconnected graph.)
+    rt.partition([1u32, 9, 17, 25]);
+    rt.leave(17);
+    rt.leave(33);
+    for _ in 0..20 {
+        rt.step();
+    }
+    assert!(rt.partitioned());
+    assert!(
+        !runtime_is_legal(&rt),
+        "churn during the cut must leave the overlay illegal"
+    );
+    rt.heal();
+    let out = rt.run_monitored(&mut legality(), 4 * budget(64, 8, 1));
+    assert_eq!(out.verdict, RunVerdict::Satisfied, "no re-stabilization");
+    let net = rt.net_stats();
+    assert!(net.conserved(), "{net:?}");
+    assert!(
+        net.dropped_partition > 0,
+        "the cut must have dropped traffic"
+    );
+}

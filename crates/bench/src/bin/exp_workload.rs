@@ -26,15 +26,20 @@
 //!   protocol work left, round cost is pure traffic).
 //!
 //! Usage: `exp_workload [seed] [--json] [--smoke] [--threads T]
-//! [--save-snapshot PATH] [--load-snapshot PATH]`.
+//! [--net SPEC] [--save-snapshot PATH] [--load-snapshot PATH]`.
+//! `--net wan` (or `wan:key=value,...`) runs E13a/E13b under WAN network
+//! conditions (`ssim::net`): the converged fixture and every joiner carry
+//! delivery-bound-matched window budgets, and request TTLs stretch with
+//! the per-hop bound so SLOs degrade for protocol reasons, not because
+//! the clock was left at ideal-network settings.
 //! `--json` emits the JSON-Lines documents captured in `BENCH_engine.json`
 //! (the committed baseline the `bench_check` CI gate diffs); `--smoke` is
 //! the seconds-long CI variant; the snapshot options write E13c's converged
 //! fixture to a file / read it back instead of building (see
 //! [`scaffold_bench::ExpArgs::fixture_snapshot`]).
 
-use scaffold_bench::{budget, f2, legal_chord_runtime_cfg, Table};
-use ssim::{fault::Fault, Config, OpenLoop, RequestStats, WorkloadConfig};
+use scaffold_bench::{budget, f2, legal_chord_runtime_net, Table};
+use ssim::{fault::Fault, Config, NetModel, OpenLoop, RequestStats, WorkloadConfig};
 use std::time::Instant;
 
 /// Strip the scheduler-dependent activity columns from a metrics JSON
@@ -50,32 +55,45 @@ struct ServiceRun {
     stats: RequestStats,
 }
 
-/// One converged-overlay traffic run: `rate` lookups/round for `rounds`
-/// rounds, then drain the in-flight tail.
-fn service_run(
+/// The size/seed/load/channel shape of a service run (everything except
+/// the daemon and thread count, which the sweeps vary per row).
+#[derive(Clone, Copy)]
+struct ServiceSpec {
     n: u32,
     hosts: usize,
     seed: u64,
-    sched: &str,
-    threads: usize,
     rate: f64,
     rounds: u64,
-) -> ServiceRun {
+    model: NetModel,
+}
+
+/// One converged-overlay traffic run: `rate` lookups/round for `rounds`
+/// rounds, then drain the in-flight tail.
+fn service_run(spec: ServiceSpec, sched: &str, threads: usize) -> ServiceRun {
+    let ServiceSpec {
+        n,
+        hosts,
+        seed,
+        rate,
+        rounds,
+        model,
+    } = spec;
     let mut cfg = Config::seeded(seed).threads(threads);
     cfg.record_rounds = false;
-    let mut rt = legal_chord_runtime_cfg(n, hosts, cfg);
+    let mut rt = legal_chord_runtime_net(n, hosts, cfg, model);
     rt.set_scheduler(ssim::sched::from_spec(sched, seed).expect("known spec"));
     let total = (rate * rounds as f64) as u64;
-    rt.attach_workload(
-        OpenLoop::new(rate, n).limited(total),
-        WorkloadConfig::default(),
-    );
+    let wl = WorkloadConfig {
+        ttl: WorkloadConfig::default().ttl * model.delivery_bound(),
+        ..WorkloadConfig::default()
+    };
+    rt.attach_workload(OpenLoop::new(rate, n).limited(total), wl);
     let t0 = Instant::now();
     rt.run(rounds);
     let elapsed = t0.elapsed();
     // Drain the in-flight tail (the generator has hit its issue limit).
     let mut waited = 0;
-    while rt.request_stats().in_flight > 0 && waited < WorkloadConfig::default().ttl + 16 {
+    while rt.request_stats().in_flight > 0 && waited < wl.ttl + 16 {
         rt.step();
         waited += 1;
     }
@@ -113,6 +131,7 @@ fn main() {
     let args = scaffold_bench::exp_args();
     let seed = args.count.unwrap_or(13);
     let smoke = args.flag("smoke");
+    let model = args.net_model().unwrap_or_default();
 
     // ---- E13a: converged service quality --------------------------------
     let sizes: &[(usize, u32)] = if smoke {
@@ -146,10 +165,18 @@ fn main() {
         let hop_bound = (2 * log2_ceil(n) + 2) as usize;
         let mut sync_blind: Option<String> = None;
         for sched in ["sync", "activity"] {
-            let base = service_run(n, hosts, seed, sched, 1, rate, rounds);
+            let spec = ServiceSpec {
+                n,
+                hosts,
+                seed,
+                rate,
+                rounds,
+                model,
+            };
+            let base = service_run(spec, sched, 1);
             // Acceptance: byte-identical metrics across thread counts.
             for &threads in thread_counts.iter().filter(|&&t| t != 1) {
-                let run = service_run(n, hosts, seed, sched, threads, rate, rounds);
+                let run = service_run(spec, sched, threads);
                 assert_eq!(
                     base.metrics_json, run.metrics_json,
                     "E13a: {sched} diverged between 1 and {threads} threads"
@@ -212,11 +239,17 @@ fn main() {
         use rand::SeedableRng;
         let mut cfg = Config::seeded(seed);
         cfg.record_rounds = false;
-        let mut rt = legal_chord_runtime_cfg(churn_n, churn_hosts, cfg);
+        let mut rt = legal_chord_runtime_net(churn_n, churn_hosts, cfg, model);
         rt.set_scheduler(ssim::sched::from_spec(sched, seed).expect("known spec"));
-        rt.attach_workload(OpenLoop::new(4.0, churn_n), WorkloadConfig::default());
+        let wl = WorkloadConfig {
+            ttl: WorkloadConfig::default().ttl * model.delivery_bound(),
+            ..WorkloadConfig::default()
+        };
+        rt.attach_workload(OpenLoop::new(4.0, churn_n), wl);
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0x57_0B_13);
-        let gap = avatar_cbt::Schedule::new(churn_n).epoch_len();
+        let gap = avatar_cbt::Schedule::new(churn_n)
+            .with_delta(model.delivery_bound())
+            .epoch_len();
         for e in 0..episodes {
             let fault = if e % 2 == 0 {
                 Fault::Leave {
@@ -235,7 +268,7 @@ fn main() {
         // Let the overlay heal while traffic keeps flowing.
         let heal = rt.run_monitored(
             &mut chord_scaffold::legality(),
-            2 * budget(churn_n, churn_hosts),
+            2 * model.delivery_bound() * budget(churn_n, churn_hosts),
         );
         let s = rt.request_stats();
         t.row(vec![
@@ -272,8 +305,9 @@ fn main() {
         cfg.record_rounds = false;
         cfg
     };
-    let lc_bytes =
-        args.fixture_snapshot(|| legal_chord_runtime_cfg(lc_n, lc_hosts, lc_cfg).save_snapshot());
+    let lc_bytes = args.fixture_snapshot(|| {
+        legal_chord_runtime_net(lc_n, lc_hosts, lc_cfg, NetModel::ideal()).save_snapshot()
+    });
     let mut t = Table::new(&["hosts", "N", "rate", "rounds", "completed", "ns/round"]);
     for rate in [1.0f64, 8.0, 64.0] {
         let mut rt =

@@ -121,12 +121,29 @@ pub fn measure_churn_args(
     seed: u64,
     args: &ExpArgs,
 ) -> ScenarioReport {
+    use rand::SeedableRng;
     let target = ChordTarget::classic(n_guests);
     let mut cfg = args.config(Config::seeded(seed));
     cfg.record_rounds = false;
-    let mut rt = chord_scaffold::runtime_from_shape(target, hosts, Shape::Random, cfg);
+    // `--net` runs the whole measurement under WAN conditions; every
+    // stage window below is re-budgeted for the model's delivery bound
+    // (with the default ideal network this is exactly the classic run).
+    let model = args.net_model().unwrap_or_default();
+    let delta = model.delivery_bound();
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(cfg.seed ^ 0xA5A5_5A5A);
+    let ids = ssim::init::random_ids(hosts, n_guests, &mut rng);
+    let edges = Shape::Random.edges(&ids, &mut rng);
+    let mut rt = chord_scaffold::runtime_with_net(target, &ids, edges, cfg, model);
     args.apply_sched(&mut rt, seed);
-    let baseline = rt.run_monitored(&mut chord_scaffold::legality(), budget(n_guests, hosts));
+    // Linear `Δ` scaling is not enough headroom off the ideal channel:
+    // loss resets and jitter-stretched stages compound, so non-ideal
+    // models get the same 8x slack the E16 sweep budgets (identity on
+    // the default ideal model, so committed baselines are untouched).
+    let net_slack = if model.is_ideal() { 1 } else { 8 };
+    let baseline = rt.run_monitored(
+        &mut chord_scaffold::legality(),
+        net_slack * delta * budget(n_guests, hosts),
+    );
     assert!(
         baseline.rounds_if_satisfied().is_some(),
         "measure_churn: baseline overlay (N={n_guests}, n={hosts}, seed={seed}) \
@@ -137,7 +154,9 @@ pub fn measure_churn_args(
     let taken: std::collections::HashSet<NodeId> = rt.ids().iter().copied().collect();
     let mut fresh = (0..n_guests).filter(|v| !taken.contains(v));
 
-    let gap = avatar_cbt::Schedule::new(n_guests).epoch_len();
+    let gap = avatar_cbt::Schedule::new(n_guests)
+        .with_delta(delta)
+        .epoch_len();
     let mut scenario = Scenario::new(format!("churn-n{n_guests}-h{hosts}")).seeded(seed);
     for e in 0..episodes {
         let round = gap * e as u64;
@@ -162,7 +181,7 @@ pub fn measure_churn_args(
             ),
         };
     }
-    let max_rounds = gap * episodes as u64 + budget(n_guests, hosts);
+    let max_rounds = gap * episodes as u64 + delta * budget(n_guests, hosts);
     scenario.run(&mut rt, &mut chord_scaffold::legality(), max_rounds)
 }
 
@@ -304,35 +323,86 @@ pub fn legal_chord_runtime_cfg(
     hosts: usize,
     cfg: Config,
 ) -> Runtime<ScaffoldProgram<ChordTarget>> {
+    legal_chord_runtime_net(n_guests, hosts, cfg, ssim::NetModel::ideal())
+}
+
+/// [`legal_chord_runtime_cfg`] under a network-conditions model: the
+/// installed hosts (and any mid-run joiners) carry window budgets matched
+/// to the model's delivery bound, exactly as
+/// [`chord_scaffold::runtime_with_net`] hosts do. The model is part of the
+/// checkpoint-cache key, so WAN fixtures never collide with ideal ones.
+pub fn legal_chord_runtime_net(
+    n_guests: u32,
+    hosts: usize,
+    cfg: Config,
+    model: ssim::NetModel,
+) -> Runtime<ScaffoldProgram<ChordTarget>> {
+    let net_key: String = ssim::net::to_spec(&model)
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
     let key = format!(
-        "legal_chord_v1_n{n_guests}_h{hosts}_s{}_rr{}_st{}",
+        "legal_chord_v2_n{n_guests}_h{hosts}_s{}_rr{}_st{}_net{net_key}",
         cfg.seed, cfg.record_rounds as u8, cfg.strict as u8
     );
     let bytes = checkpoint_cache(&key, || {
-        build_legal_chord_runtime(n_guests, hosts, cfg).save_snapshot()
+        build_legal_chord_runtime(n_guests, hosts, cfg, model).save_snapshot()
     });
     match chord_scaffold::restore_runtime(&bytes, cfg) {
-        Ok(rt) => {
+        Ok(mut rt) => {
             debug_assert!(chord_scaffold::runtime_is_legal(&rt));
+            rearm_net_spawner(&mut rt, n_guests, cfg.seed, model);
             rt
         }
         // Unreachable for bytes the cache just validated, but a corrupt
         // payload must degrade to a rebuild, never to a panic.
-        Err(_) => build_legal_chord_runtime(n_guests, hosts, cfg),
+        Err(_) => build_legal_chord_runtime(n_guests, hosts, cfg, model),
     }
+}
+
+/// Re-register a model-aware join spawner after a snapshot restore:
+/// [`chord_scaffold::restore_runtime`] cannot know the run's network
+/// model, so its spawner hands out ideal-network (`Δ = 1`) window budgets.
+/// Joiners under a WAN model need the same stretched windows the restored
+/// hosts carry, or their detectors livelock on latency-induced staleness.
+fn rearm_net_spawner(
+    rt: &mut Runtime<ScaffoldProgram<ChordTarget>>,
+    n_guests: u32,
+    seed: u64,
+    model: ssim::NetModel,
+) {
+    if model.is_ideal() {
+        return;
+    }
+    let target = ChordTarget::classic(n_guests);
+    let delta = model.delivery_bound();
+    let patience = if model.loss > 0.0 || model.jitter > 0 {
+        3 * delta
+    } else {
+        delta
+    };
+    let redundancy = if model.loss > 0.0 { 2 } else { 1 };
+    rt.set_spawner(move |v| {
+        let nonce = seed ^ (v as u64 + 7).wrapping_mul(0x9E3779B97F4A7C15);
+        ScaffoldProgram::new(v, target, nonce)
+            .with_delta(delta)
+            .with_fault_patience(patience)
+            .with_zip_redundancy(redundancy)
+    });
 }
 
 fn build_legal_chord_runtime(
     n_guests: u32,
     hosts: usize,
     cfg: Config,
+    model: ssim::NetModel,
 ) -> Runtime<ScaffoldProgram<ChordTarget>> {
     use rand::SeedableRng;
     let target = ChordTarget::classic(n_guests);
     let mut rng = rand::rngs::SmallRng::seed_from_u64(cfg.seed ^ 0xA5A5_5A5A);
     let ids = ssim::init::random_ids(hosts, n_guests, &mut rng);
     let edges = chord_scaffold::expected_edges(&target, &ids);
-    let mut rt = chord_scaffold::runtime(target, &ids, edges, cfg);
+    let mut rt = chord_scaffold::runtime_with_net(target, &ids, edges, cfg, model);
     let av = overlay::Avatar::new(n_guests, ids.iter().copied());
     let min = *ids.iter().min().unwrap();
     // Legal cluster state + settled DONE phase on every host.
@@ -568,6 +638,8 @@ pub struct ExpArgs {
     pub threads: Option<usize>,
     /// `--sched SPEC`: scheduler spec (see [`ExpArgs::scheduler`]).
     pub sched: Option<String>,
+    /// `--net SPEC`: network-conditions spec (see [`ExpArgs::net_model`]).
+    pub net: Option<String>,
     /// `--save-snapshot PATH`: write the experiment's fixture snapshot here.
     pub save_snapshot: Option<String>,
     /// `--load-snapshot PATH`: restore the fixture from here, skip building.
@@ -604,6 +676,22 @@ impl ExpArgs {
             );
         }
         s
+    }
+
+    /// Parse the `--net` network-conditions spec
+    /// ([`ssim::net::from_spec`]: `ideal` | `wan` | `wan:key=value,...`).
+    /// `None` when the flag is absent — experiments then keep the ideal
+    /// network, i.e. exactly the pre-`ssim::net` behavior. An unparseable
+    /// spec is reported to stderr and treated as absent.
+    pub fn net_model(&self) -> Option<ssim::NetModel> {
+        let spec = self.net.as_deref()?;
+        match ssim::net::from_spec(spec) {
+            Ok(m) => Some(m),
+            Err(e) => {
+                eprintln!("--net {spec:?}: {e}; keeping the ideal network");
+                None
+            }
+        }
     }
 
     /// Install the `--sched` scheduler (when given and valid) on a runtime.
@@ -678,6 +766,16 @@ fn parse_exp_args(args: impl IntoIterator<Item = String>) -> ExpArgs {
             }
         } else if let Some(v) = a.strip_prefix("--sched=") {
             out.sched = Some(v.to_string());
+        } else if a == "--net" {
+            match args.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    out.net = Some(v.clone());
+                    args.next();
+                }
+                _ => eprintln!("--net needs a value (e.g. --net wan:loss=0.05); ignoring"),
+            }
+        } else if let Some(v) = a.strip_prefix("--net=") {
+            out.net = Some(v.to_string());
         } else if a == "--save-snapshot" || a == "--load-snapshot" {
             let slot = if a == "--save-snapshot" {
                 &mut out.save_snapshot

@@ -92,14 +92,47 @@ pub fn runtime(
     edges: Vec<(NodeId, NodeId)>,
     cfg: Config,
 ) -> Runtime<ScaffoldProgram<ChordTarget>> {
+    runtime_with_net(target, ids, edges, cfg, ssim::NetModel::ideal())
+}
+
+/// [`runtime`] under a network-conditions model: every host's windows —
+/// the CBT epoch schedule, beacon staleness horizon, grace windows, and the
+/// CHORD-phase switch/wave timeouts — are re-budgeted for the model's
+/// per-hop delivery bound `Δ = 1 + delay + jitter`
+/// ([`ssim::NetModel::delivery_bound`]), lossy channels additionally get
+/// detector patience and merge-message retransmission (see
+/// `avatar_cbt::CbtCore::{fault_patience, zip_redundancy}`), and mid-run
+/// joiners inherit the same budget from the spawner. With
+/// [`ssim::NetModel::ideal`] this is exactly [`runtime`] (`Δ = 1` is the
+/// identity).
+pub fn runtime_with_net(
+    target: ChordTarget,
+    ids: &[NodeId],
+    edges: Vec<(NodeId, NodeId)>,
+    cfg: Config,
+    model: ssim::NetModel,
+) -> Runtime<ScaffoldProgram<ChordTarget>> {
     let seed = cfg.seed;
-    let nodes = ids
-        .iter()
-        .map(|&v| (v, ScaffoldProgram::new(v, target, join_nonce(seed, v))));
+    let delta = model.delivery_bound();
+    let patience = if model.loss > 0.0 || model.jitter > 0 {
+        3 * delta
+    } else {
+        delta
+    };
+    let redundancy = if model.loss > 0.0 { 2 } else { 1 };
+    let mk = move |v: NodeId| {
+        ScaffoldProgram::new(v, target, join_nonce(seed, v))
+            .with_delta(delta)
+            .with_fault_patience(patience)
+            .with_zip_redundancy(redundancy)
+    };
+    let nodes = ids.iter().map(|&v| (v, mk(v)));
     // Hosts joining mid-run boot exactly like constructed hosts: CBT phase,
-    // singleton cluster, seed-derived nonce.
+    // singleton cluster, seed-derived nonce (and the same delivery-bound
+    // budget).
     let mut rt = Runtime::new(cfg, nodes, edges)
-        .with_spawner(move |v| ScaffoldProgram::new(v, target, join_nonce(seed, v)));
+        .with_spawner(mk)
+        .with_net_model(model);
     // Debug builds continuously audit the quiescence contract (a settled
     // DONE host's step must be a strict no-op) whenever an equivalence-
     // claiming scheduler skips anyone.

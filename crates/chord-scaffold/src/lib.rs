@@ -37,7 +37,7 @@ pub mod target;
 
 pub use legal::{
     expected_edges, is_legal, legality, legality_for, restore_runtime, runtime, runtime_from_shape,
-    runtime_is_legal,
+    runtime_is_legal, runtime_with_net,
 };
 pub use msg::{Phase, PhaseInfo, ScafMsg};
 pub use program::ScaffoldProgram;

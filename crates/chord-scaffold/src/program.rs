@@ -23,6 +23,30 @@ impl<T: InductiveTarget> ScaffoldProgram<T> {
             core: ScaffoldCore::new(id, target, nonce),
         }
     }
+
+    /// Re-budget the host for a per-hop delivery bound of `delta` rounds
+    /// (see [`ScaffoldCore::with_delta`]). `with_delta(1)` is the identity.
+    #[must_use]
+    pub fn with_delta(mut self, delta: u64) -> Self {
+        self.core = self.core.with_delta(delta);
+        self
+    }
+
+    /// Override the CBT detector's fault patience
+    /// (see [`ScaffoldCore::with_fault_patience`]).
+    #[must_use]
+    pub fn with_fault_patience(mut self, rounds: u64) -> Self {
+        self.core = self.core.with_fault_patience(rounds);
+        self
+    }
+
+    /// Retransmit merge-critical CBT messages
+    /// (see [`ScaffoldCore::with_zip_redundancy`]).
+    #[must_use]
+    pub fn with_zip_redundancy(mut self, copies: u8) -> Self {
+        self.core = self.core.with_zip_redundancy(copies);
+        self
+    }
 }
 
 struct CtxIo<'a, 'b> {

@@ -119,12 +119,15 @@ pub struct ScaffoldCore<T: InductiveTarget> {
 }
 
 /// Tolerance window for phase disagreement while a switch wave propagates,
-/// and the per-wave progress timeout, both `Θ(log N)`.
-fn switch_window(h: u64) -> u64 {
-    2 * h + 8
+/// and the per-wave progress timeout, both `Θ(log N)` — budgeted in
+/// message hops and scaled by the per-hop delivery bound `Δ`
+/// (see [`avatar_cbt::Schedule::with_delta`]; `Δ = 1` is the classic
+/// channel).
+fn switch_window(h: u64, delta: u64) -> u64 {
+    delta * (2 * h + 8)
 }
-fn wave_timeout(h: u64) -> u64 {
-    6 * h + 24
+fn wave_timeout(h: u64, delta: u64) -> u64 {
+    delta * (6 * h + 24)
 }
 
 impl<T: InductiveTarget> ScaffoldCore<T> {
@@ -150,6 +153,45 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
             reverts: 0,
             completions: 0,
         }
+    }
+
+    /// Re-budget this host for a per-hop delivery bound of `delta` rounds:
+    /// the embedded CBT core re-derives its schedule and grace windows
+    /// ([`CbtCore::with_delta`]), and the CHORD-phase windows
+    /// (`switch_window`, `wave_timeout`, beacon-age tolerance, DONE grace)
+    /// scale with it too. `with_delta(1)` is the identity.
+    #[must_use]
+    pub fn with_delta(mut self, delta: u64) -> Self {
+        self.cbt = self.cbt.with_delta(delta);
+        self
+    }
+
+    /// Override the CBT detector's fault patience
+    /// ([`CbtCore::with_fault_patience`]).
+    #[must_use]
+    pub fn with_fault_patience(mut self, rounds: u64) -> Self {
+        self.cbt = self.cbt.with_fault_patience(rounds);
+        self
+    }
+
+    /// Retransmit merge-critical CBT messages
+    /// ([`CbtCore::with_zip_redundancy`]).
+    #[must_use]
+    pub fn with_zip_redundancy(mut self, copies: u8) -> Self {
+        self.cbt = self.cbt.with_zip_redundancy(copies);
+        self
+    }
+
+    /// Send a wave-critical message `zip_redundancy` times: the switch /
+    /// target / DONE waves are single-shot tree descents and ascents, so
+    /// one lost message stalls the wave until the timeout reverts the
+    /// whole phase. The handlers are duplicate-tolerant. One copy (the
+    /// default, and the ideal-channel setting) is the classic protocol.
+    fn send_critical(&self, io: &mut impl ScafIo, to: NodeId, msg: ScafMsg) {
+        for _ in 1..self.cbt.zip_redundancy {
+            io.send(to, msg.clone());
+        }
+        io.send(to, msg);
     }
 
     /// Host identifier.
@@ -308,10 +350,10 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
         self.armed = false;
         self.done_neighbors = None;
         let h = self.cbt.sched.height();
-        self.wave0_at = as_root.then_some(round + switch_window(h));
+        self.wave0_at = as_root.then_some(round + switch_window(h, self.cbt.sched.delta()));
         let neighbors: Vec<NodeId> = io.neighbors().to_vec();
         for c in self.children(round, &neighbors) {
-            io.send(c, ScafMsg::StartChord);
+            self.send_critical(io, c, ScafMsg::StartChord);
         }
         self.emit_chord_beacons(io, &neighbors);
     }
@@ -399,9 +441,15 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
         // Conditions 2–4: neighbors' waves within one step of ours, and
         // every neighbor participating in the CHORD phase (after the switch
         // wave has had time to reach everyone).
+        let delta = self.cbt.sched.delta();
         for &v in neighbors {
             match self.pview.get(&v) {
-                Some((r, pi)) if round.saturating_sub(*r) < 3 => {
+                // Freshness is budgeted in delivery bounds: phase infos
+                // flow every round, but under WAN conditions consecutive
+                // arrivals legitimately gap by jitter and the odd loss —
+                // only `3Δ` rounds of silence make an entry stale (with
+                // `Δ = 1` this is the classic 3-round window).
+                Some((r, pi)) if round.saturating_sub(*r) < 3 * delta => {
                     if pi.phase == Phase::Chord && (pi.last_wave - self.last_wave).abs() > 1 {
                         return false;
                     }
@@ -420,7 +468,7 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
                     // legitimately create new edges mid-phase).
                     let age =
                         round.saturating_sub(self.seen_since.get(&v).copied().unwrap_or(round));
-                    if round > self.switch_round + switch_window(h) && age > 3 {
+                    if round > self.switch_round + switch_window(h, delta) && age > 3 * delta {
                         return false;
                     }
                 }
@@ -445,7 +493,7 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
             self.revert_to_cbt();
             return;
         }
-        if round.saturating_sub(self.last_progress) > wave_timeout(h) {
+        if round.saturating_sub(self.last_progress) > wave_timeout(h, self.cbt.sched.delta()) {
             self.revert_to_cbt();
             return;
         }
@@ -492,7 +540,7 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
         let round = io.round();
         let children = self.children(round, neighbors);
         for &c in &children {
-            io.send(c, ScafMsg::Prop { k });
+            self.send_critical(io, c, ScafMsg::Prop { k });
         }
         self.active = Some(ActiveWave {
             k,
@@ -509,6 +557,13 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
     fn on_prop(&mut self, io: &mut impl ScafIo, neighbors: &[NodeId], k: u32) {
         if self.active.as_ref().is_some_and(|w| w.k == k) {
             return; // duplicate
+        }
+        if k as i64 <= self.last_wave {
+            // Stale duplicate of a wave we already completed (a lossy
+            // channel retransmits wave messages, and a duplicated copy can
+            // outlive the wave on a leaf, which completes instantly) — not
+            // an inconsistency.
+            return;
         }
         if k as i64 != self.last_wave + 1 || self.active.is_some() {
             // Algorithm 1 line 7 / 14: inconsistent wave ⇒ phase := CBT.
@@ -644,7 +699,7 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
                     io.link(ep, p);
                 }
             }
-            io.send(p, ScafMsg::Fb { k, ring0, ring_n });
+            self.send_critical(io, p, ScafMsg::Fb { k, ring0, ring_n });
         }
         true
     }
@@ -666,13 +721,13 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
         let children = self.children(round, neighbors);
         self.prune_for_target(io, neighbors);
         for &c in &children {
-            io.send(c, ScafMsg::StartDone);
+            self.send_critical(io, c, ScafMsg::StartDone);
         }
         if children.is_empty() {
             // Leaf: ack immediately and fall silent.
             if !self.cbt.is_root() {
                 if let Some(p) = self.done_parent {
-                    io.send(p, ScafMsg::FbDone);
+                    self.send_critical(io, p, ScafMsg::FbDone);
                 }
             }
             self.enter_done();
@@ -682,6 +737,9 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
     }
 
     fn on_start_done(&mut self, io: &mut impl ScafIo, neighbors: &[NodeId]) {
+        if self.armed {
+            return; // duplicate: the DONE descent is already running here
+        }
         if self.last_wave + 1 != self.target.waves() as i64 || self.active.is_some() {
             self.revert_to_cbt();
             return;
@@ -700,7 +758,7 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
             if self.cbt.is_root() {
                 self.enter_done();
             } else if let Some(p) = self.done_parent {
-                io.send(p, ScafMsg::FbDone);
+                self.send_critical(io, p, ScafMsg::FbDone);
                 self.enter_done();
             } else {
                 self.revert_to_cbt();
@@ -714,7 +772,8 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
         // Hosts in sibling subtrees keep beaconing until the DONE wave
         // reaches them: tolerate traffic for a full descent-plus-ascent of
         // the host tree before treating messages as a wake-up signal.
-        self.done_grace = (2 * (self.cbt.sched.height() + 1) + 8).min(u8::MAX as u64) as u8;
+        self.done_grace = ((2 * (self.cbt.sched.height() + 1) + 8) * self.cbt.sched.delta())
+            .min(u8::MAX as u64) as u8;
         self.done_neighbors = None;
         self.completions += 1;
     }
@@ -928,7 +987,9 @@ mod tests {
 
     #[test]
     fn windows_are_logarithmic() {
-        assert!(switch_window(10) < 40);
-        assert!(wave_timeout(10) < 100);
+        assert!(switch_window(10, 1) < 40);
+        assert!(wave_timeout(10, 1) < 100);
+        assert_eq!(switch_window(10, 3), 3 * switch_window(10, 1));
+        assert_eq!(wave_timeout(10, 3), 3 * wave_timeout(10, 1));
     }
 }

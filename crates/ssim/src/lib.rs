@@ -41,6 +41,16 @@
 //!   honestly; per-request accounting (conservation law, hop/latency
 //!   histograms) lands in the metrics and SLO monitors
 //!   ([`workload::SuccessRate`], [`workload::LatencyBudget`]) guard runs.
+//! * **Network conditions**: a seeded [`net::NetModel`] relaxes the
+//!   reliable synchronous channel with per-message latency, jitter
+//!   (bounded reordering), i.i.d. or per-link loss, duplication, and
+//!   per-edge bandwidth pacing; [`Runtime::partition`] cuts the network
+//!   along a node bisection without touching edges and
+//!   [`Runtime::heal`] splices it back. All net decisions are drawn on
+//!   the driving thread in canonical order, delayed messages live in a
+//!   snapshot-covered in-transit buffer, and the message conservation
+//!   law `sent + duplicated == delivered + dropped + in_transit` is
+//!   debug-asserted every round ([`net::NetStats`]).
 //!
 //! Node programs implement [`Program`]; per-round execution of independent
 //! node programs is data-parallel on an `std::thread` worker pool (see
@@ -67,6 +77,7 @@ pub mod fault;
 pub mod init;
 pub mod metrics;
 pub mod monitor;
+pub mod net;
 pub mod par;
 pub mod program;
 pub mod runtime;
@@ -79,6 +90,7 @@ pub mod workload;
 pub use fault::Fault;
 pub use metrics::{PerfCounters, RoundMetrics, RunMetrics};
 pub use monitor::{Monitor, MonitorExt, MonitorOutcome, RunVerdict, Verdict};
+pub use net::{NetModel, NetStats};
 pub use program::{Actions, Ctx, Program};
 pub use runtime::{Config, Runtime};
 pub use scenario::{Event, Scenario, ScenarioReport};

@@ -3,6 +3,7 @@
 //! maximum degree during convergence to the maximum of the initial and final
 //! configurations' degrees).
 
+use crate::net::NetStats;
 use crate::snapshot::{Persist, Reader, SnapshotError, Writer};
 use crate::workload::RequestStats;
 use serde::Serialize;
@@ -77,6 +78,11 @@ pub struct RunMetrics {
     /// attached; see [`crate::workload`] and
     /// [`crate::Runtime::attach_workload`]).
     pub requests: RequestStats,
+    /// Message accounting under network conditions (all zero under
+    /// [`crate::NetModel::ideal`]; see [`crate::net`]). Pins the message
+    /// conservation law
+    /// `sent + duplicated == delivered + dropped + in_transit`.
+    pub net: NetStats,
     /// Per-round rows (only when `Config::record_rounds`).
     pub per_round: Vec<RoundMetrics>,
 }
@@ -189,6 +195,7 @@ impl Persist for RunMetrics {
         w.u64(self.leaves);
         w.u64(self.crashes);
         self.requests.save(w);
+        self.net.save(w);
         self.per_round.save(w);
     }
     fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
@@ -205,6 +212,7 @@ impl Persist for RunMetrics {
             leaves: r.u64()?,
             crashes: r.u64()?,
             requests: RequestStats::load(r)?,
+            net: NetStats::load(r)?,
             per_round: Vec::load(r)?,
         })
     }

@@ -470,4 +470,60 @@ mod tests {
         assert_eq!(out.verdict, RunVerdict::Satisfied);
         assert_eq!(out.rounds, 0);
     }
+
+    /// Sends one burst to every neighbor, then idles.
+    #[derive(Default)]
+    struct PingOnce {
+        sent: bool,
+    }
+    impl Program for PingOnce {
+        type Msg = ();
+        fn step(&mut self, ctx: &mut Ctx<'_, ()>) {
+            if !self.sent {
+                self.sent = true;
+                for &v in &ctx.neighbors().to_vec() {
+                    ctx.send(v, ());
+                }
+            }
+        }
+        fn is_quiescent(&self) -> bool {
+            self.sent
+        }
+    }
+
+    #[test]
+    fn silence_counts_in_transit_messages() {
+        // Regression: with a latency model installed, a round where every
+        // inbox is empty but messages sit in the delay queue must NOT read
+        // as silent — otherwise a lossy/laggy quiet round looks converged.
+        let delayed = crate::NetModel {
+            delay: 3,
+            ..crate::NetModel::ideal()
+        };
+        let mut rt = Runtime::new(
+            Config::default(),
+            (0..2u32).map(|i| (i, PingOnce::default())),
+            [(0, 1)],
+        )
+        .with_net_model(delayed);
+        rt.step();
+        assert_eq!(rt.in_transit(), 2, "both pings are held in the delay queue");
+        let mut m = silence::<PingOnce>();
+        assert_eq!(
+            m.observe(&rt),
+            Verdict::Pending,
+            "in-transit messages must keep the network non-silent"
+        );
+        let mut q = quiescence::<PingOnce>();
+        assert_eq!(
+            q.observe(&rt),
+            Verdict::Pending,
+            "quiescence inherits the in-transit guard"
+        );
+        let out = rt.run_monitored(&mut m, 20);
+        assert_eq!(out.verdict, RunVerdict::Satisfied);
+        assert!(out.rounds >= 3, "satisfied only after the delayed delivery");
+        assert_eq!(rt.in_transit(), 0);
+        assert!(rt.net_stats().conserved());
+    }
 }

@@ -1,0 +1,498 @@
+//! Deterministic WAN network conditions: latency, loss, reordering,
+//! duplication, and per-edge bandwidth pacing between emit and delivery.
+//!
+//! The round engine's default network is the paper's fully-synchronous
+//! channel: a message sent in round `i` is received in round `i + 1`,
+//! reliably, in emission order. A [`NetModel`] relaxes that assumption. It
+//! sits between the emit phase and inbox delivery: every send the apply
+//! phase processes is either delivered immediately (extra delay 0, exactly
+//! the classic path), dropped (loss, or a [`Runtime::partition`] cut), or
+//! parked in the runtime's **in-transit buffer** to be delivered — and only
+//! then made visible, marked dirty, and counted — in a later round.
+//!
+//! Determinism is preserved by construction: all net decisions (loss,
+//! delay, duplication, pacing) are drawn from one dedicated RNG **on the
+//! driving thread, in canonical sink-merge order** — the same selection
+//! order the sequential engine applies sends in — so the schedule is
+//! byte-identical at any thread count, batch window, or
+//! equivalence-claiming daemon. The in-transit buffer and the net RNG
+//! position are covered by [`Runtime::save_snapshot`], so a run can be
+//! split mid-delay and the restored half continues byte-identically.
+//!
+//! Accounting follows the engine's conservation-law idiom (see
+//! [`crate::workload::RequestStats`]): every send is classified exactly
+//! once, and [`NetStats`] pins
+//! `sent + duplicated == delivered + dropped + in_transit`
+//! at every round boundary (debug-asserted by the runtime).
+//!
+//! [`Runtime::partition`]: crate::Runtime::partition
+//! [`Runtime::save_snapshot`]: crate::Runtime::save_snapshot
+
+use crate::snapshot::{Persist, Reader, SnapshotError, Writer};
+use crate::NodeId;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::Serialize;
+
+/// Seeded, deterministic WAN conditions applied to every message between
+/// emission and delivery. Plain data (`Copy`): scenarios swap models
+/// mid-run via [`crate::Event::SetNetModel`], snapshots persist them, and
+/// CLI presets parse into them ([`from_spec`]).
+///
+/// [`NetModel::ideal`] (the default) is the paper's reliable synchronous
+/// channel and takes a zero-overhead fast path: no RNG draws, no transit
+/// buffer traffic — the engine is bit-for-bit the classic one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct NetModel {
+    /// Extra delivery delay in rounds added to every message (on top of
+    /// the model's one synchronous hop). `0` = next-round delivery.
+    pub delay: u64,
+    /// Uniform per-message jitter: each message draws an extra delay in
+    /// `0..=jitter` rounds. Nonzero jitter yields **bounded reordering** —
+    /// two messages on the same channel may arrive up to `jitter` rounds
+    /// out of order, never unboundedly late.
+    pub jitter: u64,
+    /// Message loss probability in `[0, 1]`; i.i.d. per message by
+    /// default, scaled per directed link when [`NetModel::per_link`] is
+    /// set.
+    pub loss: f64,
+    /// Derive a *per-link* loss rate from a hash of the directed edge
+    /// (uniform in `[0, 2·loss]`, clamped to `[0, 1]`, mean `loss`)
+    /// instead of one i.i.d. rate — some links are then reliably good and
+    /// some reliably bad, which stresses protocols differently than
+    /// uniform noise.
+    pub per_link: bool,
+    /// Probability in `[0, 1]` that a message is duplicated: the copy
+    /// draws its own delay/jitter (so the pair may arrive out of order)
+    /// and is never itself lost or re-duplicated. Counted separately in
+    /// [`NetStats::duplicated`].
+    pub dup: f64,
+    /// Per-directed-edge bandwidth cap in messages per round; `0` means
+    /// unlimited. Excess messages on a channel are **paced**, not dropped:
+    /// delivery slides to the channel's next free round (FIFO per channel,
+    /// so a capped channel never reorders).
+    pub bandwidth: u32,
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+impl NetModel {
+    /// The reliable synchronous channel of the paper's model: zero extra
+    /// latency, no loss, no duplication, unlimited bandwidth. Reproduces
+    /// the classic engine bit-for-bit (no net RNG draws at all).
+    pub fn ideal() -> Self {
+        Self {
+            delay: 0,
+            jitter: 0,
+            loss: 0.0,
+            per_link: false,
+            dup: 0.0,
+            bandwidth: 0,
+        }
+    }
+
+    /// The default WAN preset (`--net wan`): one round of base latency,
+    /// up to two rounds of jitter, 2% i.i.d. loss, 0.5% duplication,
+    /// unlimited bandwidth. Lossy and reordering, but kind enough that
+    /// both protocol crates stabilize within their usual budgets.
+    pub fn wan() -> Self {
+        Self {
+            delay: 1,
+            jitter: 2,
+            loss: 0.02,
+            per_link: false,
+            dup: 0.005,
+            bandwidth: 0,
+        }
+    }
+
+    /// Worst-case rounds one delivered message can spend per hop:
+    /// `1 + delay + jitter`. Protocols whose stage windows are budgeted in
+    /// message hops (e.g. `avatar_cbt::Schedule`) stretch each hop budget
+    /// to this bound so that a *deterministic* latency cannot make them
+    /// miss every window forever.
+    pub fn delivery_bound(&self) -> u64 {
+        1 + self.delay + self.jitter
+    }
+
+    /// True iff this model is the ideal network — the zero-overhead fast
+    /// path that skips every draw and the transit buffer entirely.
+    pub fn is_ideal(&self) -> bool {
+        self.delay == 0
+            && self.jitter == 0
+            && self.loss == 0.0
+            && self.dup == 0.0
+            && self.bandwidth == 0
+    }
+
+    /// Effective loss rate of the directed channel `from → to`: the
+    /// configured rate, or — with [`NetModel::per_link`] — that rate
+    /// scaled by a deterministic per-edge hash (uniform in `[0, 2·loss]`,
+    /// clamped to 1).
+    pub fn loss_rate(&self, from: NodeId, to: NodeId) -> f64 {
+        if !self.per_link || self.loss == 0.0 {
+            return self.loss;
+        }
+        let h = splitmix64(((from as u64) << 32) | to as u64 ^ 0x11E7_1055);
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64); // [0, 1)
+        (self.loss * 2.0 * u).min(1.0)
+    }
+
+    /// Draw one message's extra delivery delay (base + jitter) from the
+    /// net RNG. Draws only when `jitter > 0`, so models differing in
+    /// constant fields alone consume identical RNG streams.
+    pub(crate) fn draw_delay(&self, rng: &mut SmallRng) -> u64 {
+        if self.jitter == 0 {
+            self.delay
+        } else {
+            self.delay + rng.gen_range(0..=self.jitter)
+        }
+    }
+
+    /// Validate the model's parameters (probabilities in `[0, 1]`).
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [("loss", self.loss), ("dup", self.dup)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("net model: {name} = {p} outside [0, 1]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Parse a CLI network spec into a [`NetModel`] — the `--net` counterpart
+/// of [`crate::sched::from_spec`].
+///
+/// Accepted forms:
+///
+/// * `ideal` — [`NetModel::ideal`] (the default network).
+/// * `wan` — the [`NetModel::wan`] preset.
+/// * `wan:key=value,...` — the preset with overrides: `loss=0.05`
+///   (probability), `delay=2` (rounds), `jitter=3` (rounds), `dup=0.01`
+///   (probability), `bw=64` (messages/round/edge, 0 = unlimited), and the
+///   flag `linkloss` (per-link loss rates).
+pub fn from_spec(spec: &str) -> Result<NetModel, String> {
+    let spec = spec.trim();
+    if spec == "ideal" {
+        return Ok(NetModel::ideal());
+    }
+    let rest = match spec.split_once(':') {
+        None if spec == "wan" => return Ok(NetModel::wan()),
+        Some(("wan", rest)) => rest,
+        _ => {
+            return Err(format!(
+                "unknown net spec `{spec}` (expected `ideal`, `wan`, or `wan:key=value,...`)"
+            ))
+        }
+    };
+    let mut m = NetModel::wan();
+    for part in rest.split(',').filter(|p| !p.is_empty()) {
+        match part.split_once('=') {
+            None if part == "linkloss" => m.per_link = true,
+            Some(("loss", v)) => {
+                m.loss = v.parse().map_err(|_| format!("bad loss `{v}`"))?;
+            }
+            Some(("dup", v)) => {
+                m.dup = v.parse().map_err(|_| format!("bad dup `{v}`"))?;
+            }
+            Some(("delay", v)) => {
+                m.delay = v.parse().map_err(|_| format!("bad delay `{v}`"))?;
+            }
+            Some(("jitter", v)) => {
+                m.jitter = v.parse().map_err(|_| format!("bad jitter `{v}`"))?;
+            }
+            Some(("bw", v)) => {
+                m.bandwidth = v.parse().map_err(|_| format!("bad bw `{v}`"))?;
+            }
+            _ => return Err(format!("unknown net option `{part}`")),
+        }
+    }
+    m.validate()?;
+    Ok(m)
+}
+
+/// Render a model as a [`from_spec`]-compatible string (for reports and
+/// bench tables).
+pub fn to_spec(m: &NetModel) -> String {
+    if m.is_ideal() {
+        return "ideal".into();
+    }
+    let mut s = format!(
+        "wan:loss={},delay={},jitter={},dup={}",
+        m.loss, m.delay, m.jitter, m.dup
+    );
+    if m.bandwidth != 0 {
+        s.push_str(&format!(",bw={}", m.bandwidth));
+    }
+    if m.per_link {
+        s.push_str(",linkloss");
+    }
+    s
+}
+
+impl Persist for NetModel {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.delay);
+        w.u64(self.jitter);
+        w.f64(self.loss);
+        w.bool(self.per_link);
+        w.f64(self.dup);
+        w.u32(self.bandwidth);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            delay: r.u64()?,
+            jitter: r.u64()?,
+            loss: r.f64()?,
+            per_link: r.bool()?,
+            dup: r.f64()?,
+            bandwidth: r.u32()?,
+        })
+    }
+}
+
+/// Cumulative message accounting of the network layer, pinned by the
+/// **message conservation law**
+///
+/// ```text
+/// sent + duplicated == delivered + dropped + in_transit
+/// ```
+///
+/// where `dropped` is the sum of the three drop classes. The runtime
+/// debug-asserts the law at every round boundary (the message-level
+/// counterpart of the request law in [`crate::workload::RequestStats`]);
+/// under [`NetModel::ideal`] with no partition it degenerates to
+/// `sent == delivered`.
+#[derive(Debug, Clone, Copy, Default, Serialize, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages emitted by programs and handed to the network layer
+    /// (duplicate copies are *not* re-counted here).
+    pub sent: u64,
+    /// Extra copies created by [`NetModel::dup`].
+    pub duplicated: u64,
+    /// Messages (and copies) that reached a recipient's inbox.
+    pub delivered: u64,
+    /// Dropped by random loss ([`NetModel::loss`]).
+    pub dropped_loss: u64,
+    /// Dropped because the channel crossed an active
+    /// [`crate::Runtime::partition`] cut — at send time, or already in
+    /// transit when the cut landed.
+    pub dropped_partition: u64,
+    /// In-transit messages purged because an endpoint departed
+    /// (leave/crash): in the synchronous model a message is received only
+    /// if its channel still exists, and the channels die with the host.
+    pub dropped_departed: u64,
+    /// Messages currently parked in the in-transit buffer.
+    pub in_transit: u64,
+}
+
+impl NetStats {
+    /// Sum of all drop classes.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_loss + self.dropped_partition + self.dropped_departed
+    }
+
+    /// The conservation law, as a checkable predicate.
+    pub fn conserved(&self) -> bool {
+        self.sent + self.duplicated == self.delivered + self.dropped() + self.in_transit
+    }
+}
+
+impl Persist for NetStats {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.sent);
+        w.u64(self.duplicated);
+        w.u64(self.delivered);
+        w.u64(self.dropped_loss);
+        w.u64(self.dropped_partition);
+        w.u64(self.dropped_departed);
+        w.u64(self.in_transit);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            sent: r.u64()?,
+            duplicated: r.u64()?,
+            delivered: r.u64()?,
+            dropped_loss: r.u64()?,
+            dropped_partition: r.u64()?,
+            dropped_departed: r.u64()?,
+            in_transit: r.u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_is_ideal_and_default() {
+        assert!(NetModel::ideal().is_ideal());
+        assert!(NetModel::default().is_ideal());
+        assert!(!NetModel::wan().is_ideal());
+        // Each single relaxation already leaves the fast path.
+        for m in [
+            NetModel {
+                delay: 1,
+                ..NetModel::ideal()
+            },
+            NetModel {
+                jitter: 1,
+                ..NetModel::ideal()
+            },
+            NetModel {
+                loss: 0.1,
+                ..NetModel::ideal()
+            },
+            NetModel {
+                dup: 0.1,
+                ..NetModel::ideal()
+            },
+            NetModel {
+                bandwidth: 8,
+                ..NetModel::ideal()
+            },
+        ] {
+            assert!(!m.is_ideal(), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn spec_roundtrip_and_presets() {
+        assert_eq!(from_spec("ideal").unwrap(), NetModel::ideal());
+        assert_eq!(from_spec("wan").unwrap(), NetModel::wan());
+        let m = from_spec("wan:loss=0.05,delay=2,jitter=3,dup=0.01,bw=64,linkloss").unwrap();
+        assert_eq!(
+            m,
+            NetModel {
+                delay: 2,
+                jitter: 3,
+                loss: 0.05,
+                per_link: true,
+                dup: 0.01,
+                bandwidth: 64,
+            }
+        );
+        // to_spec output parses back to the same model.
+        assert_eq!(from_spec(&to_spec(&m)).unwrap(), m);
+        assert_eq!(
+            from_spec(&to_spec(&NetModel::ideal())).unwrap(),
+            NetModel::ideal()
+        );
+    }
+
+    #[test]
+    fn spec_rejects_garbage() {
+        assert!(from_spec("lan").is_err());
+        assert!(from_spec("wan:lossy=1").is_err());
+        assert!(from_spec("wan:loss=nope").is_err());
+        assert!(
+            from_spec("wan:loss=1.5").is_err(),
+            "probability out of range"
+        );
+    }
+
+    #[test]
+    fn per_link_loss_is_deterministic_and_mean_preserving() {
+        let m = NetModel {
+            loss: 0.2,
+            per_link: true,
+            ..NetModel::ideal()
+        };
+        assert_eq!(m.loss_rate(3, 7), m.loss_rate(3, 7), "pure in the edge");
+        let mut sum = 0.0;
+        let mut lo = f64::MAX;
+        let mut hi: f64 = 0.0;
+        let pairs = 1000;
+        for i in 0..pairs as u32 {
+            let r = m.loss_rate(i, i + 1);
+            assert!((0.0..=1.0).contains(&r));
+            sum += r;
+            lo = lo.min(r);
+            hi = hi.max(r);
+        }
+        let mean = sum / pairs as f64;
+        assert!((mean - 0.2).abs() < 0.02, "mean {mean} far from loss 0.2");
+        assert!(hi > 0.3 && lo < 0.1, "rates should spread: [{lo}, {hi}]");
+        // Directed: the reverse channel draws its own rate.
+        assert!((0..100u32).any(|i| m.loss_rate(i, i + 1) != m.loss_rate(i + 1, i)));
+    }
+
+    #[test]
+    fn delay_draws_respect_bounds_and_skip_rng_when_constant() {
+        let base = NetModel {
+            delay: 2,
+            jitter: 3,
+            ..NetModel::ideal()
+        };
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let d = base.draw_delay(&mut rng);
+            assert!((2..=5).contains(&d));
+            seen.insert(d);
+        }
+        assert_eq!(seen.len(), 4, "all jitter values hit");
+        // jitter == 0 draws nothing from the stream.
+        let fixed = NetModel {
+            delay: 4,
+            jitter: 0,
+            ..NetModel::ideal()
+        };
+        let before = rng.clone();
+        assert_eq!(fixed.draw_delay(&mut rng), 4);
+        assert!(rng == before, "constant delay must not consume the RNG");
+    }
+
+    #[test]
+    fn stats_conservation_predicate() {
+        let mut s = NetStats {
+            sent: 10,
+            duplicated: 2,
+            delivered: 7,
+            dropped_loss: 2,
+            dropped_partition: 1,
+            dropped_departed: 1,
+            in_transit: 1,
+        };
+        assert!(s.conserved());
+        s.in_transit = 0;
+        assert!(!s.conserved());
+    }
+
+    #[test]
+    fn delivery_bound_covers_worst_case_hop() {
+        assert_eq!(NetModel::ideal().delivery_bound(), 1);
+        assert_eq!(NetModel::wan().delivery_bound(), 4);
+        let m = NetModel {
+            delay: 2,
+            jitter: 3,
+            ..NetModel::ideal()
+        };
+        assert_eq!(m.delivery_bound(), 6);
+    }
+
+    #[test]
+    fn model_persist_roundtrip() {
+        let m = from_spec("wan:loss=0.07,delay=1,jitter=4,dup=0.02,bw=16,linkloss").unwrap();
+        let mut w = Writer::new();
+        m.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = NetModel::load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -57,6 +57,16 @@
 //! executor surfaces the panic of the **lowest** panicking chunk — the same
 //! panic a sequential walk of the selection raises — regardless of which
 //! thread ran it.
+//!
+//! # Interaction with network conditions
+//!
+//! When a non-ideal [`crate::NetModel`] or a partition is active, the
+//! runtime bypasses [`scatter_sharded`] and applies the send stream
+//! sequentially on the driving thread: every loss/delay/duplication
+//! decision consumes draws from the net RNG, and those draws must happen
+//! in the canonical sink-merge order (chunk-major, then in-chunk) to keep
+//! metrics byte-identical across thread counts. The emit phase — the
+//! expensive part — still runs on the pool; only delivery serializes.
 #![allow(unsafe_code)] // confined to this module; see SAFETY comments
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

@@ -26,6 +26,7 @@
 
 use crate::metrics::{PerfCounters, RoundMetrics, RunMetrics};
 use crate::monitor::{Monitor, MonitorOutcome, RunVerdict, Verdict};
+use crate::net::NetModel;
 use crate::par::{self, ThreadPool};
 use crate::program::{Actions, Ctx, Program};
 use crate::sched::{self, SchedView, Scheduler};
@@ -36,9 +37,9 @@ use crate::workload::{
 };
 use crate::NodeId;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Runtime configuration: model strictness, determinism seed, metrics
 /// granularity, and the parallel execution switch.
@@ -249,6 +250,19 @@ struct Outgoing<M> {
     to_slot: u32,
     from_slot: u32,
     from: NodeId,
+    msg: M,
+}
+
+/// One delayed message parked in the runtime's in-transit buffer (see
+/// [`crate::net`]), scheduled for a future round's delivery. Both endpoint
+/// *ids* ride along with the slots: departures purge the buffer eagerly,
+/// and delivery re-checks id-at-slot anyway (the same guard the timer heap
+/// uses), so a recycled slot can never receive a ghost message.
+struct Transit<M> {
+    to_slot: u32,
+    from_slot: u32,
+    from: NodeId,
+    to: NodeId,
     msg: M,
 }
 
@@ -470,6 +484,30 @@ pub struct Runtime<P: Program> {
     /// The id guards against slot recycling (a timer of a departed host
     /// must not wake the slot's next occupant).
     timers: BinaryHeap<Reverse<(u64, u32, NodeId)>>,
+    /// The installed network-conditions model (see [`crate::net`]);
+    /// [`NetModel::ideal`] — the paper's reliable synchronous channel, and
+    /// a zero-overhead fast path — unless [`Runtime::set_net_model`] says
+    /// otherwise.
+    net: NetModel,
+    /// The network layer's dedicated RNG. Drawn from **only on the driving
+    /// thread, in canonical sink-merge order**, so loss/delay/duplication
+    /// schedules are byte-identical at any thread count; its position is
+    /// snapshot-covered.
+    net_rng: SmallRng,
+    /// In-transit buffer: delivery round → parked messages, appended in
+    /// decision order. A `BTreeMap` so iteration (and thus drain and
+    /// snapshot order) is canonical.
+    transit: BTreeMap<u64, Vec<Transit<P::Msg>>>,
+    /// Messages currently parked in `transit` — O(1) [`Runtime::is_silent`].
+    transit_count: u64,
+    /// Active partition: the sorted ids of one side of the cut. Channels
+    /// crossing the cut drop their messages; edges and membership are
+    /// untouched (contrast [`crate::fault::Fault::Crash`]).
+    partition: Option<Vec<NodeId>>,
+    /// Per-directed-channel bandwidth pacing state:
+    /// `(from, to) → (next delivery round, deliveries scheduled in it)`.
+    /// Only consulted when the model caps bandwidth; purged on departure.
+    bw_state: BTreeMap<(NodeId, NodeId), (u64, u32)>,
     /// Debug-mode shadow-step auditor (see [`Runtime::enable_shadow_check`]).
     shadow: Option<ShadowFn<P>>,
     /// The attached request workload, if any (see
@@ -541,6 +579,12 @@ impl<P: Program> Runtime<P> {
             quiescent,
             quiescent_count,
             timers: BinaryHeap::new(),
+            net: NetModel::ideal(),
+            net_rng: SmallRng::seed_from_u64(cfg.seed ^ splitmix64(0x6E45_07ED)),
+            transit: BTreeMap::new(),
+            transit_count: 0,
+            partition: None,
+            bw_state: BTreeMap::new(),
             shadow: None,
             traffic: None,
             req_reported: (0, 0, 0),
@@ -592,6 +636,161 @@ impl<P: Program> Runtime<P> {
     /// — the work the [`sched::ActivityDriven`] daemon would perform.
     pub fn pending_activations(&self) -> usize {
         self.dirty_list.len() + self.timers.len()
+    }
+
+    // ---- network conditions ------------------------------------------------
+
+    /// Install a network-conditions model (see [`crate::net`]) from the
+    /// next round on. Messages already in transit keep the delivery rounds
+    /// they were scheduled with; only new sends see the new model. Safe at
+    /// any point of a run and under any scheduler — all net decisions
+    /// happen on the driving thread in canonical order, so results stay
+    /// byte-identical at any thread count.
+    ///
+    /// # Panics
+    /// Panics if the model's probabilities are outside `[0, 1]`.
+    pub fn set_net_model(&mut self, m: NetModel) {
+        if let Err(e) = m.validate() {
+            panic!("set_net_model: {e}");
+        }
+        self.net = m;
+    }
+
+    /// Builder-style [`Runtime::set_net_model`].
+    #[must_use]
+    pub fn with_net_model(mut self, m: NetModel) -> Self {
+        self.set_net_model(m);
+        self
+    }
+
+    /// The installed network-conditions model.
+    pub fn net_model(&self) -> NetModel {
+        self.net
+    }
+
+    /// The network layer's message accounting — shorthand for
+    /// `self.metrics().net`. The conservation law
+    /// `sent + duplicated == delivered + dropped + in_transit` holds at
+    /// every round boundary (debug-asserted by [`Runtime::step`]).
+    pub fn net_stats(&self) -> crate::net::NetStats {
+        self.metrics.net
+    }
+
+    /// Messages currently parked in the in-transit buffer (sent, not yet
+    /// delivered to an inbox). O(1).
+    pub fn in_transit(&self) -> u64 {
+        self.transit_count
+    }
+
+    /// Cut the network along a node bisection: `side` (deduplicated,
+    /// membership not required) versus everyone else. From now until
+    /// [`Runtime::heal`], every message whose channel crosses the cut is
+    /// dropped at the send decision, and messages already in transit
+    /// across the cut are purged immediately — both counted in
+    /// [`crate::net::NetStats::dropped_partition`]. Edges and membership
+    /// are untouched (contrast [`crate::fault::Fault::Crash`]: a partition
+    /// is a *communication* failure, not a topology change), so a legal
+    /// overlay stays legal; what a partition breaks is progress that needs
+    /// cross-cut messages. Hosts with a cross-cut edge are marked dirty
+    /// (their environment changed — a wake-up condition, like a
+    /// neighborhood change). Calling again replaces the active cut.
+    pub fn partition(&mut self, side: impl IntoIterator<Item = NodeId>) {
+        let mut side: Vec<NodeId> = side.into_iter().collect();
+        side.sort_unstable();
+        side.dedup();
+        let mut purged = 0u64;
+        self.transit.retain(|_, bucket| {
+            bucket.retain(|t| {
+                let cut = side.binary_search(&t.from).is_ok() != side.binary_search(&t.to).is_ok();
+                if cut {
+                    purged += 1;
+                }
+                !cut
+            });
+            !bucket.is_empty()
+        });
+        self.transit_count -= purged;
+        self.metrics.net.dropped_partition += purged;
+        self.metrics.net.in_transit = self.transit_count;
+        self.mark_cut_endpoints(&side);
+        self.partition = Some(side);
+    }
+
+    /// Remove the active partition (no-op without one). Hosts with a
+    /// formerly-cross-cut edge are marked dirty so stabilization traffic
+    /// resumes promptly under activity-driven daemons.
+    pub fn heal(&mut self) {
+        if let Some(side) = self.partition.take() {
+            self.mark_cut_endpoints(&side);
+        }
+    }
+
+    /// True iff a partition cut is active.
+    pub fn partitioned(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// True iff the channel `a ↔ b` crosses the active partition cut.
+    fn crosses_cut(&self, a: NodeId, b: NodeId) -> bool {
+        match &self.partition {
+            None => false,
+            Some(side) => side.binary_search(&a).is_ok() != side.binary_search(&b).is_ok(),
+        }
+    }
+
+    /// Mark every live host with an edge crossing `side`'s cut dirty.
+    fn mark_cut_endpoints(&mut self, side: &[NodeId]) {
+        for k in 0..self.topo.node_count() {
+            let (id, slot) = self.topo.live_entry(k);
+            let on_side = side.binary_search(&id).is_ok();
+            if self
+                .topo
+                .neighbors_at(slot)
+                .iter()
+                .any(|&v| side.binary_search(&v).is_ok() != on_side)
+            {
+                mark(&mut self.dirty, &mut self.dirty_list, slot.index());
+            }
+        }
+    }
+
+    /// Bandwidth pacing: final delivery delay for a message on channel
+    /// `from → to` that wants to arrive `delay` rounds out. With a cap of
+    /// `c` messages/round/channel, excess deliveries slide to the
+    /// channel's next free round — paced FIFO, never dropped (a capped
+    /// channel therefore never reorders, whatever the jitter draws).
+    fn pace(&mut self, from: NodeId, to: NodeId, round: u64, delay: u64) -> u64 {
+        let cap = self.net.bandwidth;
+        if cap == 0 {
+            return delay;
+        }
+        let e = self.bw_state.entry((from, to)).or_insert((0, 0));
+        let t = (round + delay).max(e.0);
+        if t > e.0 {
+            *e = (t, 0);
+        }
+        e.1 += 1;
+        if e.1 >= cap {
+            *e = (t + 1, 0);
+        }
+        t - round
+    }
+
+    /// Deliver a message now (extra delay 0: the classic next-round inbox
+    /// path) or park it in the in-transit buffer for `round + delay`.
+    fn net_deliver(&mut self, t: Transit<P::Msg>, delay: u64, round: u64, row: &mut RoundMetrics) {
+        if delay == 0 {
+            let ts = t.to_slot as usize;
+            self.inboxes[ts].push((t.from, t.msg));
+            self.inbox_senders[ts].push(t.from_slot);
+            self.sent_to[t.from_slot as usize].push(t.to_slot);
+            mark(&mut self.dirty, &mut self.dirty_list, ts);
+            row.messages += 1;
+            self.metrics.net.delivered += 1;
+        } else {
+            self.transit.entry(round + delay).or_default().push(t);
+            self.transit_count += 1;
+        }
     }
 
     /// Arm the debug-mode **shadow-step check**: whenever the installed
@@ -904,7 +1103,17 @@ impl<P: Program> Runtime<P> {
                     RouteStep::Deliver => {
                         self.metrics.requests.complete(&req, me, round, record);
                     }
-                    RouteStep::Forward(v) if v != me && neighbors.binary_search(&v).is_ok() => {
+                    // A hop crossing an active partition cut behaves like a
+                    // vanished neighbor (the channel is dead): retry in
+                    // place below, bounded by the TTL. Requests are
+                    // app-level traffic with retransmission — they pay the
+                    // network's deterministic base latency per hop, but are
+                    // never randomly lost or duplicated.
+                    RouteStep::Forward(v)
+                        if v != me
+                            && neighbors.binary_search(&v).is_ok()
+                            && !self.crosses_cut(me, v) =>
+                    {
                         if req.hops + 1 > tr.cfg.max_hops {
                             self.metrics.requests.fail(
                                 &req,
@@ -915,7 +1124,7 @@ impl<P: Program> Runtime<P> {
                             continue;
                         }
                         req.hops += 1;
-                        req.ready_round = round + 1;
+                        req.ready_round = round + 1 + self.net.delay;
                         self.metrics.requests.forwards += 1;
                         let ts = self
                             .topo
@@ -1438,6 +1647,40 @@ impl<P: Program> Runtime<P> {
             self.inboxes[i].clear();
             self.inbox_senders[i].clear();
         }
+        // ---- Transit arrivals: messages whose delivery round has come
+        // move from the in-transit buffer into their recipients' inboxes —
+        // after consumption (they become readable at the *next*
+        // activation, exactly like fresh sends) and before this round's
+        // new sends (an older message never queues behind a younger one in
+        // a shared inbox). Arrival is where the recipient is marked dirty
+        // (dirty-set soundness: a delayed message is a wake-up condition
+        // on its **delivery** round) and where `sent_to` bookkeeping
+        // starts. Departures purge the buffer eagerly, so the endpoints
+        // are live; the id-at-slot guard below (the timer heap's guard) is
+        // defense in depth — a recycled slot must never receive a ghost
+        // message, even if the purge ever regressed.
+        while let Some((&due, _)) = self.transit.first_key_value() {
+            if due > round {
+                break;
+            }
+            let bucket = self.transit.pop_first().expect("peeked above").1;
+            for t in bucket {
+                self.transit_count -= 1;
+                if self.topo.id_at(NodeSlot::new(t.to_slot as usize)) != Some(t.to)
+                    || self.topo.id_at(NodeSlot::new(t.from_slot as usize)) != Some(t.from)
+                {
+                    self.metrics.net.dropped_departed += 1;
+                    continue;
+                }
+                let ts = t.to_slot as usize;
+                self.inboxes[ts].push((t.from, t.msg));
+                self.inbox_senders[ts].push(t.from_slot);
+                self.sent_to[t.from_slot as usize].push(t.to_slot);
+                mark(&mut self.dirty, &mut self.dirty_list, ts);
+                row.messages += 1;
+                self.metrics.net.delivered += 1;
+            }
+        }
         // Wake-up requests, quiescence bookkeeping, `sent_to`/dirty
         // maintenance, and message delivery. A node that stepped and is
         // still non-quiescent re-marks itself (it has work of its own),
@@ -1451,7 +1694,13 @@ impl<P: Program> Runtime<P> {
         // range and scans the sinks in chunk order, so every inbox
         // receives exactly the sequential append order.
         let total_sends: usize = sinks[..nchunks].iter().map(|s| s.sends.len()).sum();
-        let par_delivery = use_pool && total_sends >= PAR_DELIVERY_MIN;
+        // With WAN conditions or an active partition, every send needs a
+        // driver-side decision (loss/delay/duplication draws happen in
+        // canonical sink-merge order — the determinism argument), so the
+        // sharded scatter is off: delivery runs sequentially below. The
+        // ideal network keeps today's two-path engine bit-for-bit.
+        let net_active = !self.net.is_ideal() || self.partition.is_some();
+        let par_delivery = use_pool && !net_active && total_sends >= PAR_DELIVERY_MIN;
         if par_delivery {
             // D1: driver-side bookkeeping, canonical order.
             for sink in &sinks[..nchunks] {
@@ -1500,7 +1749,9 @@ impl<P: Program> Runtime<P> {
                 },
             );
             self.delivery_cuts = cuts;
-        } else {
+            self.metrics.net.sent += total_sends as u64;
+            self.metrics.net.delivered += total_sends as u64;
+        } else if !net_active {
             for sink in &mut sinks[..nchunks] {
                 let ChunkSink { slots, sends, .. } = sink;
                 let mut drain = sends.drain(..);
@@ -1531,6 +1782,79 @@ impl<P: Program> Runtime<P> {
                     }
                 }
             }
+            self.metrics.net.sent += total_sends as u64;
+            self.metrics.net.delivered += total_sends as u64;
+        } else {
+            // ---- Net-active delivery: same canonical walk, but every
+            // send passes through the network layer on this thread.
+            // Decision order per message — partition (no draw), loss,
+            // delay, duplication, bandwidth pacing — so the RNG stream is
+            // a pure function of the send stream and the model, never of
+            // the thread count or batch window.
+            let model = self.net;
+            for sink in &mut sinks[..nchunks] {
+                let ChunkSink { slots, sends, .. } = sink;
+                let mut drain = sends.drain(..);
+                let mut scur = 0usize;
+                for rec in slots.iter() {
+                    let i = rec.slot as usize;
+                    if let Some(d) = rec.wake_in {
+                        if d <= 1 {
+                            mark(&mut self.dirty, &mut self.dirty_list, i);
+                        } else {
+                            self.timers.push(Reverse((round + d, rec.slot, rec.id)));
+                        }
+                    }
+                    let q = rec.quiescent;
+                    self.set_quiescent(i, q);
+                    if !q {
+                        mark(&mut self.dirty, &mut self.dirty_list, i);
+                    }
+                    while scur < rec.sends_end as usize {
+                        let o = drain.next().expect("send cursor within chunk");
+                        scur += 1;
+                        self.metrics.net.sent += 1;
+                        let to = self
+                            .topo
+                            .id_at(NodeSlot::new(o.to_slot as usize))
+                            .expect("round-start recipient is a member");
+                        if self.crosses_cut(o.from, to) {
+                            self.metrics.net.dropped_partition += 1;
+                            continue;
+                        }
+                        if model.loss > 0.0 && self.net_rng.gen_bool(model.loss_rate(o.from, to)) {
+                            self.metrics.net.dropped_loss += 1;
+                            continue;
+                        }
+                        let delay = model.draw_delay(&mut self.net_rng);
+                        let dup = model.dup > 0.0 && self.net_rng.gen_bool(model.dup);
+                        // The duplicate draws its own delay *before* either
+                        // copy is paced, so the RNG stream never depends on
+                        // pacing state.
+                        let dup_delay = dup.then(|| model.draw_delay(&mut self.net_rng));
+                        let delay = self.pace(o.from, to, round, delay);
+                        let t = Transit {
+                            to_slot: o.to_slot,
+                            from_slot: o.from_slot,
+                            from: o.from,
+                            to,
+                            msg: o.msg,
+                        };
+                        if let Some(dd) = dup_delay {
+                            self.metrics.net.duplicated += 1;
+                            let dd = self.pace(o.from, to, round, dd);
+                            let copy = Transit {
+                                msg: t.msg.clone(),
+                                ..t
+                            };
+                            self.net_deliver(copy, delay.min(dd), round, &mut row);
+                            self.net_deliver(t, delay.max(dd), round, &mut row);
+                        } else {
+                            self.net_deliver(t, delay, round, &mut row);
+                        }
+                    }
+                }
+            }
         }
         self.inflight += row.messages;
         self.sinks = sinks;
@@ -1558,12 +1882,24 @@ impl<P: Program> Runtime<P> {
         row.max_degree = self.topo.max_degree();
         row.total_edges = self.topo.edge_count();
         row.quiescent_nodes = self.quiescent_count as u64;
+        self.metrics.net.in_transit = self.transit_count;
         self.metrics.absorb(row, self.cfg.record_rounds);
         self.selection = selection;
         debug_assert!(self.topo.check_invariants());
         debug_assert_eq!(
             self.inflight as usize,
             self.inboxes.iter().map(Vec::len).sum::<usize>()
+        );
+        // The message conservation law, at every round boundary (see
+        // [`crate::net::NetStats`]).
+        debug_assert_eq!(
+            self.transit_count as usize,
+            self.transit.values().map(Vec::len).sum::<usize>()
+        );
+        debug_assert!(
+            self.metrics.net.conserved(),
+            "message conservation law violated: {:?}",
+            self.metrics.net
         );
         // The request conservation law, at every round boundary.
         #[cfg(debug_assertions)]
@@ -1881,6 +2217,31 @@ impl<P: Program> Runtime<P> {
             self.inflight -= (before - w) as u64;
         }
         self.sent_to[slot].clear();
+        // …and so do its messages still in the network: in-transit entries
+        // with a departed endpoint are purged eagerly (same channel-died
+        // semantics as the inbox purge above), which is what keeps every
+        // parked endpoint live — a delayed message can never be delivered
+        // to the departed host's recycled slot. Bandwidth pacing state of
+        // its channels goes with it.
+        if self.transit_count > 0 {
+            let mut purged = 0u64;
+            self.transit.retain(|_, bucket| {
+                bucket.retain(|t| {
+                    let dead = t.from == id || t.to == id;
+                    if dead {
+                        purged += 1;
+                    }
+                    !dead
+                });
+                !bucket.is_empty()
+            });
+            self.transit_count -= purged;
+            self.metrics.net.dropped_departed += purged;
+            self.metrics.net.in_transit = self.transit_count;
+        }
+        if !self.bw_state.is_empty() {
+            self.bw_state.retain(|&(a, b), _| a != id && b != id);
+        }
         if self.quiescent[slot] {
             self.quiescent[slot] = false;
             self.quiescent_count -= 1;
@@ -1893,14 +2254,18 @@ impl<P: Program> Runtime<P> {
         Some(program)
     }
 
-    /// True iff no messages are pending in any mailbox (no activation would
-    /// deliver anything). O(1): the pending count is tracked incrementally.
-    /// Under the synchronous daemon every message is consumed the round
-    /// after it is sent, so this coincides with the old "next round
-    /// delivers nothing"; under partial daemons it also covers messages
-    /// waiting for a skipped recipient.
+    /// True iff no messages are pending in any mailbox **or in transit**
+    /// (no present or future round would deliver anything). O(1): both
+    /// counts are tracked incrementally. Under the synchronous daemon on
+    /// the ideal network every message is consumed the round after it is
+    /// sent, so this coincides with the old "next round delivers nothing";
+    /// under partial daemons it also covers messages waiting for a skipped
+    /// recipient, and under WAN conditions it covers messages the network
+    /// is still holding — a lossy quiet round must **not** read as
+    /// converged while deliveries are still due (see
+    /// [`crate::monitor::silence`]).
     pub fn is_silent(&self) -> bool {
-        self.inflight == 0
+        self.inflight == 0 && self.transit_count == 0
     }
 }
 
@@ -1995,6 +2360,35 @@ where
                 w.bytes(&p.gen_bytes);
             }
             (None, None) => w.bool(false),
+        }
+        // Network conditions (see `crate::net`): the model, the net RNG
+        // position, the active partition, the in-transit buffer, and the
+        // bandwidth pacing state. `BTreeMap` iteration is already
+        // canonical, and bucket entries are kept in decision order, so
+        // identical states serialize identically.
+        self.net.save(&mut w);
+        for s in self.net_rng.state() {
+            w.u64(s);
+        }
+        self.partition.save(&mut w);
+        w.seq(self.transit.len());
+        for (&due, bucket) in &self.transit {
+            w.u64(due);
+            w.seq(bucket.len());
+            for t in bucket {
+                w.u32(t.to_slot);
+                w.u32(t.from_slot);
+                w.u32(t.from);
+                w.u32(t.to);
+                t.msg.save(&mut w);
+            }
+        }
+        w.seq(self.bw_state.len());
+        for (&(a, b), &(next, used)) in &self.bw_state {
+            w.u32(a);
+            w.u32(b);
+            w.u64(next);
+            w.u32(used);
         }
         snapshot::seal(w.into_bytes())
     }
@@ -2096,6 +2490,48 @@ where
         } else {
             None
         };
+        let net = NetModel::load(&mut r)?;
+        let mut nst = [0u64; 4];
+        for s in &mut nst {
+            *s = r.u64()?;
+        }
+        let net_rng = SmallRng::from_state(nst);
+        let partition = Option::<Vec<NodeId>>::load(&mut r)?;
+        let nbuckets = r.seq()?;
+        let mut transit: BTreeMap<u64, Vec<Transit<P::Msg>>> = BTreeMap::new();
+        let mut transit_count = 0u64;
+        for _ in 0..nbuckets {
+            let due = r.u64()?;
+            let len = r.seq()?;
+            let mut bucket = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                bucket.push(Transit {
+                    to_slot: r.u32()?,
+                    from_slot: r.u32()?,
+                    from: r.u32()?,
+                    to: r.u32()?,
+                    msg: <P::Msg as Persist>::load(&mut r)?,
+                });
+            }
+            transit_count += bucket.len() as u64;
+            if transit.insert(due, bucket).is_some() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "duplicate in-transit bucket for round {due}"
+                )));
+            }
+        }
+        let nbw = r.seq()?;
+        let mut bw_state: BTreeMap<(NodeId, NodeId), (u64, u32)> = BTreeMap::new();
+        for _ in 0..nbw {
+            let a = r.u32()?;
+            let b = r.u32()?;
+            let state = (r.u64()?, r.u32()?);
+            if bw_state.insert((a, b), state).is_some() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "duplicate bandwidth state for channel {a} -> {b}"
+                )));
+            }
+        }
         r.finish()?;
 
         // ---- Cross-checks and derived state.
@@ -2155,6 +2591,29 @@ where
                 }
             }
         }
+        for (&due, bucket) in &transit {
+            if due < round {
+                return Err(SnapshotError::Corrupt(format!(
+                    "in-transit bucket due round {due} is before current round {round}"
+                )));
+            }
+            for t in bucket {
+                let fs = topo.slot_of(t.from).map(|s| s.index() as u32);
+                let ts = topo.slot_of(t.to).map(|s| s.index() as u32);
+                if fs != Some(t.from_slot) || ts != Some(t.to_slot) {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "in-transit message {} -> {} disagrees with membership",
+                        t.from, t.to
+                    )));
+                }
+            }
+        }
+        if metrics.net.in_transit != transit_count {
+            return Err(SnapshotError::Corrupt(format!(
+                "metrics claim {} in-transit messages but the delay queue holds {}",
+                metrics.net.in_transit, transit_count
+            )));
+        }
         // Quiescence flags are a pure function of the program states (the
         // runtime syncs them at every step/join/corruption), so recompute
         // rather than trust the payload.
@@ -2197,6 +2656,12 @@ where
             traffic: None,
             req_reported,
             pending_traffic,
+            net,
+            net_rng,
+            transit,
+            transit_count,
+            partition,
+            bw_state,
         })
     }
 

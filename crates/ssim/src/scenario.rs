@@ -60,6 +60,17 @@ pub enum Event<P: Program> {
         /// once per application).
         make: Arc<dyn Fn() -> Box<dyn Scheduler> + Send + Sync>,
     },
+    /// Cut the network along a node-set bisection (see
+    /// [`Runtime::partition`]): messages crossing the cut are dropped,
+    /// edges and membership are untouched. Replaces any active partition.
+    Partition(Vec<NodeId>),
+    /// Splice a partitioned network back together (see [`Runtime::heal`]).
+    Heal,
+    /// Install a different network-conditions model (see
+    /// [`crate::NetModel`]) from this round on — storms can degrade a
+    /// converged overlay into a lossy WAN and later restore the ideal
+    /// channel in a single schedule.
+    SetNetModel(crate::NetModel),
 }
 
 impl<P: Program> std::fmt::Debug for Event<P> {
@@ -71,6 +82,9 @@ impl<P: Program> std::fmt::Debug for Event<P> {
             Event::Crash(id) => write!(f, "Crash({id})"),
             Event::Corrupt { id, label, .. } => write!(f, "Corrupt({id}: {label})"),
             Event::SetScheduler { label, .. } => write!(f, "SetScheduler({label})"),
+            Event::Partition(side) => write!(f, "Partition({side:?})"),
+            Event::Heal => write!(f, "Heal"),
+            Event::SetNetModel(model) => write!(f, "SetNetModel({})", crate::net::to_spec(model)),
         }
     }
 }
@@ -177,6 +191,26 @@ impl<P: Program> Scenario<P> {
                 make: Arc::new(make),
             },
         )
+    }
+
+    /// Schedule a network partition: from `round` on, messages between
+    /// `side` and the rest of the members are dropped (edges untouched).
+    #[must_use]
+    pub fn partition(self, round: u64, side: &[NodeId]) -> Self {
+        self.at(round, Event::Partition(side.to_vec()))
+    }
+
+    /// Schedule the heal of the active partition.
+    #[must_use]
+    pub fn heal(self, round: u64) -> Self {
+        self.at(round, Event::Heal)
+    }
+
+    /// Schedule a network-conditions swap: from `round` on, deliveries are
+    /// shaped by `model` (see [`crate::NetModel`]).
+    #[must_use]
+    pub fn net(self, round: u64, model: crate::NetModel) -> Self {
+        self.at(round, Event::SetNetModel(model))
     }
 
     /// The scheduled events, in schedule order.
@@ -300,6 +334,23 @@ fn apply<P: Program>(
         }
         Event::SetScheduler { make, .. } => {
             rt.set_scheduler(make());
+            1
+        }
+        Event::Partition(side) => {
+            touched.extend(side.iter().filter(|v| rt.topology().contains(**v)));
+            rt.partition(side.iter().copied());
+            1
+        }
+        Event::Heal => {
+            if rt.partitioned() {
+                rt.heal();
+                1
+            } else {
+                0
+            }
+        }
+        Event::SetNetModel(model) => {
+            rt.set_net_model(*model);
             1
         }
     }
@@ -497,6 +548,27 @@ mod tests {
         let mut m = monitor::silence::<Gossip>();
         let report = scenario.run(&mut rt, &mut m, 10);
         assert!(report.events.iter().all(|e| e.changes == 0));
+    }
+
+    #[test]
+    fn partition_heal_and_net_events_apply_and_stay_conserved() {
+        let scenario = Scenario::<Gossip>::new("wan-storm")
+            .net(1, crate::NetModel::wan())
+            .partition(2, &[0, 1, 2])
+            .heal(6)
+            .heal(7) // no active partition: records zero changes
+            .net(9, crate::NetModel::ideal());
+        let mut rt = ring(8);
+        let mut m = monitor::goal("r20", |rt: &Runtime<Gossip>| rt.round() >= 20);
+        let report = scenario.run(&mut rt, &mut m, 50);
+        assert!(report.converged());
+        assert!(!rt.partitioned());
+        assert_eq!(rt.net_model(), crate::NetModel::ideal());
+        let changes: Vec<usize> = report.events.iter().map(|e| e.changes).collect();
+        assert_eq!(changes, [1, 1, 1, 0, 1]);
+        let net = rt.net_stats();
+        assert!(net.conserved(), "{net:?}");
+        assert!(net.dropped_partition > 0, "gossip crossed the cut: {net:?}");
     }
 
     #[test]

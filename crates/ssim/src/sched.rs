@@ -31,7 +31,10 @@
 //! The runtime maintains, under *every* scheduler, the set of slots that
 //! must be activated next round. A node is marked dirty when
 //!
-//! * a message is delivered to it (its inbox is non-empty),
+//! * a message is delivered to it (its inbox is non-empty) — including a
+//!   *delayed* delivery surfacing from the [`crate::net`] in-transit
+//!   buffer: the recipient is marked on the **delivery** round, not the
+//!   send round, so latency models stay sound under partial daemons,
 //! * an incident edge is added or removed — by protocol action,
 //!   adversarial fault, or a neighbor's departure,
 //! * it joins the network (or is present at construction),

@@ -58,7 +58,7 @@ pub const MAGIC: [u8; 8] = *b"SSIMSNAP";
 /// Current container/payload format version. Bumped on any layout change;
 /// older versions are rejected (no migration machinery — snapshots are
 /// caches, not archives).
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Why a snapshot failed to load (or a file failed to be written). Every
 /// variant is loud and specific: a snapshot either restores exactly or

@@ -44,6 +44,15 @@
 //! responsible range covers the key. During churn the responsible host is
 //! whatever the (eventually-consistent) protocol currently believes — the
 //! honest application-level semantics of serving traffic mid-stabilization.
+//!
+//! Under network conditions ([`crate::net`]), requests ride a reliable
+//! transport: a forward pays the model's *base* latency (`1 + delay`
+//! rounds per hop, with TTL ticking) but is never lost, duplicated, or
+//! jittered — loss and reordering are properties of the protocol's
+//! datagram channel, not of the request abstraction, so the request
+//! conservation law is unchanged. A forward whose edge crosses an active
+//! [`crate::Runtime::partition`] cut is retried in place, exactly like a
+//! vanished edge, until the TTL expires or the partition heals.
 
 use crate::monitor::{Monitor, Verdict};
 use crate::program::Program;
