@@ -52,7 +52,7 @@ pub use legal::{
     is_legal_cbt, legality, restore_runtime, runtime, runtime_from_shape, runtime_is_legal,
     runtime_with_net,
 };
-pub use msg::{Beacon, CbtMsg};
+pub use msg::{Beacon, CbtMsg, ZipChildInfo, ZipExpect, ZipMeet};
 pub use program::CbtProgram;
 pub use protocol::{CbtCore, StepEvents};
 pub use schedule::Schedule;

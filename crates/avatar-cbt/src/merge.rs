@@ -22,7 +22,7 @@
 
 use crate::hosttree::{self, required_edge};
 use crate::io::NetIo;
-use crate::msg::CbtMsg;
+use crate::msg::{CbtMsg, ZipChildInfo, ZipExpect, ZipMeet};
 use crate::protocol::CbtCore;
 use crate::scratch::Merge;
 use crate::state::ClusterCore;
@@ -69,15 +69,16 @@ impl CbtCore {
     ) {
         let round = io.round();
         match m {
-            CbtMsg::ZipMeet {
-                epoch: e,
-                level,
-                range,
-                cid,
-                cluster_min: _,
-                new_cid,
-                new_min,
-            } => {
+            CbtMsg::ZipMeet(z) => {
+                let ZipMeet {
+                    epoch: e,
+                    level,
+                    range,
+                    cid,
+                    cluster_min: _,
+                    new_cid,
+                    new_min,
+                } = &**z;
                 if *e != epoch {
                     return;
                 }
@@ -143,26 +144,27 @@ impl CbtCore {
                         self.send_critical(
                             io,
                             from,
-                            CbtMsg::ZipChildInfo {
+                            CbtMsg::ZipChildInfo(Box::new(ZipChildInfo {
                                 epoch,
                                 level: level + 1,
                                 entries,
                                 new_cid: ncid,
                                 new_min: nmin,
                                 cid: my_cid,
-                            },
+                            })),
                         );
                     }
                 }
             }
-            CbtMsg::ZipChildInfo {
-                epoch: e,
-                level,
-                entries,
-                new_cid,
-                new_min,
-                cid,
-            } => {
+            CbtMsg::ZipChildInfo(z) => {
+                let ZipChildInfo {
+                    epoch: e,
+                    level,
+                    entries,
+                    new_cid,
+                    new_min,
+                    cid,
+                } = &**z;
                 if *e != epoch {
                     return;
                 }
@@ -195,26 +197,27 @@ impl CbtCore {
                         self.send_critical(
                             io,
                             mine,
-                            CbtMsg::ZipExpect {
+                            CbtMsg::ZipExpect(Box::new(ZipExpect {
                                 epoch,
                                 level: *level,
                                 counterpart: their_host,
                                 partner_cid,
                                 new_cid: *new_cid,
                                 new_min: *new_min,
-                            },
+                            })),
                         );
                     }
                 }
             }
-            CbtMsg::ZipExpect {
-                epoch: e,
-                level,
-                counterpart,
-                partner_cid,
-                new_cid,
-                new_min,
-            } => {
+            CbtMsg::ZipExpect(z) => {
+                let ZipExpect {
+                    epoch: e,
+                    level,
+                    counterpart,
+                    partner_cid,
+                    new_cid,
+                    new_min,
+                } = &**z;
                 if *e != epoch || *counterpart == self.id {
                     return;
                 }
@@ -268,7 +271,7 @@ impl CbtCore {
                         self.send_critical(
                             io,
                             cp,
-                            CbtMsg::ZipMeet {
+                            CbtMsg::ZipMeet(Box::new(ZipMeet {
                                 epoch,
                                 level: l,
                                 range,
@@ -276,7 +279,7 @@ impl CbtCore {
                                 cluster_min,
                                 new_cid,
                                 new_min,
-                            },
+                            })),
                         );
                     }
                 }

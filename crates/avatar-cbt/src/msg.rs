@@ -123,55 +123,76 @@ pub enum CbtMsg {
         cluster_min: NodeId,
     },
     /// Zipper meet at a level: counterpart hosts exchange ranges and decide
-    /// guest ownership in their range intersection.
-    ZipMeet {
-        /// Epoch of the merge.
-        epoch: u64,
-        /// Tree level being processed.
-        level: u32,
-        /// Sender's responsible range.
-        range: (u32, u32),
-        /// Sender's (pre-merge) cluster id.
-        cid: u64,
-        /// Sender's (pre-merge) cluster minimum host.
-        cluster_min: NodeId,
-        /// Agreed post-merge cluster id.
-        new_cid: u64,
-        /// Agreed post-merge cluster minimum host.
-        new_min: NodeId,
-    },
+    /// guest ownership in their range intersection. Boxed: zipper traffic
+    /// flows only during the few merge rounds per epoch, and inlining its
+    /// payload would widen *every* in-flight message (see [`ZipMeet`]).
+    ZipMeet(Box<ZipMeet>),
     /// After a meet: each side names its hosts for the children guests so
-    /// the partner can complete the child introductions.
-    ZipChildInfo {
-        /// Epoch of the merge.
-        epoch: u64,
-        /// Level of the *children* (parent level + 1).
-        level: u32,
-        /// `(child_guest, host_on_my_side)` entries.
-        entries: Vec<(u32, NodeId)>,
-        /// Post-merge cluster id (propagated).
-        new_cid: u64,
-        /// Post-merge cluster minimum (propagated).
-        new_min: NodeId,
-        /// Sender's pre-merge cluster id.
-        cid: u64,
-    },
+    /// the partner can complete the child introductions. Boxed (rare-large;
+    /// carries a `Vec`).
+    ZipChildInfo(Box<ZipChildInfo>),
     /// Instructs a same-cluster child host to expect a zipper meet with
-    /// `counterpart` at `level`.
-    ZipExpect {
-        /// Epoch of the merge.
-        epoch: u64,
-        /// Level of the expected meet.
-        level: u32,
-        /// The other cluster's host to meet.
-        counterpart: NodeId,
-        /// The other cluster's id.
-        partner_cid: u64,
-        /// Post-merge cluster id (propagated).
-        new_cid: u64,
-        /// Post-merge cluster minimum (propagated).
-        new_min: NodeId,
-    },
+    /// `counterpart` at `level`. Boxed (rare-large).
+    ZipExpect(Box<ZipExpect>),
+}
+
+/// Payload of [`CbtMsg::ZipMeet`].
+///
+/// The three zipper payloads are the widest messages of the protocol but
+/// account for a vanishing share of traffic (a handful per host per epoch,
+/// vs. a beacon per neighbor per round). Keeping them behind a `Box` caps
+/// `size_of::<CbtMsg>()` at the beacon variant, which sizes every inbox
+/// arena page and transit-wheel entry of the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZipMeet {
+    /// Epoch of the merge.
+    pub epoch: u64,
+    /// Tree level being processed.
+    pub level: u32,
+    /// Sender's responsible range.
+    pub range: (u32, u32),
+    /// Sender's (pre-merge) cluster id.
+    pub cid: u64,
+    /// Sender's (pre-merge) cluster minimum host.
+    pub cluster_min: NodeId,
+    /// Agreed post-merge cluster id.
+    pub new_cid: u64,
+    /// Agreed post-merge cluster minimum host.
+    pub new_min: NodeId,
+}
+
+/// Payload of [`CbtMsg::ZipChildInfo`] (see [`ZipMeet`] for why it is boxed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZipChildInfo {
+    /// Epoch of the merge.
+    pub epoch: u64,
+    /// Level of the *children* (parent level + 1).
+    pub level: u32,
+    /// `(child_guest, host_on_my_side)` entries.
+    pub entries: Vec<(u32, NodeId)>,
+    /// Post-merge cluster id (propagated).
+    pub new_cid: u64,
+    /// Post-merge cluster minimum (propagated).
+    pub new_min: NodeId,
+    /// Sender's pre-merge cluster id.
+    pub cid: u64,
+}
+
+/// Payload of [`CbtMsg::ZipExpect`] (see [`ZipMeet`] for why it is boxed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZipExpect {
+    /// Epoch of the merge.
+    pub epoch: u64,
+    /// Level of the expected meet.
+    pub level: u32,
+    /// The other cluster's host to meet.
+    pub counterpart: NodeId,
+    /// The other cluster's id.
+    pub partner_cid: u64,
+    /// Post-merge cluster id (propagated).
+    pub new_cid: u64,
+    /// Post-merge cluster minimum (propagated).
+    pub new_min: NodeId,
 }
 
 impl Persist for Role {
@@ -303,56 +324,34 @@ impl Persist for CbtMsg {
                 w.u64(*cid);
                 w.u32(*cluster_min);
             }
-            Self::ZipMeet {
-                epoch,
-                level,
-                range,
-                cid,
-                cluster_min,
-                new_cid,
-                new_min,
-            } => {
+            Self::ZipMeet(z) => {
                 w.u8(10);
-                w.u64(*epoch);
-                w.u32(*level);
-                w.u32(range.0);
-                w.u32(range.1);
-                w.u64(*cid);
-                w.u32(*cluster_min);
-                w.u64(*new_cid);
-                w.u32(*new_min);
+                w.u64(z.epoch);
+                w.u32(z.level);
+                w.u32(z.range.0);
+                w.u32(z.range.1);
+                w.u64(z.cid);
+                w.u32(z.cluster_min);
+                w.u64(z.new_cid);
+                w.u32(z.new_min);
             }
-            Self::ZipChildInfo {
-                epoch,
-                level,
-                entries,
-                new_cid,
-                new_min,
-                cid,
-            } => {
+            Self::ZipChildInfo(z) => {
                 w.u8(11);
-                w.u64(*epoch);
-                w.u32(*level);
-                entries.save(w);
-                w.u64(*new_cid);
-                w.u32(*new_min);
-                w.u64(*cid);
+                w.u64(z.epoch);
+                w.u32(z.level);
+                z.entries.save(w);
+                w.u64(z.new_cid);
+                w.u32(z.new_min);
+                w.u64(z.cid);
             }
-            Self::ZipExpect {
-                epoch,
-                level,
-                counterpart,
-                partner_cid,
-                new_cid,
-                new_min,
-            } => {
+            Self::ZipExpect(z) => {
                 w.u8(12);
-                w.u64(*epoch);
-                w.u32(*level);
-                w.u32(*counterpart);
-                w.u64(*partner_cid);
-                w.u64(*new_cid);
-                w.u32(*new_min);
+                w.u64(z.epoch);
+                w.u32(z.level);
+                w.u32(z.counterpart);
+                w.u64(z.partner_cid);
+                w.u64(z.new_cid);
+                w.u32(z.new_min);
             }
         }
     }
@@ -396,7 +395,7 @@ impl Persist for CbtMsg {
                 cid: r.u64()?,
                 cluster_min: r.u32()?,
             },
-            10 => Self::ZipMeet {
+            10 => Self::ZipMeet(Box::new(ZipMeet {
                 epoch: r.u64()?,
                 level: r.u32()?,
                 range: (r.u32()?, r.u32()?),
@@ -404,24 +403,106 @@ impl Persist for CbtMsg {
                 cluster_min: r.u32()?,
                 new_cid: r.u64()?,
                 new_min: r.u32()?,
-            },
-            11 => Self::ZipChildInfo {
+            })),
+            11 => Self::ZipChildInfo(Box::new(ZipChildInfo {
                 epoch: r.u64()?,
                 level: r.u32()?,
                 entries: Vec::load(r)?,
                 new_cid: r.u64()?,
                 new_min: r.u32()?,
                 cid: r.u64()?,
-            },
-            12 => Self::ZipExpect {
+            })),
+            12 => Self::ZipExpect(Box::new(ZipExpect {
                 epoch: r.u64()?,
                 level: r.u32()?,
                 counterpart: r.u32()?,
                 partner_cid: r.u64()?,
                 new_cid: r.u64()?,
                 new_min: r.u32()?,
-            },
+            })),
             t => return Err(SnapshotError::Corrupt(format!("CbtMsg tag {t}"))),
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The message enum sizes every inbox-arena page and transit-wheel slot
+    /// of the engine; boxing the zipper payloads is what keeps it at the
+    /// beacon variant's width. Pin the layout so an innocent new field
+    /// cannot silently re-inflate per-message memory.
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn message_layout_stays_compact() {
+        use std::mem::size_of;
+        assert_eq!(size_of::<Beacon>(), 32);
+        assert_eq!(size_of::<CbtMsg>(), 40, "widest inline variant is Beacon");
+        // The boxed payloads themselves may grow; only the enum is pinned.
+        assert_eq!(size_of::<Box<ZipMeet>>(), 8);
+    }
+
+    /// Per-node durable/scratch state pins: these multiply by the host count
+    /// in the slot-parallel program array.
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn node_state_layout_stays_compact() {
+        use std::mem::size_of;
+        assert_eq!(size_of::<crate::state::NeighborView>(), 32);
+        assert!(
+            size_of::<crate::scratch::Scratch>() <= 216,
+            "Scratch grew past its pinned bound: {}",
+            size_of::<crate::scratch::Scratch>()
+        );
+        assert!(
+            size_of::<crate::protocol::CbtCore>() <= 360,
+            "CbtCore grew past its pinned bound: {}",
+            size_of::<crate::protocol::CbtCore>()
+        );
+    }
+
+    /// Boxing changed the in-memory representation only: the wire encoding
+    /// of every zipper message must round-trip unchanged.
+    #[test]
+    fn zip_messages_roundtrip() {
+        use ssim::snapshot::{Persist, Reader, Writer};
+        let msgs = vec![
+            CbtMsg::ZipMeet(Box::new(ZipMeet {
+                epoch: 7,
+                level: 2,
+                range: (3, 9),
+                cid: 0xdead,
+                cluster_min: 1,
+                new_cid: 0xbeef,
+                new_min: 4,
+            })),
+            CbtMsg::ZipChildInfo(Box::new(ZipChildInfo {
+                epoch: 7,
+                level: 3,
+                entries: vec![(5, 2), (6, 8)],
+                new_cid: 0xbeef,
+                new_min: 4,
+                cid: 0xdead,
+            })),
+            CbtMsg::ZipExpect(Box::new(ZipExpect {
+                epoch: 7,
+                level: 3,
+                counterpart: 9,
+                partner_cid: 0xdead,
+                new_cid: 0xbeef,
+                new_min: 4,
+            })),
+        ];
+        for m in msgs {
+            let mut w = Writer::new();
+            m.save(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            let back = CbtMsg::load(&mut r).unwrap();
+            let mut w2 = Writer::new();
+            back.save(&mut w2);
+            assert_eq!(bytes, w2.into_bytes());
+        }
     }
 }

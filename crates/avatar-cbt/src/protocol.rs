@@ -591,7 +591,7 @@ impl CbtCore {
                     self.on_merge_hello(io, epoch, from, *cid, *cluster_min);
                 }
             }
-            CbtMsg::ZipMeet { .. } | CbtMsg::ZipChildInfo { .. } | CbtMsg::ZipExpect { .. } => {
+            CbtMsg::ZipMeet(..) | CbtMsg::ZipChildInfo(..) | CbtMsg::ZipExpect(..) => {
                 self.handle_zip(io, neighbors, epoch, from, m);
             }
         }

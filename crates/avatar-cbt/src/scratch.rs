@@ -2,8 +2,7 @@
 
 use crate::state::Role;
 use ssim::snapshot::{Persist, Reader, SnapshotError, Writer};
-use ssim::NodeId;
-use std::collections::{HashMap, HashSet};
+use ssim::{CompactMap, CompactSet, NodeId};
 
 /// A follower contact collected by a leader root.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,8 +28,10 @@ pub struct Merge {
     pub pending: Vec<(u32, NodeId)>,
     /// Meets sent last meet-round, awaiting the counterpart's `ZipMeet`.
     pub awaiting: Vec<(u32, NodeId)>,
-    /// Counterparts whose range intersection has been decided.
-    pub decided: HashSet<NodeId>,
+    /// Counterparts whose range intersection has been decided. Sorted
+    /// inline ([`CompactSet`]): a handful of entries, canonical snapshot
+    /// order for free.
+    pub decided: CompactSet<NodeId>,
     /// Guest intervals this host won.
     pub won: Vec<(u32, u32)>,
     /// Set when any expected meet failed; the merge aborts at commit time.
@@ -46,8 +47,10 @@ pub struct Scratch {
     pub role: Option<Role>,
     /// Host-tree children snapshot taken when the report window opens.
     pub report_children: Option<Vec<NodeId>>,
-    /// Reports received from children: child → (candidate, clean).
-    pub reports: HashMap<NodeId, (bool, bool)>,
+    /// Reports received from children: child → (candidate, clean). Sorted
+    /// inline ([`CompactMap`]): tree arity is small and the snapshot wants
+    /// ascending keys anyway.
+    pub reports: CompactMap<NodeId, (bool, bool)>,
     /// Whether this host already sent its report upward.
     pub report_sent: bool,
     /// Whether this host itself can serve as the nomination contact.
@@ -107,11 +110,9 @@ impl Persist for Merge {
         w.u32(self.new_min);
         self.pending.save(w);
         self.awaiting.save(w);
-        // Sets serialize sorted for deterministic bytes; behavior never
-        // depends on their iteration order.
-        let mut decided: Vec<NodeId> = self.decided.iter().copied().collect();
-        decided.sort_unstable();
-        decided.save(w);
+        // The compact set already iterates sorted — the same bytes the old
+        // collect-and-sort encoding produced.
+        self.decided.save(w);
         self.won.save(w);
         w.bool(self.failed);
     }
@@ -122,7 +123,7 @@ impl Persist for Merge {
             new_min: r.u32()?,
             pending: Vec::load(r)?,
             awaiting: Vec::load(r)?,
-            decided: Vec::<NodeId>::load(r)?.into_iter().collect(),
+            decided: CompactSet::load(r)?,
             won: Vec::load(r)?,
             failed: r.bool()?,
         })
@@ -134,10 +135,7 @@ impl Persist for Scratch {
         w.u64(self.epoch);
         self.role.save(w);
         self.report_children.save(w);
-        let mut reports: Vec<(NodeId, (bool, bool))> =
-            self.reports.iter().map(|(&k, &v)| (k, v)).collect();
-        reports.sort_unstable_by_key(|(k, _)| *k);
-        reports.save(w);
+        self.reports.save(w);
         w.bool(self.report_sent);
         w.bool(self.self_candidate);
         self.cand_child.save(w);
@@ -154,9 +152,7 @@ impl Persist for Scratch {
             epoch: r.u64()?,
             role: Option::load(r)?,
             report_children: Option::load(r)?,
-            reports: Vec::<(NodeId, (bool, bool))>::load(r)?
-                .into_iter()
-                .collect(),
+            reports: CompactMap::load(r)?,
             report_sent: r.bool()?,
             self_candidate: r.bool()?,
             cand_child: Option::load(r)?,

@@ -2,8 +2,7 @@
 
 use crate::msg::Beacon;
 use ssim::snapshot::{Persist, Reader, SnapshotError, Writer};
-use ssim::NodeId;
-use std::collections::HashMap;
+use ssim::{CompactMap, NodeId};
 
 /// The per-epoch cluster role of the matching phase (Section 3.2): leaders
 /// match their adjacent followers for merging.
@@ -49,9 +48,14 @@ impl ClusterCore {
 }
 
 /// The most recent beacon received from each neighbor, with receipt round.
+///
+/// Stored as a sorted inline [`CompactMap`]: a node tracks O(log² n)
+/// neighbors, where binary-searched inline entries beat hashing on both
+/// footprint (one allocation, no per-entry overhead) and snapshot encoding
+/// (iteration order is already canonical).
 #[derive(Debug, Clone)]
 pub struct NeighborView {
-    beacons: HashMap<NodeId, (u64, Beacon)>,
+    beacons: CompactMap<NodeId, (u64, Beacon)>,
     /// Staleness horizon in rounds. `BEACON_TTL` on the classic channel;
     /// scaled by the delivery bound `Δ` under a latency/jitter model, where
     /// arrival gaps of up to `1 + jitter` rounds are legitimate
@@ -62,7 +66,7 @@ pub struct NeighborView {
 impl Default for NeighborView {
     fn default() -> Self {
         Self {
-            beacons: HashMap::new(),
+            beacons: CompactMap::new(),
             ttl: BEACON_TTL,
         }
     }
@@ -141,29 +145,15 @@ impl Persist for ClusterCore {
 
 impl Persist for NeighborView {
     fn save(&self, w: &mut Writer) {
-        // Sorted by neighbor id: the map's iteration order is not
-        // deterministic, the snapshot bytes must be.
-        let mut entries: Vec<(&NodeId, &(u64, Beacon))> = self.beacons.iter().collect();
-        entries.sort_unstable_by_key(|(v, _)| **v);
-        w.seq(entries.len());
-        for (v, (round, b)) in entries {
-            w.u32(*v);
-            w.u64(*round);
-            b.save(w);
-        }
+        // The compact map iterates in ascending neighbor id — exactly the
+        // canonical encoding the old sorted-HashMap path produced, with no
+        // collect-and-sort step.
+        self.beacons.save(w);
         w.u64(self.ttl);
     }
     fn load(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
-        let n = r.seq()?;
-        let mut beacons = HashMap::with_capacity(n);
-        for _ in 0..n {
-            let v = r.u32()?;
-            let round = r.u64()?;
-            let b = Beacon::load(r)?;
-            if beacons.insert(v, (round, b)).is_some() {
-                return Err(SnapshotError::Corrupt(format!("duplicate beacon for {v}")));
-            }
-        }
+        // The map load rejects out-of-order or duplicate neighbor ids.
+        let beacons = CompactMap::load(r)?;
         let ttl = r.u64()?;
         if ttl == 0 {
             return Err(SnapshotError::Corrupt("zero beacon ttl".into()));

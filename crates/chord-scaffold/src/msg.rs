@@ -133,3 +133,25 @@ impl Persist for ScafMsg {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `ScafMsg` wraps `CbtMsg` with zero width overhead: the wrapper's
+    /// discriminant fits the inner enum's niche. Pinned so a new variant or
+    /// field cannot silently widen every in-flight message of the combined
+    /// protocol.
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn message_layout_stays_compact() {
+        use std::mem::size_of;
+        assert_eq!(
+            size_of::<ScafMsg>(),
+            size_of::<CbtMsg>(),
+            "niche-packed wrapper"
+        );
+        assert_eq!(size_of::<ScafMsg>(), 40);
+        assert_eq!(size_of::<PhaseInfo>(), 16);
+    }
+}

@@ -19,7 +19,7 @@ use avatar_cbt::{CbtCore, CbtMsg, NetIo};
 use rand::rngs::SmallRng;
 use ssim::snapshot::{Persist, Reader, SnapshotError, Writer};
 use ssim::NodeId;
-use std::collections::HashMap;
+use ssim::{CompactMap, CompactSet};
 
 /// I/O surface for the scaffolding protocol (mirrors [`avatar_cbt::NetIo`]
 /// at the wrapped message type).
@@ -93,10 +93,10 @@ pub struct ScaffoldCore<T: InductiveTarget> {
     pub last_wave: i64,
     active: Option<ActiveWave>,
     /// Phase info last heard from each neighbor: `(round, info)`.
-    pview: HashMap<NodeId, (u64, PhaseInfo)>,
+    pview: CompactMap<NodeId, (u64, PhaseInfo)>,
     /// First round each current neighbor was observed adjacent (edges
     /// created mid-wave get a grace period before phase info is expected).
-    seen_since: HashMap<NodeId, u64>,
+    seen_since: CompactMap<NodeId, u64>,
     /// Round the host entered the CHORD phase.
     switch_round: u64,
     /// Root only: round at which to launch wave 0.
@@ -140,9 +140,9 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
             phase: Phase::Cbt,
             last_wave: -1,
             active: None,
-            pview: HashMap::new(),
+            pview: CompactMap::new(),
             switch_round: 0,
-            seen_since: HashMap::new(),
+            seen_since: CompactMap::new(),
             wave0_at: None,
             last_progress: 0,
             done_pending: None,
@@ -486,7 +486,9 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
         self.seen_since
             .retain(|v, _| neighbors.binary_search(v).is_ok());
         for &v in &neighbors {
-            self.seen_since.entry(v).or_insert(round);
+            if !self.seen_since.contains_key(&v) {
+                self.seen_since.insert(v, round);
+            }
         }
 
         if !self.armed && !self.scaffolded_ok(round, &neighbors) {
@@ -799,7 +801,7 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
                 })
                 .copied()
         };
-        let mut keep: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        let mut keep: CompactSet<NodeId> = CompactSet::new();
         // Scaffold-required neighbors.
         for &v in neighbors {
             match self.cbt.view.latest(v) {
@@ -891,19 +893,10 @@ impl<T: InductiveTarget + Persist> Persist for ScaffoldCore<T> {
         self.phase.save(w);
         w.i64(self.last_wave);
         self.active.save(w);
-        // Maps serialize sorted by neighbor id for deterministic bytes.
-        let mut pview: Vec<(NodeId, (u64, PhaseInfo))> =
-            self.pview.iter().map(|(&k, &v)| (k, v)).collect();
-        pview.sort_unstable_by_key(|(k, _)| *k);
-        w.seq(pview.len());
-        for (v, (round, pi)) in pview {
-            w.u32(v);
-            w.u64(round);
-            pi.save(w);
-        }
-        let mut seen: Vec<(NodeId, u64)> = self.seen_since.iter().map(|(&k, &v)| (k, v)).collect();
-        seen.sort_unstable_by_key(|(k, _)| *k);
-        seen.save(w);
+        // The compact maps iterate sorted by neighbor id — the canonical
+        // bytes the old collect-and-sort encodings produced.
+        self.pview.save(w);
+        self.seen_since.save(w);
         w.u64(self.switch_round);
         self.wave0_at.save(w);
         w.u64(self.last_progress);
@@ -921,19 +914,9 @@ impl<T: InductiveTarget + Persist> Persist for ScaffoldCore<T> {
         let phase = Phase::load(r)?;
         let last_wave = r.i64()?;
         let active = Option::load(r)?;
-        let n_pview = r.seq()?;
-        let mut pview = HashMap::with_capacity(n_pview);
-        for _ in 0..n_pview {
-            let v = r.u32()?;
-            let round = r.u64()?;
-            let pi = PhaseInfo::load(r)?;
-            if pview.insert(v, (round, pi)).is_some() {
-                return Err(SnapshotError::Corrupt(format!(
-                    "duplicate phase view for {v}"
-                )));
-            }
-        }
-        let seen_since: HashMap<NodeId, u64> = Vec::<(NodeId, u64)>::load(r)?.into_iter().collect();
+        // The map loads reject out-of-order or duplicate neighbor ids.
+        let pview = CompactMap::load(r)?;
+        let seen_since = CompactMap::load(r)?;
         Ok(Self {
             target,
             cbt,

@@ -67,12 +67,16 @@
 //! nothing: inboxes are double-buffered, emit sinks are recycled, and
 //! edge/degree aggregates are tracked incrementally.
 
-// `deny` rather than `forbid`: the one sanctioned exception is the small,
-// heavily documented chunk-splitting core of `par`, which opts back in with
-// a module-local `allow`. Everything else in the crate stays safe Rust.
+// `deny` rather than `forbid`: the sanctioned exceptions are the small,
+// heavily documented chunk-splitting core of `par` and the page-cursor
+// scatter of `arena` (which reuses `par`'s disjointness discipline at page
+// granularity); both opt back in with a local `allow`. Everything else in
+// the crate stays safe Rust.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
+pub mod compact;
 pub mod fault;
 pub mod init;
 pub mod metrics;
@@ -87,12 +91,13 @@ pub mod snapshot;
 pub mod topology;
 pub mod workload;
 
+pub use compact::{CompactMap, CompactSet};
 pub use fault::Fault;
 pub use metrics::{PerfCounters, RoundMetrics, RunMetrics};
 pub use monitor::{Monitor, MonitorExt, MonitorOutcome, RunVerdict, Verdict};
 pub use net::{NetModel, NetStats};
 pub use program::{Actions, Ctx, Program};
-pub use runtime::{Config, Runtime};
+pub use runtime::{Config, MemFootprint, Runtime};
 pub use scenario::{Event, Scenario, ScenarioReport};
 pub use sched::{ActivityDriven, Adversarial, RandomSubset, SchedView, Scheduler, Synchronous};
 pub use snapshot::{Persist, SnapshotError};

@@ -415,8 +415,9 @@ fn worker_loop(shared: &Shared, index: usize) {
 }
 
 /// Raw-pointer wrapper that lets disjoint chunks of a slice be written from
-/// different threads.
-struct SendPtr<T>(*mut T);
+/// different threads. Crate-visible so [`crate::arena`]'s sharded scatter
+/// (same disjointness discipline, page-granular) can reuse it.
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
 
 impl<T> Clone for SendPtr<T> {
     fn clone(&self) -> Self {
@@ -441,7 +442,7 @@ impl<T> SendPtr<T> {
     /// `i` must be in bounds of the allocation, and the caller must hold
     /// exclusive access to that element (shared-read access suffices for
     /// `&*` uses).
-    unsafe fn at(self, i: usize) -> *mut T {
+    pub(crate) unsafe fn at(self, i: usize) -> *mut T {
         // SAFETY: forwarded to the caller's contract.
         unsafe { self.0.add(i) }
     }

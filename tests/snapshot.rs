@@ -86,6 +86,31 @@ proptest! {
     }
 }
 
+/// `save ∘ restore ∘ save` is the identity on the bytes for the full
+/// protocol stack: the compacted protocol states (the CBT view and
+/// scratch's sorted inline maps, the scaffold's phase-view tables, the
+/// paged inboxes, the adjacency arena) must re-encode to exactly the
+/// bytes they loaded from — at a stale mid-stabilization round, mid-merge,
+/// and near convergence.
+#[test]
+fn protocol_snapshot_save_load_save_is_byte_identity() {
+    let target = ChordTarget::classic(64);
+    let mut cfg = Config::seeded(23);
+    cfg.record_rounds = false;
+    let mut rt = chord::runtime_from_shape(target, 8, Shape::Random, cfg);
+    for rounds in [13u64, 27, 50] {
+        rt.run(rounds);
+        let bytes = rt.save_snapshot();
+        let back = chord::restore_runtime(&bytes, cfg).expect("snapshot restores");
+        assert_eq!(
+            back.save_snapshot(),
+            bytes,
+            "re-encode diverged at round {}",
+            rt.round()
+        );
+    }
+}
+
 /// Every way a snapshot can be damaged maps to a distinct loud error;
 /// none of them ever yields a runtime.
 #[test]
