@@ -21,6 +21,15 @@ pub struct Beacon {
     pub epoch: u64,
 }
 
+impl Beacon {
+    /// Digest of the cluster identity this beacon carries (see
+    /// [`crate::state::identity_digest`]): comparable against
+    /// [`crate::state::ClusterCore::digest`] of the sender.
+    pub fn digest(&self) -> u64 {
+        crate::state::identity_digest(self.cid, self.range, self.cluster_min)
+    }
+}
+
 /// Which edge-walk a [`CbtMsg::WalkUp`] step belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WalkKind {

@@ -94,3 +94,47 @@ impl Router for CbtProgram {
         self.core.route_request(key, neighbors)
     }
 }
+
+impl ssim::Sabotage for CbtProgram {
+    fn age_observations(&mut self, rounds: u64) {
+        self.core.view.age(rounds);
+    }
+
+    /// Skews the cluster identity ([`crate::state::ClusterCore::skew`]) and
+    /// wakes the host, so the lie is actively beaconed to the neighbors
+    /// rather than sitting inert in a dormant node.
+    fn skew_identity(&mut self, salt: u64) {
+        self.core.core.skew(salt);
+        self.core.asleep = false;
+        self.core.beacons_enabled = true;
+        self.core.sleep_neighbors = None;
+    }
+
+    fn plant_observation(&mut self, about: ssim::NodeId, salt: u64) -> bool {
+        self.core.view.tamper(about, |b| {
+            let mut fake = crate::state::ClusterCore {
+                cid: b.cid,
+                range: b.range,
+                cluster_min: b.cluster_min,
+            };
+            fake.skew(salt);
+            b.cid = fake.cid;
+            b.range = fake.range;
+            b.cluster_min = fake.cluster_min;
+        })
+    }
+}
+
+impl ssim::Introspect for CbtProgram {
+    fn observation_ages(&self, now: u64) -> Vec<(ssim::NodeId, u64)> {
+        self.core.view.ages(now)
+    }
+
+    fn identity_digest(&self) -> u64 {
+        self.core.core.digest()
+    }
+
+    fn recorded_digest(&self, about: ssim::NodeId) -> Option<u64> {
+        self.core.view.latest(about).map(|b| b.digest())
+    }
+}

@@ -45,6 +45,51 @@ impl ClusterCore {
     pub fn covers(&self, g: u32) -> bool {
         self.range.0 <= g && g < self.range.1
     }
+
+    /// Digest of the identity this state advertises (see
+    /// [`identity_digest`]): what a truthful beacon would carry.
+    pub fn digest(&self) -> u64 {
+        identity_digest(self.cid, self.range, self.cluster_min)
+    }
+
+    /// **Adversarial**: corrupt the identity as a deterministic function of
+    /// `salt` — always the cluster id (so the advertised digest provably
+    /// changes), plus, depending on the salt, a well-formed-but-wrong
+    /// responsible range or a shifted cluster minimum. Targeted field
+    /// corruption, not scrambling: the result still parses, routes and
+    /// beacons — it is just *false*.
+    pub fn skew(&mut self, salt: u64) {
+        self.cid ^= salt | 1;
+        match salt % 3 {
+            1 => {
+                let (lo, hi) = self.range;
+                let span = hi.saturating_sub(lo);
+                if span > 1 {
+                    self.range = (lo, lo + 1 + ((salt >> 8) as u32 % (span - 1)));
+                }
+            }
+            2 => {
+                self.cluster_min = self.cluster_min.wrapping_add(((salt >> 8) as u32) | 1);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// FNV-1a digest of the cluster-identity triple a beacon advertises. The
+/// view-divergence detector compares the digest a node's state would beacon
+/// ([`ClusterCore::digest`]) against the digest a neighbor has recorded
+/// ([`Beacon::digest`]); equality over `(cid, range, cluster_min)` is
+/// exactly the "are we telling everyone the same thing" predicate — role
+/// and epoch are legitimately in flux and excluded.
+pub fn identity_digest(cid: u64, range: (u32, u32), cluster_min: NodeId) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for word in [cid, range.0 as u64, range.1 as u64, cluster_min as u64] {
+        for b in word.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+    }
+    h
 }
 
 /// The most recent beacon received from each neighbor, with receipt round.
@@ -124,6 +169,49 @@ impl NeighborView {
     pub fn retain_neighbors(&mut self, neighbors: &[NodeId]) {
         self.beacons
             .retain(|v, _| neighbors.binary_search(v).is_ok());
+    }
+
+    /// `(neighbor, age)` for every recorded beacon, ascending by neighbor
+    /// id, with `age` in rounds relative to `now` (floored at zero — receipt
+    /// rounds are unsigned). The inspection surface of the
+    /// beacon-staleness and view-divergence detectors.
+    pub fn ages(&self, now: u64) -> Vec<(NodeId, u64)> {
+        self.beacons
+            .iter()
+            .map(|(&v, &(r, _))| (v, now.saturating_sub(r)))
+            .collect()
+    }
+
+    /// **Adversarial**: make every recorded beacon `rounds` older than it
+    /// really is (receipt rounds floor at zero). Payloads are untouched —
+    /// this is freshness-metadata corruption, the stale-beacon attack.
+    pub fn age(&mut self, rounds: u64) {
+        for (r, _) in self.beacons.values_mut() {
+            *r = r.saturating_sub(rounds);
+        }
+    }
+
+    /// Re-stamp every recorded beacon as received at `now` (fixture
+    /// warming: installed-legal runtimes record their views at round 0,
+    /// which leaves adversarial aging nowhere to go).
+    pub fn restamp(&mut self, now: u64) {
+        for (r, _) in self.beacons.values_mut() {
+            *r = now;
+        }
+    }
+
+    /// **Adversarial**: mutate the recorded beacon of `v` in place,
+    /// preserving its receipt round (the equivocation attack fabricates
+    /// payloads without touching freshness). Returns `false` when no beacon
+    /// of `v` is recorded.
+    pub fn tamper(&mut self, v: NodeId, f: impl FnOnce(&mut Beacon)) -> bool {
+        match self.beacons.get_mut(&v) {
+            Some((_, b)) => {
+                f(b);
+                true
+            }
+            None => false,
+        }
     }
 }
 

@@ -112,3 +112,49 @@ impl<T: InductiveTarget> Router for ScaffoldProgram<T> {
         self.core.route_request(key, neighbors)
     }
 }
+
+impl<T: InductiveTarget> ssim::Sabotage for ScaffoldProgram<T> {
+    fn age_observations(&mut self, rounds: u64) {
+        self.core.cbt.view.age(rounds);
+    }
+
+    /// Skews the embedded cluster identity
+    /// ([`avatar_cbt::state::ClusterCore::skew`]) and forces the host out of
+    /// its settled phase ([`ScaffoldCore::force_revert`]) so the lie is
+    /// actively beaconed instead of sitting inert in a silent DONE host.
+    fn skew_identity(&mut self, salt: u64) {
+        self.core.cbt.core.skew(salt);
+        self.core.cbt.asleep = false;
+        self.core.cbt.beacons_enabled = true;
+        self.core.cbt.sleep_neighbors = None;
+        self.core.force_revert();
+    }
+
+    fn plant_observation(&mut self, about: NodeId, salt: u64) -> bool {
+        self.core.cbt.view.tamper(about, |b| {
+            let mut fake = avatar_cbt::state::ClusterCore {
+                cid: b.cid,
+                range: b.range,
+                cluster_min: b.cluster_min,
+            };
+            fake.skew(salt);
+            b.cid = fake.cid;
+            b.range = fake.range;
+            b.cluster_min = fake.cluster_min;
+        })
+    }
+}
+
+impl<T: InductiveTarget> ssim::Introspect for ScaffoldProgram<T> {
+    fn observation_ages(&self, now: u64) -> Vec<(NodeId, u64)> {
+        self.core.cbt.view.ages(now)
+    }
+
+    fn identity_digest(&self) -> u64 {
+        self.core.cbt.core.digest()
+    }
+
+    fn recorded_digest(&self, about: NodeId) -> Option<u64> {
+        self.core.cbt.view.latest(about).map(|b| b.digest())
+    }
+}

@@ -418,6 +418,14 @@ impl<T: InductiveTarget> ScaffoldCore<T> {
         self.reverts += 1;
     }
 
+    /// Force an immediate reversion to the CBT phase, as if Definition 3 had
+    /// tripped locally. Used by the adversary layer: a host whose cluster
+    /// identity has been skewed must *act* on the lie (beacon it to its
+    /// neighbors every round) rather than sit silent in DONE.
+    pub fn force_revert(&mut self) {
+        self.revert_to_cbt();
+    }
+
     /// Definition 3's `scaffolded` predicate, evaluated at host granularity:
     /// intact scaffold structure, and wave states of neighbors within one
     /// step of ours.

@@ -75,6 +75,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod arena;
 pub mod compact;
 pub mod fault;
@@ -91,10 +92,17 @@ pub mod snapshot;
 pub mod topology;
 pub mod workload;
 
+pub use adversary::{
+    quarantine, release, run_gauntlet, Adversary, Checkpoint, GauntletOutcome, Introspect,
+    Recovery, Sabotage,
+};
 pub use compact::{CompactMap, CompactSet};
 pub use fault::Fault;
 pub use metrics::{PerfCounters, RoundMetrics, RunMetrics};
-pub use monitor::{Monitor, MonitorExt, MonitorOutcome, RunVerdict, Verdict};
+pub use monitor::{
+    Detection, Detector, DetectorSuite, FaultClass, Monitor, MonitorExt, MonitorOutcome,
+    RunVerdict, Severity, Verdict,
+};
 pub use net::{NetModel, NetStats};
 pub use program::{Actions, Ctx, Program};
 pub use runtime::{Config, MemFootprint, Runtime};

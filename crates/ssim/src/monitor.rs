@@ -351,6 +351,467 @@ pub trait MonitorExt<P: Program>: Monitor<P> + Sized {
 
 impl<P: Program, M: Monitor<P> + Sized> MonitorExt<P> for M {}
 
+// ---------------------------------------------------------------------------
+// Rule-based fault detection: classified detections, not just verdicts.
+// ---------------------------------------------------------------------------
+
+/// How bad a [`Detection`] is. Only [`Severity::Critical`] detections drive
+/// automated recovery ([`crate::adversary::run_gauntlet`] rolls back on the
+/// first critical); warnings and infos are telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize)]
+pub enum Severity {
+    /// Expected-but-noteworthy (an unbaselined joiner, mild activity).
+    Info,
+    /// Suspicious but survivable (stale freshness metadata, degree drift).
+    Warning,
+    /// State is provably inconsistent or a member is gone/isolated.
+    Critical,
+}
+
+impl Severity {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warn",
+            Severity::Critical => "crit",
+        }
+    }
+}
+
+/// What kind of fault a rule matched — the taxonomy axis of a detection
+/// (in the spirit of BLEEP's typed shard fault detection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum FaultClass {
+    /// An observation's age exceeds what honest aging can produce.
+    BeaconStaleness,
+    /// A recorded view of a node disagrees with what that node advertises.
+    ViewDivergence,
+    /// A member's degree collapsed/exploded against its armed baseline, or
+    /// the member vanished outright.
+    DegreeAnomaly,
+    /// Activity in a network whose baseline was quiescent.
+    SilenceAnomaly,
+}
+
+impl FaultClass {
+    /// All classes, in canonical (reporting) order.
+    pub const ALL: [FaultClass; 4] = [
+        FaultClass::BeaconStaleness,
+        FaultClass::ViewDivergence,
+        FaultClass::DegreeAnomaly,
+        FaultClass::SilenceAnomaly,
+    ];
+
+    /// Position in [`FaultClass::ALL`] (for per-class counters).
+    pub fn index(self) -> usize {
+        match self {
+            FaultClass::BeaconStaleness => 0,
+            FaultClass::ViewDivergence => 1,
+            FaultClass::DegreeAnomaly => 2,
+            FaultClass::SilenceAnomaly => 3,
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::BeaconStaleness => "stale",
+            FaultClass::ViewDivergence => "diverge",
+            FaultClass::DegreeAnomaly => "degree",
+            FaultClass::SilenceAnomaly => "silence",
+        }
+    }
+}
+
+/// One classified alarm raised by a [`Detector`].
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Detection {
+    /// Which rule class matched.
+    pub class: FaultClass,
+    /// How bad it is.
+    pub severity: Severity,
+    /// The implicated node (the one recovery should touch).
+    pub node: crate::NodeId,
+    /// Round of detection.
+    pub round: u64,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// A rule-based fault detector: scanned once per round on the driving
+/// thread (like a [`Monitor`], so detections are bit-identical at any
+/// thread count), it **classifies** what it finds instead of returning a
+/// run verdict. Detectors arm any baseline they need on their first scan.
+pub trait Detector<P: Program> {
+    /// Inspect the runtime; push one [`Detection`] per rule match.
+    fn scan(&mut self, rt: &Runtime<P>, out: &mut Vec<Detection>);
+
+    /// Detector name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Detects observations that aged faster than time itself. An honest,
+/// never-refreshed observation ages by exactly one round per round, and a
+/// refresh only makes it *younger* — so the normalized offset
+/// `age − rounds_elapsed` can never rise. The detector records that offset
+/// per `(holder, about)` observation on first sight, lowers it on
+/// refreshes, and reports any rise as tampered freshness metadata (a
+/// stale-beacon attack), every round until it clears. Staleness alone
+/// cannot make state inconsistent, so this never exceeds
+/// [`Severity::Warning`].
+#[derive(Default)]
+pub struct BeaconStaleness {
+    armed_at: Option<u64>,
+    offsets: std::collections::BTreeMap<(crate::NodeId, crate::NodeId), i64>,
+}
+
+impl BeaconStaleness {
+    /// A fresh detector; arms on first scan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<P: crate::adversary::Introspect> Detector<P> for BeaconStaleness {
+    fn scan(&mut self, rt: &Runtime<P>, out: &mut Vec<Detection>) {
+        let now = rt.round();
+        let armed_at = *self.armed_at.get_or_insert(now);
+        let elapsed = (now - armed_at) as i64;
+        for (holder, p) in rt.programs() {
+            for (about, age) in p.observation_ages(now) {
+                let cur = age as i64 - elapsed;
+                let offset = *self.offsets.entry((holder, about)).or_insert(cur);
+                if cur > offset {
+                    out.push(Detection {
+                        class: FaultClass::BeaconStaleness,
+                        severity: Severity::Warning,
+                        node: holder,
+                        round: now,
+                        detail: format!(
+                            "{holder}'s view of {about} is {age} rounds old, \
+                             {} more than honest aging allows",
+                            cur - offset
+                        ),
+                    });
+                } else if cur < offset {
+                    // Refreshed: tighten so a later tamper of the new
+                    // recording is still caught.
+                    self.offsets.insert((holder, about), cur);
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "beacon-staleness"
+    }
+}
+
+/// Detects recorded views that disagree with what the viewed node currently
+/// advertises: for every observation `holder → about` where `about` is a
+/// live member, the recorded identity digest must equal `about`'s own. A
+/// mismatch is [`Severity::Critical`] and implicates **both ends** — under
+/// a lying-beacon attack the *about* node is corrupt, under equivocation
+/// the *holder*'s record was fabricated; rolling back both covers either.
+#[derive(Default)]
+pub struct ViewDivergence;
+
+impl ViewDivergence {
+    /// A fresh detector (stateless).
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl<P: crate::adversary::Introspect> Detector<P> for ViewDivergence {
+    fn scan(&mut self, rt: &Runtime<P>, out: &mut Vec<Detection>) {
+        let now = rt.round();
+        for (holder, p) in rt.programs() {
+            for (about, _) in p.observation_ages(now) {
+                if !rt.topology().contains(about) {
+                    continue;
+                }
+                let Some(recorded) = p.recorded_digest(about) else {
+                    continue;
+                };
+                if recorded != rt.program(about).identity_digest() {
+                    out.push(Detection {
+                        class: FaultClass::ViewDivergence,
+                        severity: Severity::Critical,
+                        node: about,
+                        round: now,
+                        detail: format!("{holder}'s record of {about} diverges from its state"),
+                    });
+                    out.push(Detection {
+                        class: FaultClass::ViewDivergence,
+                        severity: Severity::Critical,
+                        node: holder,
+                        round: now,
+                        detail: format!("{holder} holds a divergent view of {about}"),
+                    });
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "view-divergence"
+    }
+}
+
+/// Detects members whose connectivity collapsed or exploded against the
+/// degree baseline armed on the first scan: a vanished or isolated member is
+/// [`Severity::Critical`]; a degree at most half or at least double its
+/// baseline is a [`Severity::Warning`]; members joining after arming are
+/// reported once as [`Severity::Info`] and then adopted into the baseline.
+#[derive(Default)]
+pub struct DegreeAnomaly {
+    baseline: std::collections::BTreeMap<crate::NodeId, usize>,
+    armed: bool,
+}
+
+impl DegreeAnomaly {
+    /// A fresh detector; arms on first scan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<P: Program> Detector<P> for DegreeAnomaly {
+    fn scan(&mut self, rt: &Runtime<P>, out: &mut Vec<Detection>) {
+        let now = rt.round();
+        if !self.armed {
+            self.armed = true;
+            for &v in rt.ids() {
+                self.baseline.insert(v, rt.topology().degree(v));
+            }
+            return;
+        }
+        self.baseline.retain(|&v, &mut d0| {
+            if !rt.topology().contains(v) {
+                out.push(Detection {
+                    class: FaultClass::DegreeAnomaly,
+                    severity: Severity::Critical,
+                    node: v,
+                    round: now,
+                    detail: format!("member {v} vanished (baseline degree {d0})"),
+                });
+                return false; // report the departure once
+            }
+            let d = rt.topology().degree(v);
+            if d == 0 {
+                out.push(Detection {
+                    class: FaultClass::DegreeAnomaly,
+                    severity: Severity::Critical,
+                    node: v,
+                    round: now,
+                    detail: format!("member {v} is isolated (baseline degree {d0})"),
+                });
+            } else if d0 > 0 && (d * 2 <= d0 || d >= d0 * 2) {
+                out.push(Detection {
+                    class: FaultClass::DegreeAnomaly,
+                    severity: Severity::Warning,
+                    node: v,
+                    round: now,
+                    detail: format!("degree {d} drifted from baseline {d0}"),
+                });
+            }
+            true
+        });
+        for &v in rt.ids() {
+            self.baseline.entry(v).or_insert_with(|| {
+                out.push(Detection {
+                    class: FaultClass::DegreeAnomaly,
+                    severity: Severity::Info,
+                    node: v,
+                    round: now,
+                    detail: format!("unbaselined member {v} appeared"),
+                });
+                rt.topology().degree(v)
+            });
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "degree-anomaly"
+    }
+}
+
+/// Detects program activity in a network whose baseline was fully
+/// quiescent — converged self-stabilizing protocols go silent, so a burst
+/// of awake nodes marks a perturbation spreading. Reports one aggregated
+/// detection per active round: [`Severity::Info`] while at most a quarter
+/// of members are awake, [`Severity::Warning`] beyond that, never critical
+/// (activity is how the protocol *heals*). Inert when the network was not
+/// quiescent at arming time (e.g. while traffic keeps hosts busy).
+#[derive(Default)]
+pub struct SilenceAnomaly {
+    was_quiet: Option<bool>,
+}
+
+impl SilenceAnomaly {
+    /// A fresh detector; arms on first scan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<P: Program> Detector<P> for SilenceAnomaly {
+    fn scan(&mut self, rt: &Runtime<P>, out: &mut Vec<Detection>) {
+        let quiet_now = rt.all_quiescent();
+        let was_quiet = *self.was_quiet.get_or_insert(quiet_now);
+        if !was_quiet || quiet_now {
+            return;
+        }
+        let n = rt.ids().len().max(1);
+        let mut awake = 0usize;
+        let mut first: Option<crate::NodeId> = None;
+        for (v, p) in rt.programs() {
+            if !p.is_quiescent() {
+                awake += 1;
+                first.get_or_insert(v);
+            }
+        }
+        if awake == 0 {
+            return;
+        }
+        out.push(Detection {
+            class: FaultClass::SilenceAnomaly,
+            severity: if awake * 4 <= n {
+                Severity::Info
+            } else {
+                Severity::Warning
+            },
+            node: first.expect("awake > 0"),
+            round: rt.round(),
+            detail: format!("{awake} of {n} members active in a silent-baseline network"),
+        });
+    }
+
+    fn name(&self) -> &'static str {
+        "silence-anomaly"
+    }
+}
+
+/// A bank of detectors scanned together, aggregating classified counters
+/// the gauntlet reports: totals, per-class counts, worst severity, first
+/// detection / first critical rounds, the set of implicated nodes (what
+/// rollback repairs), and a bounded sample of detection records.
+pub struct DetectorSuite<P: Program> {
+    detectors: Vec<Box<dyn Detector<P> + Send>>,
+    scratch: Vec<Detection>,
+    total: u64,
+    criticals: u64,
+    by_class: [u64; 4],
+    worst: Option<Severity>,
+    first: Option<u64>,
+    first_critical: Option<u64>,
+    implicated: std::collections::BTreeSet<crate::NodeId>,
+    samples: Vec<Detection>,
+}
+
+/// How many detection records a suite retains verbatim (counters keep
+/// counting past this).
+const SUITE_SAMPLE_CAP: usize = 32;
+
+impl<P: Program> Default for DetectorSuite<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Program> DetectorSuite<P> {
+    /// An empty suite.
+    pub fn new() -> Self {
+        Self {
+            detectors: Vec::new(),
+            scratch: Vec::new(),
+            total: 0,
+            criticals: 0,
+            by_class: [0; 4],
+            worst: None,
+            first: None,
+            first_critical: None,
+            implicated: std::collections::BTreeSet::new(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Add a detector.
+    #[must_use]
+    pub fn with(mut self, d: impl Detector<P> + Send + 'static) -> Self {
+        self.detectors.push(Box::new(d));
+        self
+    }
+
+    /// Scan every detector once and fold the detections into the counters.
+    /// Returns how many detections this scan produced.
+    pub fn scan(&mut self, rt: &Runtime<P>) -> usize {
+        self.scratch.clear();
+        for d in &mut self.detectors {
+            d.scan(rt, &mut self.scratch);
+        }
+        let found = self.scratch.len();
+        for det in self.scratch.drain(..) {
+            self.total += 1;
+            self.by_class[det.class.index()] += 1;
+            self.worst = Some(self.worst.map_or(det.severity, |w| w.max(det.severity)));
+            self.first.get_or_insert(det.round);
+            if det.severity == Severity::Critical {
+                self.criticals += 1;
+                self.first_critical.get_or_insert(det.round);
+            }
+            self.implicated.insert(det.node);
+            if self.samples.len() < SUITE_SAMPLE_CAP {
+                self.samples.push(det);
+            }
+        }
+        found
+    }
+
+    /// Total detections across all scans.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-class counts, in [`FaultClass::ALL`] order.
+    pub fn by_class(&self) -> [u64; 4] {
+        self.by_class
+    }
+
+    /// Critical detections so far.
+    pub fn criticals(&self) -> u64 {
+        self.criticals
+    }
+
+    /// Worst severity observed.
+    pub fn worst(&self) -> Option<Severity> {
+        self.worst
+    }
+
+    /// Round of the first detection.
+    pub fn first_round(&self) -> Option<u64> {
+        self.first
+    }
+
+    /// Round of the first critical detection.
+    pub fn first_critical_round(&self) -> Option<u64> {
+        self.first_critical
+    }
+
+    /// Every node any detection has implicated, ascending.
+    pub fn implicated(&self) -> impl Iterator<Item = crate::NodeId> + '_ {
+        self.implicated.iter().copied()
+    }
+
+    /// The first few (currently 32) detection records, capped so a noisy
+    /// detector cannot grow the suite without bound.
+    pub fn samples(&self) -> &[Detection] {
+        &self.samples
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -157,7 +157,19 @@ impl<P: Program> Scenario<P> {
     }
 
     /// Schedule a state corruption of host `id`.
+    ///
+    /// Deprecated: ad-hoc closure corruption predates the structured fault
+    /// taxonomy. Use a [`crate::adversary::Adversary`] (which compiles to
+    /// the same [`Event::Corrupt`] machinery, but names what it breaks and
+    /// is detectable/classifiable by the [`crate::monitor`] detectors), or
+    /// schedule an explicit [`Event::Corrupt`] via [`Scenario::at`] when a
+    /// bespoke mutation is genuinely needed.
     #[must_use]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ssim::adversary::Adversary::schedule` (structured, detectable corruption) \
+                or `Scenario::at` with an explicit `Event::Corrupt`"
+    )]
     pub fn corrupt(
         self,
         round: u64,
@@ -211,6 +223,16 @@ impl<P: Program> Scenario<P> {
     #[must_use]
     pub fn net(self, round: u64, model: crate::NetModel) -> Self {
         self.at(round, Event::SetNetModel(model))
+    }
+
+    /// The scenario's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The seed of the scenario's private fault RNG.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// The scheduled events, in schedule order.
@@ -297,7 +319,10 @@ impl<P: Program> Scenario<P> {
     }
 }
 
-fn apply<P: Program>(
+/// Apply one event to `rt` (shared with the gauntlet driver in
+/// [`crate::adversary::run_gauntlet`], which replays scenarios with a
+/// detection/recovery loop wrapped around the same event semantics).
+pub(crate) fn apply<P: Program>(
     rt: &mut Runtime<P>,
     event: &Event<P>,
     rng: &mut SmallRng,
@@ -543,7 +568,14 @@ mod tests {
         let scenario = Scenario::<Gossip>::new("ghost")
             .leave(0, 99)
             .crash(1, 98)
-            .corrupt(2, 97, "poke", |_p| {});
+            .at(
+                2,
+                Event::Corrupt {
+                    id: 97,
+                    label: "poke".into(),
+                    mutate: Arc::new(|_p| {}),
+                },
+            );
         let mut rt = ring(4);
         let mut m = monitor::silence::<Gossip>();
         let report = scenario.run(&mut rt, &mut m, 10);

@@ -56,17 +56,13 @@ fn main() {
                 keep_connected: true,
             },
         )
-        // Episode 3: classic transient faults on top of the churn.
-        .fault(4 * gap, Fault::Rewire { count: 2 })
-        .corrupt(
-            4 * gap,
-            anchor,
-            "cluster-state corruption",
-            |p: &mut chord::ScaffoldProgram<ChordTarget>| {
-                p.core.cbt.core.cid = 0xBAD;
-                p.core.cbt.core.range = (0, 1);
-            },
-        )
+        // Episode 3: classic transient faults on top of the churn. The
+        // state corruption goes through the structured adversary library
+        // (targeted, detectable identity corruption) instead of an ad-hoc
+        // mutation closure: the anchor starts lying about its cluster.
+        .fault(4 * gap, Fault::Rewire { count: 2 });
+    let scenario = chord_scaffolding::sim::Adversary::LyingBeacons { victims: 1 }
+        .schedule(scenario, &[anchor], 4 * gap, 2024)
         // Episode 4: one more join at the end, for good measure.
         .fault(5 * gap, Fault::Join { id: c, attach: 2 });
 
